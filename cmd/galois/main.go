@@ -1,0 +1,95 @@
+// Command galois executes SQL queries against a simulated pre-trained LLM
+// (and, for hybrid queries, the in-memory ground-truth DBMS), printing the
+// result relation, the query plan, and prompt statistics.
+//
+// Usage:
+//
+//	galois [-model chatgpt] [-seed 1] [-explain] [-stats] [-truth] "SELECT ..."
+//
+// Examples:
+//
+//	galois "SELECT name FROM country WHERE independence_year > 1950"
+//	galois -model gpt3 -stats "SELECT c.name, m.birth_date FROM city c, mayor m WHERE c.mayor = m.name AND m.election_year = 2019"
+//	galois -explain "SELECT name FROM city WHERE population > 1000000"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/simllm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "galois:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := flag.String("model", "chatgpt", "simulated model: flan, tk, gpt3, chatgpt")
+	seed := flag.Int64("seed", 1, "noise seed for the simulated model")
+	explain := flag.Bool("explain", false, "print the optimized plan instead of executing")
+	stats := flag.Bool("stats", false, "print prompt statistics after the result")
+	truth := flag.Bool("truth", false, "also execute on the ground-truth DBMS and print both")
+	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
+	flag.Parse()
+
+	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if sql == "" {
+		flag.Usage()
+		return fmt.Errorf("missing SQL query argument")
+	}
+
+	profile, ok := simllm.ProfileByName(*model)
+	if !ok {
+		return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
+	}
+
+	runner, err := bench.NewRunner(*seed)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.Optimizer.PromptPushdown = *pushdown
+	engine, err := runner.Engine(runner.Model(profile), opts)
+	if err != nil {
+		return err
+	}
+
+	if *explain {
+		plan, err := engine.Explain(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+
+	ctx := context.Background()
+	rel, rep, err := engine.Query(ctx, sql)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %s (%s, %s) --\n", profile.DisplayName, profile.Params, sql)
+	fmt.Print(rel.String())
+	fmt.Printf("(%d rows)\n", rel.Cardinality())
+	if *stats {
+		fmt.Printf("\nplan:\n%s\nllm usage: %s\n", rep.Plan, rep.Stats.String())
+	}
+
+	if *truth {
+		td, err := runner.GroundTruth(ctx, sql)
+		if err != nil {
+			return fmt.Errorf("ground truth: %w", err)
+		}
+		fmt.Printf("\n-- ground truth (DBMS) --\n%s(%d rows)\n", td.String(), td.Cardinality())
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Command worldgen dumps the synthetic world as a SQL script (CREATE
+// TABLE + INSERT statements) that the in-memory DBMS can replay. Useful
+// for inspecting the ground truth and for loading it into an external
+// engine for cross-checking.
+//
+//	go run ./cmd/worldgen              # full dump to stdout
+//	go run ./cmd/worldgen -table city  # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/world"
+)
+
+func main() {
+	table := flag.String("table", "", "dump only this table")
+	flag.Parse()
+
+	w := world.Build()
+	names := w.Tables()
+	if *table != "" {
+		if w.Table(*table) == nil {
+			fmt.Fprintf(os.Stderr, "worldgen: no table %q (have %v)\n", *table, names)
+			os.Exit(1)
+		}
+		names = []string{*table}
+	}
+	for _, name := range names {
+		fmt.Print(world.DumpSQL(w, name))
+		fmt.Println()
+	}
+}

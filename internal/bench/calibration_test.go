@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simllm"
+)
+
+// TestCalibrationReport prints the regenerated Tables 1 and 2 next to the
+// paper's numbers. It never fails on magnitudes — shape assertions live in
+// the dedicated experiment tests — but it is the quickest way to see the
+// calibration state (run with -v).
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short mode")
+	}
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := core.DefaultOptions()
+
+	t1, err := r.Table1(ctx, simllm.AllProfiles(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("Table 1 — cardinality diff % (paper vs measured):")
+	for _, row := range t1 {
+		t.Logf("  %-8s paper=%+6.1f measured=%+6.1f (n=%d)", row.Model, Table1Paper[row.Model], row.DiffPercent, row.Queries)
+	}
+
+	t2, err := r.Table2(ctx, simllm.ChatGPT, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("Table 2 — cell match % on ChatGPT (All/Sel/Agg/Join):")
+	for i, row := range t2 {
+		p := Table2Paper[i]
+		t.Logf("  %-6s paper=%2.0f/%2.0f/%2.0f/%2.0f measured=%4.1f/%4.1f/%4.1f/%4.1f",
+			row.Method, p.All, p.Selections, p.Aggregates, p.Joins,
+			row.All, row.Selections, row.Aggregates, row.Joins)
+	}
+
+	lat, err := r.Latency(ctx, simllm.GPT3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Latency — paper: ~110 prompts, ~20s/query; measured: %.0f prompts, %s/query",
+		lat.AvgPrompts, lat.AvgLatency)
+}

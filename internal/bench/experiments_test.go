@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simllm"
+)
+
+// These tests assert the qualitative claims of the paper's evaluation —
+// the "shape" DESIGN.md commits to reproducing. They run the full
+// experiment pipeline, so they are skipped under -short.
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestTable1Shape: small models miss roughly half the rows, GPT-3 is
+// near-perfect, ChatGPT sits in between (Table 1 orders
+// flan < tk < chatgpt < gpt3 on cardinality fidelity).
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.Table1(context.Background(), simllm.AllProfiles(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string]float64{}
+	for _, row := range rows {
+		byModel[row.Model] = row.DiffPercent
+		if row.Queries != 46 {
+			t.Errorf("%s measured on %d queries, want 46", row.Model, row.Queries)
+		}
+	}
+	if !(byModel["flan"] < -35) {
+		t.Errorf("flan should miss a large fraction of rows, got %+.1f", byModel["flan"])
+	}
+	if !(byModel["tk"] < -30) {
+		t.Errorf("tk should miss a large fraction of rows, got %+.1f", byModel["tk"])
+	}
+	if abs(byModel["gpt3"]) > 10 {
+		t.Errorf("gpt3 should be near 0, got %+.1f", byModel["gpt3"])
+	}
+	if !(byModel["chatgpt"] < -10 && byModel["chatgpt"] > -35) {
+		t.Errorf("chatgpt should sit between the small models and gpt3, got %+.1f", byModel["chatgpt"])
+	}
+	// Ordering: flan ≤ tk < chatgpt < gpt3.
+	if !(byModel["flan"] <= byModel["tk"]+5 && byModel["tk"] < byModel["chatgpt"] && byModel["chatgpt"] < byModel["gpt3"]) {
+		t.Errorf("ordering violated: %+v", byModel)
+	}
+}
+
+// TestTable2Shape asserts the content-quality claims on ChatGPT:
+// Galois beats plain QA overall; selections ≫ aggregates ≫ joins≈0 for
+// the SQL path; the fixed CoT prompt does not beat Galois (Section 5:
+// "well-engineered chain-of-thought NL prompts do not lead to better
+// results than Galois").
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.Table2(context.Background(), simllm.ChatGPT, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Table2Row{}
+	for _, row := range rows {
+		byMethod[row.Method] = row
+	}
+	rm, tm, tmc := byMethod["R_M"], byMethod["T_M"], byMethod["T_M^C"]
+
+	if rm.All <= tm.All {
+		t.Errorf("Galois (%.1f) must beat plain QA (%.1f) overall", rm.All, tm.All)
+	}
+	if rm.All <= tmc.All {
+		t.Errorf("Galois (%.1f) must beat CoT QA (%.1f) overall", rm.All, tmc.All)
+	}
+	if !(rm.Selections > rm.Aggregates && rm.Aggregates > rm.Joins) {
+		t.Errorf("class ordering violated for R_M: %.1f/%.1f/%.1f", rm.Selections, rm.Aggregates, rm.Joins)
+	}
+	if rm.Joins > 10 {
+		t.Errorf("joins fail on ChatGPT (surface-form mismatches), got %.1f", rm.Joins)
+	}
+	if rm.Selections < 60 {
+		t.Errorf("selections are the easy class (paper: 80%%), got %.1f", rm.Selections)
+	}
+	if tmc.All > tm.All {
+		t.Errorf("the fixed CoT prompt should not beat plain QA overall (paper: 41 vs 44), got %.1f vs %.1f", tmc.All, tm.All)
+	}
+	if tmc.Joins > 1 {
+		t.Errorf("CoT joins are 0 in the paper, got %.1f", tmc.Joins)
+	}
+}
+
+// TestLatencyShape: tens-of-prompts per query with skew (the paper reports
+// ~110 batched prompts and a skewed distribution).
+func TestLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	stats, err := r.Latency(context.Background(), simllm.GPT3, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AvgPrompts < 10 {
+		t.Errorf("avg prompts = %.0f, expected tens per query", stats.AvgPrompts)
+	}
+	if stats.MaxPrompts < int(2*stats.AvgPrompts) {
+		t.Errorf("distribution should be skewed: max %d vs avg %.0f", stats.MaxPrompts, stats.AvgPrompts)
+	}
+	if stats.AvgLatency.Seconds() < 1 {
+		t.Errorf("simulated latency = %s, expected seconds per query", stats.AvgLatency)
+	}
+}
+
+// TestAblationPushdownShape: merging selections into the list prompt must
+// slash prompt counts (the Section 6 motivation) without collapsing
+// accuracy.
+func TestAblationPushdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.AblationPushdown(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, merged := rows[0], rows[1]
+	if merged.AvgPrompts >= staged.AvgPrompts/3 {
+		t.Errorf("pushdown should cut prompts hard: %.1f vs %.1f", merged.AvgPrompts, staged.AvgPrompts)
+	}
+	if merged.CellMatch < staged.CellMatch-20 {
+		t.Errorf("pushdown accuracy collapsed: %.1f vs %.1f", merged.CellMatch, staged.CellMatch)
+	}
+}
+
+// TestAblationCleaningShape: disabling normalization/type enforcement must
+// hurt content quality (Section 4: "a simple but crucial step").
+func TestAblationCleaningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.AblationCleaning(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := rows[0], rows[1]
+	if on.CellMatch <= off.CellMatch {
+		t.Errorf("cleaning must help: on=%.1f off=%.1f", on.CellMatch, off.CellMatch)
+	}
+}
+
+// TestAblationJoinShape: canonicalizing surface forms must repair the
+// broken joins.
+func TestAblationJoinShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.AblationJoinFormats(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, canon := rows[0], rows[1]
+	if raw.CellMatch > 15 {
+		t.Errorf("raw joins should be near zero, got %.1f", raw.CellMatch)
+	}
+	if canon.CellMatch < raw.CellMatch+20 {
+		t.Errorf("canonicalization should repair joins: %.1f vs %.1f", canon.CellMatch, raw.CellMatch)
+	}
+}
+
+// TestAblationMoreResultsShape: cardinality improves monotonically-ish
+// with the iteration budget and saturates.
+func TestAblationMoreResultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.AblationMoreResults(context.Background(), simllm.GPT3, []int{1, 4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].CellMatch < rows[1].CellMatch) {
+		t.Errorf("one iteration must truncate hard: %.1f vs %.1f", rows[0].CellMatch, rows[1].CellMatch)
+	}
+	if rows[2].CellMatch < rows[1].CellMatch-5 {
+		t.Errorf("more budget must not hurt: %.1f vs %.1f", rows[2].CellMatch, rows[1].CellMatch)
+	}
+}
+
+// TestDeterminismAcrossRunners: the whole benchmark is reproducible
+// bit-for-bit for a fixed seed.
+func TestDeterminismAcrossRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	ctx := context.Background()
+	a := runner(t)
+	b := runner(t)
+	ra, err := a.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra[0].DiffPercent != rb[0].DiffPercent {
+		t.Errorf("non-deterministic benchmark: %.3f vs %.3f", ra[0].DiffPercent, rb[0].DiffPercent)
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simllm"
+)
+
+// TestPortabilityShape: stronger model pairs overlap more than pairs
+// involving a small model (Section 6, Portability).
+func TestPortabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	cells, err := r.Portability(context.Background(),
+		[]simllm.Profile{simllm.Flan, simllm.GPT3, simllm.ChatGPT}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPair := map[string]float64{}
+	for _, c := range cells {
+		byPair[c.ModelA+"/"+c.ModelB] = c.Overlap
+		if c.Overlap >= 100 {
+			t.Errorf("%s vs %s overlap %.1f — models must disagree somewhere", c.ModelA, c.ModelB, c.Overlap)
+		}
+		if c.Overlap <= 0 {
+			t.Errorf("%s vs %s overlap %.1f — models must agree somewhere", c.ModelA, c.ModelB, c.Overlap)
+		}
+	}
+	if byPair["flan/gpt3"] >= byPair["gpt3/chatgpt"] {
+		t.Errorf("big models should agree more with each other (flan/gpt3=%.1f, gpt3/chatgpt=%.1f)",
+			byPair["flan/gpt3"], byPair["gpt3/chatgpt"])
+	}
+}
+
+// TestSchemaFreedom: the two formulations should be close but not
+// identical — the equivalence property a DBMS guarantees does not hold
+// over an LLM (Section 6, Schema-less querying).
+func TestSchemaFreedom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	res, err := r.SchemaFreedom(context.Background(), simllm.GPT3, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Q1Rows == 0 || res.Q2Rows == 0 {
+		t.Fatalf("both formulations must return rows: %+v", res)
+	}
+	if res.MutualOverlap < 20 {
+		t.Errorf("formulations should agree substantially (same beliefs), got %.1f%%", res.MutualOverlap)
+	}
+	if res.MutualOverlap >= 100 {
+		t.Errorf("perfect equivalence is not expected over an LLM, got %.1f%%", res.MutualOverlap)
+	}
+}
+
+// TestAblationVerificationRuns: verification trades recall for precision;
+// at minimum it must run and spend extra prompts.
+func TestAblationVerificationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	r := runner(t)
+	rows, err := r.AblationVerification(context.Background(), simllm.ChatGPT, simllm.GPT3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, verified := rows[0], rows[1]
+	if verified.AvgPrompts <= plain.AvgPrompts {
+		t.Errorf("verification must issue extra prompts: %.1f vs %.1f", verified.AvgPrompts, plain.AvgPrompts)
+	}
+}

@@ -1,0 +1,221 @@
+// Package core implements the Galois engine — the paper's primary
+// contribution: executing SQL over data stored in a pre-trained LLM,
+// optionally combined with tables in a traditional DBMS (hybrid queries).
+//
+// A query runs through four steps, mirroring Section 4's workflow:
+//
+//  1. parse + plan: the SQL is parsed and a logical plan built over the
+//     user-provided schema (the plan is the chain-of-thought
+//     decomposition);
+//  2. optimize + lower: relational rewrites, then LLM-specific lowering
+//     injecting prompt operators (key scan, attribute fetch, boolean
+//     filter);
+//  3. execute: prompt operators call the LLM, traditional operators
+//     combine the materialized tuples;
+//  4. clean: every LLM answer is normalized and type-checked before it
+//     becomes a cell value.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/clean"
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/memdb"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+	"repro/internal/sql/parser"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Optimizer selects plan rewrites, including the prompt-pushdown
+	// ablation.
+	Optimizer optimizer.Options
+	// Clean selects answer normalizations, including the type-enforcement
+	// and code-canonicalization ablations.
+	Clean clean.Options
+	// MaxScanIterations caps the "return more results" loop per leaf.
+	MaxScanIterations int
+	// BatchWorkers bounds concurrent prompt execution in batched
+	// operators.
+	BatchWorkers int
+	// DefaultSource decides where unqualified tables live when both an
+	// LLM binding and a DB table exist: "LLM" (default) or "DB".
+	DefaultSource string
+	// Verifier, when non-nil, double-checks every fetched attribute value
+	// with a second model and NULLs out disagreements (Section 6,
+	// "Knowledge of the Unknown").
+	Verifier llm.Client
+	// VerifyTolerance is the relative error under which two numeric
+	// answers agree (0 means the 10% default).
+	VerifyTolerance float64
+}
+
+// DefaultOptions is the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Optimizer:         optimizer.Defaults(),
+		Clean:             clean.DefaultOptions(),
+		MaxScanIterations: 12,
+		BatchWorkers:      8,
+		DefaultSource:     "LLM",
+	}
+}
+
+// Engine executes SQL over an LLM and (optionally) a relational store.
+type Engine struct {
+	client  llm.Client
+	db      *memdb.DB
+	llmDefs map[string]*schema.TableDef
+	opts    Options
+	builder *prompt.Builder
+}
+
+// New builds an engine over the given LLM client.
+func New(client llm.Client, opts Options) *Engine {
+	if opts.MaxScanIterations <= 0 {
+		opts.MaxScanIterations = 12
+	}
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = 8
+	}
+	if opts.DefaultSource == "" {
+		opts.DefaultSource = "LLM"
+	}
+	return &Engine{
+		client:  client,
+		llmDefs: map[string]*schema.TableDef{},
+		opts:    opts,
+		builder: prompt.NewBuilder(),
+	}
+}
+
+// AttachDB connects a relational store for DB-bound (and hybrid) queries.
+func (e *Engine) AttachDB(db *memdb.DB) { e.db = db }
+
+// BindLLMTable declares a relation whose tuples live in the LLM. The
+// definition supplies the schema and the single-attribute key the paper
+// assumes (Section 3).
+func (e *Engine) BindLLMTable(def *schema.TableDef) error {
+	if def.KeyIndex() < 0 {
+		return fmt.Errorf("core: table %s: key column %q not in schema", def.Name, def.KeyColumn)
+	}
+	e.llmDefs[strings.ToLower(def.Name)] = def
+	return nil
+}
+
+// ResolveTable implements logical.Resolver. Explicit LLM./DB. qualifiers
+// win; otherwise DefaultSource breaks ties between an LLM binding and a
+// DB table of the same name.
+func (e *Engine) ResolveTable(name, explicit string) (*schema.TableDef, string, error) {
+	llmDef := e.llmDefs[strings.ToLower(name)]
+	var dbDef *schema.TableDef
+	if e.db != nil {
+		dbDef = e.db.Table(name)
+	}
+	switch explicit {
+	case "LLM":
+		if llmDef == nil {
+			return nil, "", fmt.Errorf("core: no LLM binding for table %s", name)
+		}
+		return llmDef, "LLM", nil
+	case "DB":
+		if dbDef == nil {
+			return nil, "", fmt.Errorf("core: no DB table %s", name)
+		}
+		return dbDef, "DB", nil
+	}
+	switch {
+	case llmDef != nil && dbDef != nil:
+		if e.opts.DefaultSource == "DB" {
+			return dbDef, "DB", nil
+		}
+		return llmDef, "LLM", nil
+	case llmDef != nil:
+		return llmDef, "LLM", nil
+	case dbDef != nil:
+		return dbDef, "DB", nil
+	default:
+		return nil, "", fmt.Errorf("core: unknown table %s", name)
+	}
+}
+
+// Plan parses, plans and optimizes a query, returning the lowered logical
+// plan (what EXPLAIN shows).
+func (e *Engine) Plan(sql string) (logical.Node, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := logical.Build(sel, e)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Optimize(plan, e.opts.Optimizer)
+}
+
+// Explain renders the optimized plan as an indented tree.
+func (e *Engine) Explain(sql string) (string, error) {
+	plan, err := e.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return logical.Explain(plan), nil
+}
+
+// Report summarizes one query execution.
+type Report struct {
+	Stats llm.Stats
+	Plan  string
+}
+
+// Query executes sql and returns the result relation plus an execution
+// report (prompt counts, simulated latency, the plan used).
+func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Report, error) {
+	plan, err := e.Plan(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var env *physical.Env
+	if e.db != nil {
+		env = &physical.Env{Data: e.db.Relation}
+	}
+	op, err := physical.Compile(plan, env)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	recorder := llm.NewRecorder(e.client)
+	var verifyRecorder *llm.Recorder
+	var verifier llm.Client
+	if e.opts.Verifier != nil {
+		verifyRecorder = llm.NewRecorder(e.opts.Verifier)
+		verifier = verifyRecorder
+	}
+	pctx := &physical.Context{
+		Ctx:               ctx,
+		Client:            recorder,
+		Prompts:           e.builder,
+		Cleaner:           clean.New(e.opts.Clean),
+		MaxScanIterations: e.opts.MaxScanIterations,
+		BatchWorkers:      e.opts.BatchWorkers,
+		Verifier:          verifier,
+		VerifyTolerance:   e.opts.VerifyTolerance,
+	}
+	rel, err := physical.Run(pctx, op)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan)}
+	if verifyRecorder != nil {
+		rep.Stats.Add(verifyRecorder.Stats())
+	}
+	return rel, rep, nil
+}

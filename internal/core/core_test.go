@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/memdb"
+	"repro/internal/schema"
+	"repro/internal/simllm"
+	"repro/internal/value"
+	"repro/internal/world"
+)
+
+func testEngine(t *testing.T, p simllm.Profile) (*Engine, *world.World) {
+	t.Helper()
+	w := world.Build()
+	model := simllm.New(p, w, 1)
+	e := New(model, DefaultOptions())
+	for _, name := range []string{"country", "city", "mayor"} {
+		if err := e.BindLLMTable(w.Table(name).Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := memdb.New()
+	if err := db.LoadRelation(w.Table("employees").Def, w.Relation("employees")); err != nil {
+		t.Fatal(err)
+	}
+	// Also load country into the DB so the precedence rules are testable.
+	if err := db.LoadRelation(w.Table("country").Def, w.Relation("country")); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachDB(db)
+	return e, w
+}
+
+func TestBindRequiresKey(t *testing.T) {
+	e := New(nil, DefaultOptions())
+	err := e.BindLLMTable(&schema.TableDef{
+		Name:      "bad",
+		KeyColumn: "missing",
+		Schema:    schema.New(schema.Column{Name: "x", Type: value.KindInt}),
+	})
+	if err == nil {
+		t.Error("binding a table whose key is not in the schema must fail")
+	}
+}
+
+func TestResolvePrecedence(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+
+	// Unqualified: LLM wins by default.
+	_, source, err := e.ResolveTable("country", "")
+	if err != nil || source != "LLM" {
+		t.Errorf("default source = %q, %v", source, err)
+	}
+	// Explicit DB qualifier.
+	_, source, err = e.ResolveTable("country", "DB")
+	if err != nil || source != "DB" {
+		t.Errorf("explicit DB = %q, %v", source, err)
+	}
+	// DB-only table resolves to DB.
+	_, source, err = e.ResolveTable("employees", "")
+	if err != nil || source != "DB" {
+		t.Errorf("employees = %q, %v", source, err)
+	}
+	// Explicit LLM for a DB-only table fails.
+	if _, _, err := e.ResolveTable("employees", "LLM"); err == nil {
+		t.Error("employees has no LLM binding")
+	}
+	if _, _, err := e.ResolveTable("nothing", ""); err == nil {
+		t.Error("unknown table must fail")
+	}
+
+	// DefaultSource flips the tie-break.
+	opts := DefaultOptions()
+	opts.DefaultSource = "DB"
+	e2 := New(nil, opts)
+	e2.AttachDB(mustDB(t))
+	if err := e2.BindLLMTable(world.Build().Table("country").Def); err != nil {
+		t.Fatal(err)
+	}
+	_, source, err = e2.ResolveTable("country", "")
+	if err != nil || source != "DB" {
+		t.Errorf("DefaultSource=DB tie-break = %q, %v", source, err)
+	}
+}
+
+func mustDB(t *testing.T) *memdb.DB {
+	t.Helper()
+	w := world.Build()
+	db := memdb.New()
+	if err := db.LoadRelation(w.Table("country").Def, w.Relation("country")); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+	rel, rep, err := e.Query(context.Background(), "SELECT name FROM country WHERE continent = 'Europe'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() == 0 {
+		t.Error("GPT-3 should list European countries")
+	}
+	if rep.Stats.Prompts == 0 {
+		t.Error("LLM usage must be recorded")
+	}
+	if !strings.Contains(rep.Plan, "LLMKeyScan") {
+		t.Errorf("report plan missing LLM operators:\n%s", rep.Plan)
+	}
+	// The output schema is fixed by construction (Section 5: "all output
+	// relations have the expected schema").
+	if rel.Schema.Len() != 1 || !strings.EqualFold(rel.Schema.Columns[0].Name, "name") {
+		t.Errorf("output schema = %v", rel.Schema)
+	}
+}
+
+func TestHybridQuery(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+	rel, _, err := e.Query(context.Background(),
+		"SELECT c.gdp, AVG(e.salary) FROM LLM.country c, DB.Employees e WHERE c.code = e.countryCode GROUP BY e.countryCode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.Len() != 2 {
+		t.Errorf("hybrid schema = %v", rel.Schema)
+	}
+	if rel.Cardinality() == 0 {
+		t.Error("hybrid join should produce groups on gpt3")
+	}
+}
+
+func TestExplainShowsLowering(t *testing.T) {
+	e, _ := testEngine(t, simllm.ChatGPT)
+	plan, err := e.Explain("SELECT name, population FROM city WHERE population > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LLMKeyScan", "LLMFilter", "LLMFetchAttr", "Project"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %s:\n%s", want, plan)
+		}
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+	if _, _, err := e.Query(context.Background(), "SELEC nonsense"); err == nil {
+		t.Error("parse errors must surface")
+	}
+	if _, err := e.Explain("SELECT x FROM nothing"); err == nil {
+		t.Error("unknown tables must surface")
+	}
+}
+
+func TestDeterministicQueries(t *testing.T) {
+	e, _ := testEngine(t, simllm.ChatGPT)
+	ctx := context.Background()
+	sql := "SELECT name FROM country WHERE population > 100000000"
+	a, _, err := e.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := e.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cardinality() != b.Cardinality() {
+		t.Fatalf("non-deterministic: %d vs %d rows", a.Cardinality(), b.Cardinality())
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0].String() != b.Rows[i][0].String() {
+			t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

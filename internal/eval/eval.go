@@ -1,0 +1,152 @@
+// Package eval implements the paper's two evaluation dimensions
+// (Section 5): result cardinality relative to the ground truth, and
+// cell-value content matching with tuple mapping and a 5% relative-error
+// tolerance for numbers.
+package eval
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/clean"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// CardinalityRatio computes f = 2·|R_D| / (|R_D| + |R_M|); f = 1 when the
+// cardinalities agree, > 1 when the method returned fewer tuples than the
+// ground truth.
+func CardinalityRatio(rd, rm int) float64 {
+	if rd+rm == 0 {
+		return 1
+	}
+	return 2 * float64(rd) / float64(rd+rm)
+}
+
+// CardinalityDiffPercent reports 1−f as a percentage (Table 1's metric):
+// negative when the method misses tuples, positive when it produces extra.
+func CardinalityDiffPercent(rd, rm int) float64 {
+	return (1 - CardinalityRatio(rd, rm)) * 100
+}
+
+// CellOptions configure content matching.
+type CellOptions struct {
+	// NumericTolerance is the maximum relative error for a numeric cell to
+	// count as correct (the paper uses 5%).
+	NumericTolerance float64
+	// Canon, when non-nil, maps alias spellings to canonical ones before
+	// comparing strings — the automation of the paper's manual tuple
+	// mapping, which a human would do implicitly ("USA" is "United
+	// States").
+	Canon *clean.Canonicalizer
+}
+
+// DefaultCellOptions matches the paper: 5% tolerance, no canonicalizer.
+func DefaultCellOptions() CellOptions { return CellOptions{NumericTolerance: 0.05} }
+
+// MatchCell reports whether a result cell matches a ground-truth cell.
+func MatchCell(truth, got value.Value, opts CellOptions) bool {
+	if truth.IsNull() {
+		return got.IsNull()
+	}
+	if got.IsNull() {
+		return false
+	}
+	tf, tNum := truth.Numeric()
+	gf, gNum := got.Numeric()
+	// A numeric truth may come back as text ("2.7 million"); parse it.
+	if tNum && !gNum && got.Kind() == value.KindString {
+		if f, ok := clean.ParseNumber(got.AsString()); ok {
+			gf, gNum = f, true
+		}
+	}
+	if tNum && gNum {
+		if truth.Kind() == value.KindDate || got.Kind() == value.KindDate {
+			// Dates must match the day exactly.
+			return tf == gf
+		}
+		if tf == 0 {
+			return gf == 0
+		}
+		return math.Abs(gf-tf)/math.Abs(tf) <= opts.NumericTolerance
+	}
+	ts, gs := normString(truth.String(), opts), normString(got.String(), opts)
+	return ts == gs
+}
+
+func normString(s string, opts CellOptions) string {
+	s = strings.TrimSpace(s)
+	if opts.Canon != nil {
+		s = opts.Canon.Apply(s)
+	}
+	return strings.ToLower(s)
+}
+
+// ContentResult is the outcome of matching one result against one ground
+// truth.
+type ContentResult struct {
+	TotalCells   int // cells in the ground truth (rows × columns)
+	MatchedCells int
+	MatchedRows  int // rows with every cell matched
+}
+
+// Percent is the cell-match percentage (Table 2's metric).
+func (c ContentResult) Percent() float64 {
+	if c.TotalCells == 0 {
+		return 0
+	}
+	return 100 * float64(c.MatchedCells) / float64(c.TotalCells)
+}
+
+// MatchContent maps result tuples onto ground-truth tuples greedily (each
+// result row used at most once, best match first) and counts matching
+// cells. Column order must agree; the engines guarantee this for R_M
+// because the output schema is fixed by construction, and the QA parser
+// aligns to the expected schema.
+func MatchContent(truth, got *schema.Relation, opts CellOptions) ContentResult {
+	res := ContentResult{}
+	cols := truth.Schema.Len()
+	res.TotalCells = len(truth.Rows) * cols
+	if cols == 0 || len(truth.Rows) == 0 {
+		return res
+	}
+
+	used := make([]bool, len(got.Rows))
+	for _, trow := range truth.Rows {
+		bestIdx, bestScore := -1, 0
+		for gi, grow := range got.Rows {
+			if used[gi] || len(grow) < cols {
+				continue
+			}
+			score := 0
+			for c := 0; c < cols; c++ {
+				if MatchCell(trow[c], grow[c], opts) {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore, bestIdx = score, gi
+			}
+		}
+		if bestIdx >= 0 {
+			used[bestIdx] = true
+			res.MatchedCells += bestScore
+			if bestScore == cols {
+				res.MatchedRows++
+			}
+		}
+	}
+	return res
+}
+
+// Mean averages a slice; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

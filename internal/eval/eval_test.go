@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clean"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestCardinalityPaperExample reproduces the worked example from
+// Section 5: |R_D| = 3, |R_M| = 1 → f = 6/4 = 1.5.
+func TestCardinalityPaperExample(t *testing.T) {
+	if f := CardinalityRatio(3, 1); f != 1.5 {
+		t.Errorf("f = %v, want 1.5", f)
+	}
+	if d := CardinalityDiffPercent(3, 1); d != -50 {
+		t.Errorf("1-f%% = %v, want -50", d)
+	}
+}
+
+func TestCardinalityBounds(t *testing.T) {
+	if f := CardinalityRatio(5, 5); f != 1 {
+		t.Errorf("equal cardinalities: f = %v", f)
+	}
+	if d := CardinalityDiffPercent(5, 10); d <= 0 {
+		t.Errorf("extra rows should be positive: %v", d)
+	}
+	if f := CardinalityRatio(0, 0); f != 1 {
+		t.Errorf("empty/empty: f = %v", f)
+	}
+	// f stays within [0, 2].
+	for _, pair := range [][2]int{{1, 100}, {100, 1}, {0, 7}, {7, 0}} {
+		f := CardinalityRatio(pair[0], pair[1])
+		if f < 0 || f > 2 {
+			t.Errorf("f(%v) = %v out of [0,2]", pair, f)
+		}
+	}
+}
+
+func TestMatchCellNumericTolerance(t *testing.T) {
+	opts := DefaultCellOptions()
+	if !MatchCell(value.Int(100), value.Int(104), opts) {
+		t.Error("4% error is within tolerance")
+	}
+	if MatchCell(value.Int(100), value.Int(106), opts) {
+		t.Error("6% error is out of tolerance")
+	}
+	if !MatchCell(value.Float(2.0), value.Int(2), opts) {
+		t.Error("kind mismatch with equal numbers should match")
+	}
+	if !MatchCell(value.Int(0), value.Int(0), opts) {
+		t.Error("zero matches zero")
+	}
+	if MatchCell(value.Int(0), value.Int(1), opts) {
+		t.Error("zero does not match one")
+	}
+}
+
+func TestMatchCellNumericText(t *testing.T) {
+	opts := DefaultCellOptions()
+	if !MatchCell(value.Int(2700000), value.Text("2.7 million"), opts) {
+		t.Error("numeric surface form should match through parsing")
+	}
+	if MatchCell(value.Int(2700000), value.Text("nonsense"), opts) {
+		t.Error("garbage must not match a number")
+	}
+}
+
+func TestMatchCellStringsAndDates(t *testing.T) {
+	opts := DefaultCellOptions()
+	if !MatchCell(value.Text("Rome"), value.Text("  rome "), opts) {
+		t.Error("strings match case-insensitively after trimming")
+	}
+	d1, d2 := value.Date(1961, 5, 8), value.Date(1961, 5, 9)
+	if MatchCell(d1, d2, opts) {
+		t.Error("dates must match exactly")
+	}
+	if !MatchCell(d1, value.Date(1961, 5, 8), opts) {
+		t.Error("equal dates match")
+	}
+	if !MatchCell(value.Null(), value.Null(), opts) {
+		t.Error("NULL matches NULL in content scoring")
+	}
+	if MatchCell(value.Text("x"), value.Null(), opts) {
+		t.Error("NULL does not match a value")
+	}
+}
+
+func TestMatchCellCanonicalizer(t *testing.T) {
+	opts := DefaultCellOptions()
+	opts.Canon = clean.NewCanonicalizer(map[string]string{"IT": "ITA", "usa": "United States"})
+	if !MatchCell(value.Text("ITA"), value.Text("IT"), opts) {
+		t.Error("canonicalizer should map IT to ITA")
+	}
+	if !MatchCell(value.Text("United States"), value.Text("USA"), opts) {
+		t.Error("canonicalizer should map USA")
+	}
+}
+
+func rel(cols int, rows ...[]value.Value) *schema.Relation {
+	s := schema.New()
+	for i := 0; i < cols; i++ {
+		s.Columns = append(s.Columns, schema.Column{Name: string(rune('a' + i)), Type: value.KindString})
+	}
+	r := schema.NewRelation(s)
+	for _, row := range rows {
+		r.Append(schema.Tuple(row))
+	}
+	return r
+}
+
+func TestMatchContentPerfect(t *testing.T) {
+	truth := rel(2,
+		[]value.Value{value.Text("Rome"), value.Int(1)},
+		[]value.Value{value.Text("Paris"), value.Int(2)},
+	)
+	res := MatchContent(truth, truth.Clone(), DefaultCellOptions())
+	if res.Percent() != 100 || res.MatchedRows != 2 {
+		t.Errorf("perfect match = %+v", res)
+	}
+}
+
+func TestMatchContentPartialAndOrderInsensitive(t *testing.T) {
+	truth := rel(2,
+		[]value.Value{value.Text("Rome"), value.Int(1)},
+		[]value.Value{value.Text("Paris"), value.Int(2)},
+	)
+	// Rows permuted, one cell wrong.
+	got := rel(2,
+		[]value.Value{value.Text("Paris"), value.Int(9)},
+		[]value.Value{value.Text("Rome"), value.Int(1)},
+	)
+	res := MatchContent(truth, got, DefaultCellOptions())
+	if res.MatchedCells != 3 || res.TotalCells != 4 {
+		t.Errorf("partial = %+v", res)
+	}
+	if math.Abs(res.Percent()-75) > 1e-9 {
+		t.Errorf("percent = %v", res.Percent())
+	}
+}
+
+func TestMatchContentNoDoubleUse(t *testing.T) {
+	truth := rel(1,
+		[]value.Value{value.Text("Rome")},
+		[]value.Value{value.Text("Rome")},
+	)
+	got := rel(1, []value.Value{value.Text("Rome")})
+	res := MatchContent(truth, got, DefaultCellOptions())
+	if res.MatchedCells != 1 {
+		t.Errorf("one result row must match at most one truth row: %+v", res)
+	}
+}
+
+func TestMatchContentMissingRows(t *testing.T) {
+	truth := rel(1,
+		[]value.Value{value.Text("a")},
+		[]value.Value{value.Text("b")},
+		[]value.Value{value.Text("c")},
+		[]value.Value{value.Text("d")},
+	)
+	got := rel(1, []value.Value{value.Text("a")})
+	res := MatchContent(truth, got, DefaultCellOptions())
+	if res.Percent() != 25 {
+		t.Errorf("missing rows count against the score: %v", res.Percent())
+	}
+}
+
+func TestMatchContentEmpty(t *testing.T) {
+	truth := rel(1)
+	got := rel(1, []value.Value{value.Text("x")})
+	res := MatchContent(truth, got, DefaultCellOptions())
+	if res.Percent() != 0 {
+		t.Errorf("empty truth = %v", res.Percent())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) = 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package llm defines the interface Galois uses to talk to a large
+// language model, plus instrumentation (prompt/token accounting, a
+// simulated latency model matching the paper's reported ~110 batched
+// prompts and ~20 s per query) and a bounded-concurrency batch helper.
+//
+// The engine never sees anything but this interface: text prompt in, text
+// completion out. The simulated models live in package simllm; a real
+// HTTP-backed client could implement the same interface.
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a large language model endpoint.
+type Client interface {
+	// Name identifies the model ("gpt3", "chatgpt", ...).
+	Name() string
+	// Complete returns the model's completion for a text prompt.
+	Complete(ctx context.Context, prompt string) (string, error)
+}
+
+// Stats accumulates usage across one query execution.
+type Stats struct {
+	Prompts          int
+	PromptTokens     int
+	CompletionTokens int
+	// SimulatedLatency is the wall-clock the prompts would have cost on a
+	// real API, assuming the batching the recorder observed. Batched
+	// prompts (issued through CompleteBatch) overlap; sequential prompts
+	// add up.
+	SimulatedLatency time.Duration
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Prompts += other.Prompts
+	s.PromptTokens += other.PromptTokens
+	s.CompletionTokens += other.CompletionTokens
+	s.SimulatedLatency += other.SimulatedLatency
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("prompts=%d prompt_tokens=%d completion_tokens=%d simulated_latency=%s",
+		s.Prompts, s.PromptTokens, s.CompletionTokens, s.SimulatedLatency.Round(time.Millisecond))
+}
+
+// CountTokens approximates a tokenizer with whitespace splitting; good
+// enough for accounting and latency simulation.
+func CountTokens(s string) int { return len(strings.Fields(s)) }
+
+// Latency model constants, set so that a typical Galois query
+// (~110 prompts, mostly batched) lands near the paper's ~20 s.
+const (
+	perPromptLatency = 420 * time.Millisecond
+	perTokenLatency  = 35 * time.Millisecond
+)
+
+// promptLatency estimates the API latency of one prompt.
+func promptLatency(promptTokens, completionTokens int) time.Duration {
+	return perPromptLatency + time.Duration(completionTokens)*perTokenLatency +
+		time.Duration(promptTokens)*perTokenLatency/10
+}
+
+// Recorder wraps a Client and accumulates Stats. It is safe for
+// concurrent use. Batches issued through CompleteBatch record the maximum
+// latency of the batch (prompts overlap); direct Complete calls add up.
+type Recorder struct {
+	inner Client
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewRecorder wraps client.
+func NewRecorder(client Client) *Recorder { return &Recorder{inner: client} }
+
+// Name implements Client.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Complete implements Client, recording usage.
+func (r *Recorder) Complete(ctx context.Context, prompt string) (string, error) {
+	out, err := r.inner.Complete(ctx, prompt)
+	if err != nil {
+		return "", err
+	}
+	pt, ct := CountTokens(prompt), CountTokens(out)
+	r.mu.Lock()
+	r.stats.Prompts++
+	r.stats.PromptTokens += pt
+	r.stats.CompletionTokens += ct
+	r.stats.SimulatedLatency += promptLatency(pt, ct)
+	r.mu.Unlock()
+	return out, nil
+}
+
+// Stats returns a snapshot of the accumulated usage.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Reset clears the accumulated usage.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = Stats{}
+}
+
+// recordBatch accounts a batch of prompts: tokens add up, latency is the
+// slowest prompt of each wave of `workers` concurrent calls.
+func (r *Recorder) recordBatch(prompts, outputs []string, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	var totalPT, totalCT int
+	var maxLat time.Duration
+	for i := range prompts {
+		pt, ct := CountTokens(prompts[i]), CountTokens(outputs[i])
+		totalPT += pt
+		totalCT += ct
+		if l := promptLatency(pt, ct); l > maxLat {
+			maxLat = l
+		}
+	}
+	waves := (len(prompts) + workers - 1) / workers
+	r.mu.Lock()
+	r.stats.Prompts += len(prompts)
+	r.stats.PromptTokens += totalPT
+	r.stats.CompletionTokens += totalCT
+	r.stats.SimulatedLatency += time.Duration(waves) * maxLat
+	r.mu.Unlock()
+}
+
+// CompleteBatch runs the prompts through the client with at most workers
+// concurrent calls and returns completions positionally aligned with the
+// prompts. The first error cancels the remaining work. When client is a
+// *Recorder the batch is accounted with overlapping latency.
+func CompleteBatch(ctx context.Context, client Client, prompts []string, workers int) ([]string, error) {
+	if len(prompts) == 0 {
+		return nil, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(prompts) {
+		workers = len(prompts)
+	}
+
+	// Unwrap the recorder: the batch is accounted once at the end so the
+	// latency model can overlap concurrent prompts.
+	rec, _ := client.(*Recorder)
+	raw := client
+	if rec != nil {
+		raw = rec.inner
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outputs := make([]string, len(prompts))
+	errs := make([]error, len(prompts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, err := raw.Complete(ctx, prompts[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				outputs[i] = out
+			}
+		}()
+	}
+	for i := range prompts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if rec != nil {
+		rec.recordBatch(prompts, outputs, workers)
+	}
+	return outputs, nil
+}

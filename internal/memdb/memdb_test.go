@@ -1,0 +1,166 @@
+package memdb
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/world"
+)
+
+func setup(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	ctx := context.Background()
+	script := `
+CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT);
+INSERT INTO t VALUES (1, 'Ann', 3.5), (2, 'Bob', 2.0), (3, 'Cid', 4.5);
+`
+	if _, err := db.ExecScript(ctx, script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := setup(t)
+	rel, err := db.QuerySQL(context.Background(), "SELECT name FROM t WHERE score > 3 ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 || rel.Rows[0][0].AsString() != "Ann" {
+		t.Errorf("result = %v", rel.Rows)
+	}
+}
+
+func TestInsertColumnOrder(t *testing.T) {
+	db := setup(t)
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, "INSERT INTO t (score, id, name) VALUES (1.0, 4, 'Dee')"); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.QuerySQL(ctx, "SELECT score FROM t WHERE id = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 1 || rel.Rows[0][0].AsFloat() != 1.0 {
+		t.Errorf("reordered insert = %v", rel.Rows)
+	}
+}
+
+func TestInsertCoercion(t *testing.T) {
+	db := setup(t)
+	ctx := context.Background()
+	// Integer literal into a FLOAT column coerces.
+	if _, err := db.Exec(ctx, "INSERT INTO t VALUES (5, 'Eli', 4)"); err != nil {
+		t.Fatal(err)
+	}
+	// Fractional into INT fails.
+	if _, err := db.Exec(ctx, "INSERT INTO t VALUES (6.5, 'Fay', 1.0)"); err == nil {
+		t.Error("fractional id must fail coercion")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := setup(t)
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE t (x INT)"); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO missing VALUES (1)"); err == nil {
+		t.Error("insert into missing table must fail")
+	}
+	if _, err := db.QuerySQL(ctx, "SELECT zzz FROM t"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := db.QuerySQL(ctx, "SELECT * FROM missing"); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO t (id) VALUES (9)"); err == nil {
+		t.Error("partial column list must fail")
+	}
+}
+
+func TestResolveTable(t *testing.T) {
+	db := setup(t)
+	def, source, err := db.ResolveTable("T", "")
+	if err != nil || source != "DB" || def.Name != "t" {
+		t.Errorf("ResolveTable = %v %q %v", def, source, err)
+	}
+	if _, _, err := db.ResolveTable("none", ""); err == nil {
+		t.Error("missing table must fail")
+	}
+}
+
+func TestLoadRelationAndTables(t *testing.T) {
+	db := New()
+	def := &schema.TableDef{
+		Name:      "k",
+		KeyColumn: "a",
+		Schema:    schema.New(schema.Column{Name: "a", Type: value.KindInt}),
+	}
+	rel := schema.NewRelation(def.Schema.Clone())
+	rel.Append(schema.Tuple{value.Int(7)})
+	if err := db.LoadRelation(def, rel); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "k" {
+		t.Errorf("Tables = %v", got)
+	}
+	out, err := db.Relation("k")
+	if err != nil || out.Cardinality() != 1 {
+		t.Errorf("Relation = %v, %v", out, err)
+	}
+}
+
+// TestGroundTruthQueries runs representative benchmark-style queries over
+// the full world load to pin exact ground-truth values.
+func TestGroundTruthQueries(t *testing.T) {
+	w := world.Build()
+	db := New()
+	for _, name := range w.Tables() {
+		if err := db.LoadRelation(w.Table(name).Def, w.Relation(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	rel, err := db.QuerySQL(ctx, "SELECT COUNT(*) FROM country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0].AsInt() != 48 {
+		t.Errorf("COUNT(country) = %v", rel.Rows[0][0])
+	}
+
+	rel, err = db.QuerySQL(ctx, "SELECT name FROM country WHERE continent = 'Europe' AND population > 50000000 ORDER BY population DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() == 0 || rel.Rows[0][0].AsString() != "Russia" {
+		t.Errorf("big European countries = %v", rel.Rows)
+	}
+
+	rel, err = db.QuerySQL(ctx, "SELECT c.name, m.election_year FROM city c, mayor m WHERE c.mayor = m.name AND m.election_year = 2019")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() == 0 {
+		t.Error("Figure 1 ground truth should be non-empty")
+	}
+	for _, row := range rel.Rows {
+		if row[1].AsInt() != 2019 {
+			t.Errorf("election year filter leaked %v", row)
+		}
+	}
+
+	// The hybrid ground truth: join on alpha-3 codes.
+	rel, err = db.QuerySQL(ctx, "SELECT c.gdp, AVG(e.salary) FROM country c, Employees e WHERE c.code = e.countryCode GROUP BY e.countryCode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 10 {
+		t.Errorf("hybrid groups = %d", rel.Cardinality())
+	}
+}

@@ -1,0 +1,580 @@
+// Package optimizer rewrites logical plans. It implements the classic
+// relational rules Galois needs (conjunct splitting, predicate pushdown,
+// turning cross products with equality predicates into keyed joins) plus
+// the LLM-specific lowering from Section 4 of the paper: injecting
+// FetchAttr nodes for attributes the plan touches but the LLM key scan has
+// not retrieved, rewriting eligible selections into per-key boolean prompt
+// filters, and — optionally — merging selections into the retrieval prompt
+// itself (the Section 6 "prompt pushdown" optimization).
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+)
+
+// Options control which rewrites run.
+type Options struct {
+	// PushdownPredicates distributes WHERE conjuncts toward the scans and
+	// extracts equi-join conditions from cross products. On by default.
+	PushdownPredicates bool
+	// UseLLMFilter rewrites simple selections on unfetched LLM attributes
+	// into per-key boolean prompts instead of fetch-then-filter. On by
+	// default, matching the paper's physical operator.
+	UseLLMFilter bool
+	// PromptPushdown merges simple selections directly into the LLM list
+	// prompt ("get names of cities with > 1M population"), removing the
+	// per-key prompts entirely. Off by default; Ablation A flips it.
+	PromptPushdown bool
+}
+
+// Defaults returns the paper-faithful configuration.
+func Defaults() Options {
+	return Options{PushdownPredicates: true, UseLLMFilter: true, PromptPushdown: false}
+}
+
+// scanInfo records one base relation binding found in the plan.
+type scanInfo struct {
+	def    *schema.TableDef
+	source string
+}
+
+// Optimize rewrites the plan under the given options. The input plan is
+// not mutated except for Scan.PushedFilter annotations.
+func Optimize(n logical.Node, opts Options) (logical.Node, error) {
+	o := &optimizer{opts: opts, bindings: map[string]scanInfo{}}
+	o.collectBindings(n)
+	if opts.PushdownPredicates {
+		n = o.push(n, nil)
+	}
+	n, err := o.lower(n)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PromptPushdown {
+		n = o.promptPushdown(n)
+	}
+	return n, nil
+}
+
+type optimizer struct {
+	opts     Options
+	bindings map[string]scanInfo
+}
+
+func (o *optimizer) collectBindings(n logical.Node) {
+	if s, ok := n.(*logical.Scan); ok {
+		o.bindings[strings.ToLower(s.Binding)] = scanInfo{def: s.Table, source: s.Source}
+	}
+	for _, c := range n.Children() {
+		o.collectBindings(c)
+	}
+}
+
+// bindingOf resolves the binding a column reference belongs to, consulting
+// full table definitions (not just fetched columns).
+func (o *optimizer) bindingOf(ref *ast.ColumnRef) (string, bool) {
+	if ref.Table != "" {
+		_, ok := o.bindings[strings.ToLower(ref.Table)]
+		return strings.ToLower(ref.Table), ok
+	}
+	found := ""
+	for b, info := range o.bindings {
+		for _, c := range info.def.Schema.Columns {
+			if strings.EqualFold(c.Name, ref.Name) {
+				if found != "" && found != b {
+					return "", false // ambiguous
+				}
+				found = b
+			}
+		}
+	}
+	return found, found != ""
+}
+
+// subtreeBindings returns the set of bindings produced under n.
+func subtreeBindings(n logical.Node) map[string]bool {
+	out := map[string]bool{}
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		if s, ok := n.(*logical.Scan); ok {
+			out[strings.ToLower(s.Binding)] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// coveredBy reports whether every column reference in e belongs to one of
+// the given bindings.
+func (o *optimizer) coveredBy(e ast.Expr, bindings map[string]bool) bool {
+	ok := true
+	ast.Walk(e, func(x ast.Expr) bool {
+		if ref, isRef := x.(*ast.ColumnRef); isRef {
+			b, found := o.bindingOf(ref)
+			if !found || !bindings[b] {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// SplitConjuncts flattens a predicate into its AND-ed conjuncts.
+func SplitConjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []ast.Expr{e}
+}
+
+// joinConjuncts re-ANDs a conjunct list (nil for empty).
+func joinConjuncts(cs []ast.Expr) ast.Expr {
+	if len(cs) == 0 {
+		return nil
+	}
+	e := cs[0]
+	for _, c := range cs[1:] {
+		e = &ast.Binary{Op: "AND", Left: e, Right: c}
+	}
+	return e
+}
+
+// push distributes pending conjuncts down the tree.
+func (o *optimizer) push(n logical.Node, pending []ast.Expr) logical.Node {
+	switch node := n.(type) {
+	case *logical.Filter:
+		return o.push(node.Input, append(pending, SplitConjuncts(node.Cond)...))
+
+	case *logical.Join:
+		leftB := subtreeBindings(node.Left)
+		rightB := subtreeBindings(node.Right)
+		var toLeft, toRight, toJoin, stay []ast.Expr
+		conjs := pending
+		if node.On != nil {
+			conjs = append(conjs, SplitConjuncts(node.On)...)
+		}
+		for _, c := range conjs {
+			switch {
+			case o.coveredBy(c, leftB):
+				toLeft = append(toLeft, c)
+			case o.coveredBy(c, rightB):
+				toRight = append(toRight, c)
+			case isEquiAcross(c, o, leftB, rightB):
+				toJoin = append(toJoin, c)
+			default:
+				stay = append(stay, c)
+			}
+		}
+		left := o.push(node.Left, toLeft)
+		right := o.push(node.Right, toRight)
+		jt := node.Type
+		if jt == ast.JoinCross && len(toJoin) > 0 {
+			jt = ast.JoinInner
+		}
+		var out logical.Node = logical.NewJoin(left, right, jt, joinConjuncts(toJoin))
+		if rest := joinConjuncts(stay); rest != nil {
+			out = &logical.Filter{Input: out, Cond: rest}
+		}
+		return out
+
+	case *logical.Scan:
+		if rest := joinConjuncts(pending); rest != nil {
+			return &logical.Filter{Input: node, Cond: rest}
+		}
+		return node
+
+	default:
+		// Do not push through projections/aggregates; reattach pending
+		// above and continue independently below.
+		children := n.Children()
+		if len(children) == 1 {
+			rebuilt, err := rebuildUnary(n, o.push(children[0], nil))
+			if err == nil {
+				n = rebuilt
+			}
+		}
+		if rest := joinConjuncts(pending); rest != nil {
+			return &logical.Filter{Input: n, Cond: rest}
+		}
+		return n
+	}
+}
+
+// isEquiAcross reports whether c is colA = colB with the columns on
+// opposite sides of the join.
+func isEquiAcross(c ast.Expr, o *optimizer, leftB, rightB map[string]bool) bool {
+	b, ok := c.(*ast.Binary)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	lr, lok := b.Left.(*ast.ColumnRef)
+	rr, rok := b.Right.(*ast.ColumnRef)
+	if !lok || !rok {
+		return false
+	}
+	lb, lf := o.bindingOf(lr)
+	rb, rf := o.bindingOf(rr)
+	if !lf || !rf {
+		return false
+	}
+	return (leftB[lb] && rightB[rb]) || (leftB[rb] && rightB[lb])
+}
+
+// rebuildUnary reconstructs a single-input node over a new input,
+// refreshing derived schemas.
+func rebuildUnary(n logical.Node, input logical.Node) (logical.Node, error) {
+	switch node := n.(type) {
+	case *logical.Filter:
+		return &logical.Filter{Input: input, Cond: node.Cond}, nil
+	case *logical.Project:
+		// Types were inferred at build time against the full declared
+		// schema; re-deriving them against a pre-lowering input (which
+		// may hold only key columns) would fail, so rewire in place.
+		node.Input = input
+		return node, nil
+	case *logical.Aggregate:
+		node.Input = input
+		return node, nil
+	case *logical.Sort:
+		return &logical.Sort{Input: input, Items: node.Items}, nil
+	case *logical.Limit:
+		return &logical.Limit{Input: input, N: node.N, Offset: node.Offset}, nil
+	case *logical.Distinct:
+		return &logical.Distinct{Input: input, KeyCols: node.KeyCols}, nil
+	case *logical.StripProject:
+		return logical.NewStripProject(input, node.Keep), nil
+	case *logical.FetchAttr:
+		return logical.NewFetchAttr(input, node.Table, node.Binding, node.Attr, node.KeyCol)
+	case *logical.LLMFilter:
+		return &logical.LLMFilter{Input: input, Table: node.Table, Binding: node.Binding, Cond: node.Cond, KeyCol: node.KeyCol}, nil
+	default:
+		return nil, fmt.Errorf("optimizer: cannot rebuild %T", n)
+	}
+}
+
+// ------------------------------------------------------------- lowering
+
+// lower injects FetchAttr and LLMFilter nodes so that every expression in
+// the plan only references materialized columns.
+func (o *optimizer) lower(n logical.Node) (logical.Node, error) {
+	switch node := n.(type) {
+	case *logical.Scan:
+		return node, nil
+
+	case *logical.Filter:
+		input, err := o.lower(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		var llmFilters []*ast.Binary
+		var rest []ast.Expr
+		for _, c := range SplitConjuncts(node.Cond) {
+			if o.opts.UseLLMFilter {
+				if bin, binding, ok := o.asLLMFilterPred(c, input); ok {
+					_ = binding
+					llmFilters = append(llmFilters, bin)
+					continue
+				}
+			}
+			rest = append(rest, c)
+		}
+		out := input
+		for _, bin := range llmFilters {
+			ref := bin.Left.(*ast.ColumnRef)
+			binding, _ := o.bindingOf(ref)
+			info := o.bindings[binding]
+			keyCol := out.Schema().IndexOf(bindingName(out, binding), info.def.KeyColumn)
+			if keyCol < 0 {
+				// Key not materialized here; fall back to fetch+filter.
+				rest = append(rest, bin)
+				continue
+			}
+			out = &logical.LLMFilter{Input: out, Table: info.def, Binding: bindingName(out, binding), Cond: bin, KeyCol: keyCol}
+		}
+		if cond := joinConjuncts(rest); cond != nil {
+			var err error
+			out, err = o.ensureAttrsFor(out, cond)
+			if err != nil {
+				return nil, err
+			}
+			out = &logical.Filter{Input: out, Cond: cond}
+		}
+		return out, nil
+
+	case *logical.Join:
+		left, err := o.lower(node.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := o.lower(node.Right)
+		if err != nil {
+			return nil, err
+		}
+		if node.On != nil {
+			leftB := subtreeBindings(left)
+			for _, ref := range ast.ColumnRefs(node.On) {
+				b, ok := o.bindingOf(ref)
+				if !ok {
+					return nil, fmt.Errorf("optimizer: cannot resolve %s", ref.String())
+				}
+				if leftB[b] {
+					left, err = o.ensureAttr(left, ref)
+				} else {
+					right, err = o.ensureAttr(right, ref)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return logical.NewJoin(left, right, node.Type, node.On), nil
+
+	case *logical.Aggregate:
+		input, err := o.lower(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range node.GroupBy {
+			input, err = o.ensureAttrsFor(input, g)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range node.Aggs {
+			for _, arg := range a.Call.Args {
+				if _, isStar := arg.(*ast.Star); isStar {
+					continue
+				}
+				input, err = o.ensureAttrsFor(input, arg)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return logical.NewAggregate(input, node.GroupBy, node.Aggs)
+
+	case *logical.Project:
+		input, err := o.lower(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range node.Items {
+			input, err = o.ensureAttrsFor(input, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return logical.NewProject(input, node.Items, node.Hidden)
+
+	default:
+		children := n.Children()
+		if len(children) != 1 {
+			return n, nil
+		}
+		input, err := o.lower(children[0])
+		if err != nil {
+			return nil, err
+		}
+		return rebuildUnary(n, input)
+	}
+}
+
+// bindingName returns the original-case binding name as it appears in the
+// node's schema (bindings map keys are lower-cased).
+func bindingName(n logical.Node, lower string) string {
+	for _, c := range n.Schema().Columns {
+		if strings.ToLower(c.Table) == lower {
+			return c.Table
+		}
+	}
+	return lower
+}
+
+// asLLMFilterPred checks whether conjunct c can run as a per-key boolean
+// prompt: a comparison between one column of an LLM binding (non-key,
+// not yet fetched) and a literal. It returns the normalized binary with
+// the column on the left.
+func (o *optimizer) asLLMFilterPred(c ast.Expr, input logical.Node) (*ast.Binary, string, bool) {
+	bin, ok := c.(*ast.Binary)
+	if !ok {
+		return nil, "", false
+	}
+	switch bin.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, "", false
+	}
+	ref, refLeft := bin.Left.(*ast.ColumnRef)
+	lit, litRight := bin.Right.(*ast.Literal)
+	if !refLeft || !litRight {
+		// Try the mirrored form literal op column.
+		ref2, ok2 := bin.Right.(*ast.ColumnRef)
+		lit2, ok3 := bin.Left.(*ast.Literal)
+		if !ok2 || !ok3 {
+			return nil, "", false
+		}
+		ref, lit = ref2, lit2
+		bin = &ast.Binary{Op: mirrorOp(bin.Op), Left: ref, Right: lit}
+	} else {
+		bin = &ast.Binary{Op: bin.Op, Left: ref, Right: lit}
+	}
+	binding, ok := o.bindingOf(ref)
+	if !ok {
+		return nil, "", false
+	}
+	info := o.bindings[binding]
+	if info.source != "LLM" {
+		return nil, "", false
+	}
+	if strings.EqualFold(ref.Name, info.def.KeyColumn) {
+		return nil, "", false
+	}
+	// Already fetched? Then a traditional filter is cheaper.
+	if input.Schema().IndexOf(bindingName(input, binding), ref.Name) >= 0 {
+		return nil, "", false
+	}
+	return bin, binding, true
+}
+
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// ensureAttrsFor injects FetchAttr nodes for every unresolved reference
+// in e.
+func (o *optimizer) ensureAttrsFor(n logical.Node, e ast.Expr) (logical.Node, error) {
+	var err error
+	for _, ref := range ast.ColumnRefs(e) {
+		n, err = o.ensureAttr(n, ref)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// ensureAttr makes sure ref is materialized in n's schema, wrapping n in a
+// FetchAttr when the attribute lives in an LLM-bound relation.
+func (o *optimizer) ensureAttr(n logical.Node, ref *ast.ColumnRef) (logical.Node, error) {
+	if n.Schema().IndexOf(ref.Table, ref.Name) >= 0 {
+		return n, nil
+	}
+	binding, ok := o.bindingOf(ref)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: cannot resolve column %s", ref.String())
+	}
+	info, ok := o.bindings[binding]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: unknown binding %s", binding)
+	}
+	if info.source != "LLM" {
+		return nil, fmt.Errorf("optimizer: column %s not found in %s", ref.String(), info.def.Name)
+	}
+	// Canonical attribute name from the table definition.
+	attr := ref.Name
+	for _, c := range info.def.Schema.Columns {
+		if strings.EqualFold(c.Name, ref.Name) {
+			attr = c.Name
+			break
+		}
+	}
+	bn := bindingName(n, binding)
+	keyCol := n.Schema().IndexOf(bn, info.def.KeyColumn)
+	if keyCol < 0 {
+		return nil, fmt.Errorf("optimizer: key %s.%s not materialized for fetch of %s", bn, info.def.KeyColumn, attr)
+	}
+	return logical.NewFetchAttr(n, info.def, bn, attr, keyCol)
+}
+
+// --------------------------------------------------------- prompt pushdown
+
+// promptPushdown merges chains of LLMFilter (and simple Filters) sitting
+// directly above an LLM scan into the scan's retrieval prompt.
+func (o *optimizer) promptPushdown(n logical.Node) logical.Node {
+	switch node := n.(type) {
+	case *logical.LLMFilter:
+		input := o.promptPushdown(node.Input)
+		if scan, ok := input.(*logical.Scan); ok && scan.Source == "LLM" {
+			if scan.PushedFilter == nil {
+				scan.PushedFilter = node.Cond
+			} else {
+				scan.PushedFilter = &ast.Binary{Op: "AND", Left: scan.PushedFilter, Right: node.Cond}
+			}
+			return scan
+		}
+		node.Input = input
+		return node
+	case *logical.Filter:
+		input := o.promptPushdown(node.Input)
+		if scan, ok := input.(*logical.Scan); ok && scan.Source == "LLM" {
+			if simple, _, ok := o.asSimplePred(node.Cond); ok {
+				if scan.PushedFilter == nil {
+					scan.PushedFilter = simple
+				} else {
+					scan.PushedFilter = &ast.Binary{Op: "AND", Left: scan.PushedFilter, Right: simple}
+				}
+				return scan
+			}
+		}
+		node.Input = input
+		return node
+	case *logical.Join:
+		node.Left = o.promptPushdown(node.Left)
+		node.Right = o.promptPushdown(node.Right)
+		return logical.NewJoin(node.Left, node.Right, node.Type, node.On)
+	default:
+		children := n.Children()
+		if len(children) == 1 {
+			rebuilt, err := rebuildUnary(n, o.promptPushdown(children[0]))
+			if err == nil {
+				return rebuilt
+			}
+		}
+		return n
+	}
+}
+
+// asSimplePred accepts column-op-literal comparisons regardless of source
+// (used only for prompt pushdown above an LLM scan).
+func (o *optimizer) asSimplePred(c ast.Expr) (*ast.Binary, string, bool) {
+	bin, ok := c.(*ast.Binary)
+	if !ok {
+		return nil, "", false
+	}
+	switch bin.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, "", false
+	}
+	ref, okL := bin.Left.(*ast.ColumnRef)
+	_, okR := bin.Right.(*ast.Literal)
+	if !okL || !okR {
+		return nil, "", false
+	}
+	binding, ok := o.bindingOf(ref)
+	if !ok {
+		return nil, "", false
+	}
+	return bin, binding, true
+}

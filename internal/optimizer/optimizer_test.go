@@ -1,0 +1,318 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+	"repro/internal/value"
+)
+
+type resolver struct{}
+
+func tableDef(name, key string, cols ...schema.Column) *schema.TableDef {
+	return &schema.TableDef{Name: name, KeyColumn: key, Schema: schema.New(cols...)}
+}
+
+func (resolver) ResolveTable(name, explicit string) (*schema.TableDef, string, error) {
+	switch strings.ToLower(name) {
+	case "city":
+		return tableDef("city", "name",
+			schema.Column{Name: "name", Type: value.KindString},
+			schema.Column{Name: "country", Type: value.KindString},
+			schema.Column{Name: "mayor", Type: value.KindString},
+			schema.Column{Name: "population", Type: value.KindInt},
+		), "LLM", nil
+	case "mayor":
+		return tableDef("mayor", "name",
+			schema.Column{Name: "name", Type: value.KindString},
+			schema.Column{Name: "age", Type: value.KindInt},
+		), "LLM", nil
+	case "employees":
+		return tableDef("employees", "id",
+			schema.Column{Name: "id", Type: value.KindInt},
+			schema.Column{Name: "countryCode", Type: value.KindString},
+			schema.Column{Name: "salary", Type: value.KindFloat},
+		), "DB", nil
+	}
+	return nil, "", fmt.Errorf("no table %s", name)
+}
+
+func optimize(t *testing.T, sql string, opts Options) logical.Node {
+	t.Helper()
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := logical.Build(sel, resolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Optimize(plan, opts)
+	if err != nil {
+		t.Fatalf("Optimize(%q): %v", sql, err)
+	}
+	return out
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	sel, _ := parser.ParseSelect("SELECT x FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+	cs := SplitConjuncts(sel.Where)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d: %v", len(cs), cs)
+	}
+	if _, ok := cs[2].(*ast.Binary); !ok {
+		t.Error("OR stays one conjunct")
+	}
+}
+
+func TestCrossBecomesEquiJoin(t *testing.T) {
+	plan := optimize(t, "SELECT c.name, p.age FROM city c, mayor p WHERE c.mayor = p.name", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "Join ON c.mayor = p.name") {
+		t.Errorf("equality should become the join condition:\n%s", explain)
+	}
+	if strings.Contains(explain, "CrossJoin") {
+		t.Errorf("cross join should have been upgraded:\n%s", explain)
+	}
+}
+
+func TestPredicatePushdownToSides(t *testing.T) {
+	plan := optimize(t, "SELECT c.name, e.salary FROM city c, employees e WHERE c.country = e.countryCode AND e.salary > 100", Defaults())
+	explain := logical.Explain(plan)
+	// salary filter must sit below the join, on the employees side.
+	joinLine, filterLine := -1, -1
+	for i, line := range strings.Split(explain, "\n") {
+		if strings.Contains(line, "Join ON") {
+			joinLine = i
+		}
+		if strings.Contains(line, "Filter e.salary > 100") {
+			filterLine = i
+		}
+	}
+	if joinLine < 0 || filterLine < 0 || filterLine < joinLine {
+		t.Errorf("salary filter not pushed below join:\n%s", explain)
+	}
+}
+
+func TestLLMFilterInjection(t *testing.T) {
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "LLMFilter city.population > 1000000") &&
+		!strings.Contains(explain, "LLMFilter population > 1000000") {
+		t.Errorf("selection should lower to a boolean-prompt filter:\n%s", explain)
+	}
+	if strings.Contains(explain, "LLMFetchAttr") {
+		t.Errorf("LLMFilter avoids fetching the attribute:\n%s", explain)
+	}
+}
+
+func TestFetchAttrInjectionForProjection(t *testing.T) {
+	plan := optimize(t, "SELECT name, population FROM city", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "LLMFetchAttr") {
+		t.Errorf("projected non-key attribute must be fetched:\n%s", explain)
+	}
+}
+
+func TestFetchAttrForJoinKeys(t *testing.T) {
+	plan := optimize(t, "SELECT c.name FROM city c, mayor p WHERE c.mayor = p.name", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "LLMFetchAttr c.mayor") {
+		t.Errorf("join attribute must be fetched before the join:\n%s", explain)
+	}
+}
+
+func TestFetchThenFilterWhenLLMFilterDisabled(t *testing.T) {
+	opts := Defaults()
+	opts.UseLLMFilter = false
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000", opts)
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("LLMFilter disabled but present:\n%s", explain)
+	}
+	if !strings.Contains(explain, "LLMFetchAttr") || !strings.Contains(explain, "Filter ") {
+		t.Errorf("should fall back to fetch+filter:\n%s", explain)
+	}
+}
+
+func TestPromptPushdown(t *testing.T) {
+	opts := Defaults()
+	opts.PromptPushdown = true
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000", opts)
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "[pushed:") {
+		t.Errorf("selection should merge into the scan prompt:\n%s", explain)
+	}
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("no residual per-key filter expected:\n%s", explain)
+	}
+}
+
+// TestFigure3Plan pins the lowered plan shape for the paper's q'.
+func TestFigure3Plan(t *testing.T) {
+	plan := optimize(t, "SELECT c.name, p.name FROM city c, mayor p WHERE c.mayor = p.name AND c.population > 1000000 AND p.age < 40", Defaults())
+	got := logical.Explain(plan)
+	want := `Project c.name, p.name
+  Join ON c.mayor = p.name
+    LLMFetchAttr c.mayor (per key c.name)
+      LLMFilter c.population > 1000000 (per key c.name)
+        LLMKeyScan city AS c (key=name)
+    LLMFilter p.age < 40 (per key p.name)
+      LLMKeyScan mayor AS p (key=name)
+`
+	if got != want {
+		t.Errorf("Figure 3 plan drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNonSimplePredicateStaysTraditional(t *testing.T) {
+	// population + 1 > 2 is not a column-op-literal form.
+	plan := optimize(t, "SELECT name FROM city WHERE population + 1 > 1000000", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("complex predicate must not become a boolean prompt:\n%s", explain)
+	}
+	if !strings.Contains(explain, "LLMFetchAttr") {
+		t.Errorf("complex predicate needs the attribute fetched:\n%s", explain)
+	}
+}
+
+func TestMirroredLiteralComparison(t *testing.T) {
+	plan := optimize(t, "SELECT name FROM city WHERE 1000000 < population", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "LLMFilter") {
+		t.Errorf("mirrored comparison should still lower:\n%s", explain)
+	}
+	if !strings.Contains(explain, "population > 1000000") {
+		t.Errorf("mirrored op should normalize:\n%s", explain)
+	}
+}
+
+func TestPushdownDisabled(t *testing.T) {
+	opts := Defaults()
+	opts.PushdownPredicates = false
+	plan := optimize(t, "SELECT c.name FROM city c, mayor p WHERE c.mayor = p.name", opts)
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "CrossJoin") {
+		t.Errorf("without pushdown the cross join stays:\n%s", explain)
+	}
+}
+
+func TestDBOnlyPlanUntouchedByLowering(t *testing.T) {
+	plan := optimize(t, "SELECT id FROM employees WHERE salary > 100", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLM") {
+		t.Errorf("DB plan must not grow LLM operators:\n%s", explain)
+	}
+}
+
+func TestPushdownThroughSortLimitDistinct(t *testing.T) {
+	// Pushdown must traverse (rebuild) unary nodes above the join without
+	// disturbing them.
+	plan := optimize(t, "SELECT DISTINCT c.name FROM city c, mayor p WHERE c.mayor = p.name ORDER BY c.name LIMIT 3", Defaults())
+	explain := logical.Explain(plan)
+	for _, want := range []string{"Distinct", "Sort", "Limit 3", "Join ON"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("missing %q after optimization:\n%s", want, explain)
+		}
+	}
+}
+
+func TestPromptPushdownMultipleConditions(t *testing.T) {
+	opts := Defaults()
+	opts.PromptPushdown = true
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000 AND country = 'Italy'", opts)
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "AND") || !strings.Contains(explain, "[pushed:") {
+		t.Errorf("both conditions should merge into one pushed predicate:\n%s", explain)
+	}
+}
+
+func TestPromptPushdownLeavesJoinsAlone(t *testing.T) {
+	opts := Defaults()
+	opts.PromptPushdown = true
+	plan := optimize(t, "SELECT c.name FROM city c, mayor p WHERE c.mayor = p.name AND p.age < 40", opts)
+	explain := logical.Explain(plan)
+	// The age filter sits on the mayor scan and can push; the join must
+	// survive intact.
+	if !strings.Contains(explain, "Join ON") {
+		t.Errorf("join lost:\n%s", explain)
+	}
+	if !strings.Contains(explain, "[pushed: mayor.age < 40]") && !strings.Contains(explain, "[pushed: p.age < 40]") {
+		t.Errorf("age filter not pushed into the mayor scan:\n%s", explain)
+	}
+}
+
+func TestFilterOnKeyAttributeStaysTraditional(t *testing.T) {
+	// The key column is already materialized by the scan; comparisons on
+	// it never need a prompt.
+	plan := optimize(t, "SELECT name FROM city WHERE name = 'Rome'", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") || strings.Contains(explain, "LLMFetchAttr") {
+		t.Errorf("key comparison must be a traditional filter:\n%s", explain)
+	}
+	if !strings.Contains(explain, "Filter") {
+		t.Errorf("filter missing:\n%s", explain)
+	}
+}
+
+func TestLikePredicateFetchesAttribute(t *testing.T) {
+	// LIKE is not a boolean-prompt form; the attribute must be fetched.
+	plan := optimize(t, "SELECT name FROM city WHERE country LIKE 'United%'", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("LIKE must not lower to a boolean prompt:\n%s", explain)
+	}
+	if !strings.Contains(explain, "LLMFetchAttr") {
+		t.Errorf("LIKE needs the attribute fetched:\n%s", explain)
+	}
+}
+
+func TestAggregateOverLLMScanFetchesArg(t *testing.T) {
+	plan := optimize(t, "SELECT AVG(population) FROM city", Defaults())
+	explain := logical.Explain(plan)
+	if !strings.Contains(explain, "LLMFetchAttr") || !strings.Contains(explain, "Aggregate") {
+		t.Errorf("aggregate argument must be fetched before aggregation:\n%s", explain)
+	}
+}
+
+func TestOrExpressionStaysWhole(t *testing.T) {
+	// OR is one conjunct: it cannot split, cannot become an LLMFilter,
+	// and must be evaluated after fetching both attributes.
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000 OR country = 'Italy'", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("OR must not lower to boolean prompts:\n%s", explain)
+	}
+	if strings.Count(explain, "LLMFetchAttr") != 2 {
+		t.Errorf("both OR attributes need fetching:\n%s", explain)
+	}
+}
+
+func TestUnknownColumnSurfacesAtOptimize(t *testing.T) {
+	sel, err := parser.ParseSelect("SELECT COUNT(*) FROM city WHERE flavor = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := logical.Build(sel, resolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(plan, Defaults()); err == nil {
+		t.Error("unknown filter column must fail during lowering")
+	}
+}
+
+func TestDedupFetchAttr(t *testing.T) {
+	// The same attribute referenced twice is fetched once.
+	plan := optimize(t, "SELECT population, population FROM city", Defaults())
+	explain := logical.Explain(plan)
+	if strings.Count(explain, "LLMFetchAttr") != 1 {
+		t.Errorf("duplicate fetch nodes:\n%s", explain)
+	}
+}

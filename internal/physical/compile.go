@@ -1,0 +1,127 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/schema"
+)
+
+// Env provides what compilation needs beyond the plan itself: access to
+// the DB-side base relations.
+type Env struct {
+	// Data returns the materialized relation for a DB-bound table.
+	Data func(table string) (*schema.Relation, error)
+}
+
+// Compile lowers a logical plan to a physical operator tree.
+func Compile(n logical.Node, env *Env) (Operator, error) {
+	switch node := n.(type) {
+	case *logical.Scan:
+		if node.Source == "LLM" {
+			return &llmKeyScanOp{scan: node, out: node.Schema()}, nil
+		}
+		if env == nil || env.Data == nil {
+			return nil, fmt.Errorf("physical: no data source for table %s", node.Table.Name)
+		}
+		rel, err := env.Data(node.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		return NewMemScan(node.Schema(), rel), nil
+
+	case *logical.FetchAttr:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return &llmFetchAttrOp{node: node, input: input, out: node.Schema()}, nil
+
+	case *logical.LLMFilter:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return &llmFilterOp{node: node, input: input}, nil
+
+	case *logical.Filter:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := expr.Compile(node.Cond, input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewFilter(input, pred), nil
+
+	case *logical.Join:
+		left, err := Compile(node.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(node.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return buildJoin(node, left, right)
+
+	case *logical.Aggregate:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return newHashAgg(node, input)
+
+	case *logical.Project:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		op := &projectOp{input: input, out: node.Schema()}
+		for _, it := range node.Items {
+			f, err := expr.Compile(it.Expr, input.Schema())
+			if err != nil {
+				return nil, err
+			}
+			op.funcs = append(op.funcs, f)
+		}
+		return op, nil
+
+	case *logical.StripProject:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return &stripOp{input: input, out: node.Schema(), keep: node.Keep}, nil
+
+	case *logical.Distinct:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		k := node.KeyCols
+		if k <= 0 {
+			k = input.Schema().Len()
+		}
+		return &distinctOp{input: input, keyCols: k}, nil
+
+	case *logical.Sort:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return newSort(node, input)
+
+	case *logical.Limit:
+		input, err := Compile(node.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{input: input, n: node.N, offset: node.Offset}, nil
+
+	default:
+		return nil, fmt.Errorf("physical: cannot compile %T", n)
+	}
+}

@@ -1,0 +1,282 @@
+package physical
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// hashJoinOp implements equi-joins (inner and left outer) by building a
+// hash table over the right input. An optional residual predicate runs on
+// the combined tuple.
+type hashJoinOp struct {
+	left, right Operator
+	out         *schema.Schema
+	leftKeys    []expr.Func // compiled against the left schema
+	rightKeys   []expr.Func // compiled against the right schema
+	residual    expr.Func   // compiled against the combined schema; may be nil
+	leftOuter   bool
+
+	table   map[string][]schema.Tuple
+	current []schema.Tuple // pending matches for the current left row
+	cursor  int
+	leftRow schema.Tuple
+	matched bool
+	done    bool
+}
+
+func (j *hashJoinOp) Schema() *schema.Schema { return j.out }
+
+func (j *hashJoinOp) Open(c *Context) error {
+	if err := j.right.Open(c); err != nil {
+		return err
+	}
+	rows, err := drain(j.right)
+	j.right.Close()
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]schema.Tuple, len(rows))
+	for _, r := range rows {
+		k, err := joinKey(j.rightKeys, r)
+		if err != nil {
+			return err
+		}
+		if k == "" {
+			continue // NULL keys never match
+		}
+		j.table[k] = append(j.table[k], r)
+	}
+	j.current, j.cursor, j.done = nil, 0, false
+	j.leftRow = nil
+	return j.left.Open(c)
+}
+
+func (j *hashJoinOp) Close() error { return j.left.Close() }
+
+func (j *hashJoinOp) Next() (schema.Tuple, error) {
+	for {
+		// Emit pending matches.
+		for j.cursor < len(j.current) {
+			combined := j.leftRow.Concat(j.current[j.cursor])
+			j.cursor++
+			if j.residual != nil {
+				ok, err := expr.EvalBool(j.residual, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.matched = true
+			return combined, nil
+		}
+		// Left-outer: emit the unmatched left row padded with NULLs.
+		if j.leftRow != nil && j.leftOuter && !j.matched {
+			pad := make(schema.Tuple, j.out.Len()-len(j.leftRow))
+			for i := range pad {
+				pad[i] = value.Null()
+			}
+			row := j.leftRow.Concat(pad)
+			j.leftRow = nil
+			return row, nil
+		}
+		// Advance the left input.
+		t, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		j.leftRow = t
+		j.matched = false
+		j.cursor = 0
+		k, err := joinKey(j.leftKeys, t)
+		if err != nil {
+			return nil, err
+		}
+		j.current = j.table[k]
+	}
+}
+
+// joinKey renders the composite key; "" marks a NULL component.
+func joinKey(funcs []expr.Func, t schema.Tuple) (string, error) {
+	var b []byte
+	for _, f := range funcs {
+		v, err := f(t)
+		if err != nil {
+			return "", err
+		}
+		if v.IsNull() {
+			return "", nil
+		}
+		b = append(b, v.Key()...)
+		b = append(b, 0x1f)
+	}
+	return string(b), nil
+}
+
+// nlJoinOp is the fallback nested-loop join for non-equi or cross joins.
+type nlJoinOp struct {
+	left, right Operator
+	out         *schema.Schema
+	pred        expr.Func // may be nil (cross join)
+	leftOuter   bool
+
+	rightRows []schema.Tuple
+	leftRow   schema.Tuple
+	cursor    int
+	matched   bool
+}
+
+func (j *nlJoinOp) Schema() *schema.Schema { return j.out }
+
+func (j *nlJoinOp) Open(c *Context) error {
+	if err := j.right.Open(c); err != nil {
+		return err
+	}
+	rows, err := drain(j.right)
+	j.right.Close()
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.leftRow, j.cursor = nil, 0
+	return j.left.Open(c)
+}
+
+func (j *nlJoinOp) Close() error { return j.left.Close() }
+
+func (j *nlJoinOp) Next() (schema.Tuple, error) {
+	for {
+		if j.leftRow != nil {
+			for j.cursor < len(j.rightRows) {
+				combined := j.leftRow.Concat(j.rightRows[j.cursor])
+				j.cursor++
+				if j.pred != nil {
+					ok, err := expr.EvalBool(j.pred, combined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				j.matched = true
+				return combined, nil
+			}
+			if j.leftOuter && !j.matched {
+				pad := make(schema.Tuple, j.out.Len()-len(j.leftRow))
+				for i := range pad {
+					pad[i] = value.Null()
+				}
+				row := j.leftRow.Concat(pad)
+				j.leftRow = nil
+				return row, nil
+			}
+			j.leftRow = nil
+		}
+		t, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		j.leftRow = t
+		j.cursor = 0
+		j.matched = false
+	}
+}
+
+// buildJoin selects hash vs nested-loop based on the ON condition.
+func buildJoin(node *logical.Join, left, right Operator) (Operator, error) {
+	out := node.Schema()
+	leftOuter := node.Type == ast.JoinLeft
+
+	if node.On == nil {
+		return &nlJoinOp{left: left, right: right, out: out, leftOuter: leftOuter}, nil
+	}
+
+	// Partition conjuncts into equi-keys across sides and residuals.
+	var leftExprs, rightExprs []ast.Expr
+	var residuals []ast.Expr
+	for _, c := range splitAnd(node.On) {
+		l, r, ok := equiSides(c, left.Schema(), right.Schema())
+		if !ok {
+			residuals = append(residuals, c)
+			continue
+		}
+		leftExprs = append(leftExprs, l)
+		rightExprs = append(rightExprs, r)
+	}
+
+	if len(leftExprs) == 0 {
+		pred, err := expr.Compile(node.On, out)
+		if err != nil {
+			return nil, err
+		}
+		return &nlJoinOp{left: left, right: right, out: out, pred: pred, leftOuter: leftOuter}, nil
+	}
+
+	j := &hashJoinOp{left: left, right: right, out: out, leftOuter: leftOuter}
+	for i := range leftExprs {
+		lf, err := expr.Compile(leftExprs[i], left.Schema())
+		if err != nil {
+			return nil, err
+		}
+		rf, err := expr.Compile(rightExprs[i], right.Schema())
+		if err != nil {
+			return nil, err
+		}
+		j.leftKeys = append(j.leftKeys, lf)
+		j.rightKeys = append(j.rightKeys, rf)
+	}
+	if len(residuals) > 0 {
+		res := residuals[0]
+		for _, c := range residuals[1:] {
+			res = &ast.Binary{Op: "AND", Left: res, Right: c}
+		}
+		pred, err := expr.Compile(res, out)
+		if err != nil {
+			return nil, err
+		}
+		j.residual = pred
+	}
+	return j, nil
+}
+
+func splitAnd(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+		return append(splitAnd(b.Left), splitAnd(b.Right)...)
+	}
+	return []ast.Expr{e}
+}
+
+// equiSides decomposes "a = b" with a resolvable on one side and b on the
+// other, returning the expressions oriented (left, right).
+func equiSides(c ast.Expr, left, right *schema.Schema) (ast.Expr, ast.Expr, bool) {
+	b, ok := c.(*ast.Binary)
+	if !ok || b.Op != "=" {
+		return nil, nil, false
+	}
+	resolves := func(e ast.Expr, s *schema.Schema) bool {
+		ok := true
+		ast.Walk(e, func(x ast.Expr) bool {
+			if ref, isRef := x.(*ast.ColumnRef); isRef {
+				if s.IndexOf(ref.Table, ref.Name) < 0 {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		// A literal-only side must not count as a join key.
+		return ok && len(ast.ColumnRefs(e)) > 0
+	}
+	switch {
+	case resolves(b.Left, left) && resolves(b.Right, right):
+		return b.Left, b.Right, true
+	case resolves(b.Right, left) && resolves(b.Left, right):
+		return b.Right, b.Left, true
+	}
+	return nil, nil, false
+}

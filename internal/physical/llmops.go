@@ -1,0 +1,304 @@
+package physical
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/clean"
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// llmKeyScanOp materializes the key-attribute values of an LLM-bound
+// relation: one list prompt, then "more results" prompts carrying the
+// already-seen keys, until no new keys arrive or the iteration cap is hit
+// (Section 4's two critical steps: iteration and termination threshold).
+type llmKeyScanOp struct {
+	scan *logical.Scan
+	out  *schema.Schema
+
+	rows   []schema.Tuple
+	cursor int
+}
+
+func (s *llmKeyScanOp) Schema() *schema.Schema { return s.out }
+
+func (s *llmKeyScanOp) Open(c *Context) error {
+	if c.Client == nil {
+		return fmt.Errorf("physical: LLM scan of %s without an LLM client", s.scan.Table.Name)
+	}
+	conds, err := pushedConditions(s.scan.PushedFilter)
+	if err != nil {
+		return err
+	}
+	keyKind := s.out.Columns[0].Type
+
+	var keys []string
+	seen := map[string]bool{}
+	maxIter := c.MaxScanIterations
+	if maxIter <= 0 {
+		maxIter = 12
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
+		resp, err := c.Client.Complete(c.Ctx, p)
+		if err != nil {
+			return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
+		}
+		trimmed := strings.TrimSpace(resp)
+		if strings.EqualFold(trimmed, prompt.DoneMarker) || strings.EqualFold(trimmed, prompt.UnknownMarker) {
+			break
+		}
+		added := 0
+		for _, item := range clean.SplitList(resp) {
+			k := c.Cleaner.Key(item)
+			if k == "" {
+				continue
+			}
+			lower := strings.ToLower(k)
+			if seen[lower] {
+				continue
+			}
+			seen[lower] = true
+			keys = append(keys, k)
+			added++
+		}
+		if added == 0 {
+			break
+		}
+	}
+
+	s.rows = s.rows[:0]
+	for _, k := range keys {
+		v, err := value.ParseAs(keyKind, k)
+		if err != nil || v.IsNull() {
+			continue // enforce the key's type constraint
+		}
+		s.rows = append(s.rows, schema.Tuple{v})
+	}
+	s.cursor = 0
+	return nil
+}
+
+func (s *llmKeyScanOp) Close() error { return nil }
+
+func (s *llmKeyScanOp) Next() (schema.Tuple, error) {
+	if s.cursor >= len(s.rows) {
+		return nil, io.EOF
+	}
+	t := s.rows[s.cursor]
+	s.cursor++
+	return t, nil
+}
+
+// pushedConditions converts a pushed-down predicate into prompt
+// conditions.
+func pushedConditions(e ast.Expr) ([]prompt.Condition, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var out []prompt.Condition
+	for _, c := range splitAnd(e) {
+		b, ok := c.(*ast.Binary)
+		if !ok {
+			return nil, fmt.Errorf("physical: cannot push %s into a prompt", c.String())
+		}
+		ref, okL := b.Left.(*ast.ColumnRef)
+		lit, okR := b.Right.(*ast.Literal)
+		if !okL || !okR {
+			return nil, fmt.Errorf("physical: cannot push %s into a prompt", c.String())
+		}
+		out = append(out, prompt.Condition{
+			Attr:     prompt.Humanize(ref.Name),
+			OpPhrase: prompt.OpPhrase(b.Op),
+			Value:    lit.Val.String(),
+		})
+	}
+	return out, nil
+}
+
+// llmFetchAttrOp retrieves one attribute per input tuple with a batched
+// prompt per key, appending the cleaned value as a new column.
+type llmFetchAttrOp struct {
+	node  *logical.FetchAttr
+	input Operator
+	out   *schema.Schema
+
+	rows   []schema.Tuple
+	cursor int
+}
+
+func (f *llmFetchAttrOp) Schema() *schema.Schema { return f.out }
+
+func (f *llmFetchAttrOp) Open(c *Context) error {
+	if c.Client == nil {
+		return fmt.Errorf("physical: LLM fetch of %s without an LLM client", f.node.Attr)
+	}
+	if err := f.input.Open(c); err != nil {
+		return err
+	}
+	rows, err := drain(f.input)
+	f.input.Close()
+	if err != nil {
+		return err
+	}
+
+	kind := f.out.Columns[f.out.Len()-1].Type
+	prompts := make([]string, len(rows))
+	for i, row := range rows {
+		key := row[f.node.KeyCol].String()
+		prompts[i] = c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
+	}
+	workers := c.BatchWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	answers, err := llm.CompleteBatch(c.Ctx, c.Client, prompts, workers)
+	if err != nil {
+		return fmt.Errorf("physical: fetching %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
+	}
+
+	values := make([]value.Value, len(rows))
+	for i := range rows {
+		values[i] = c.Cleaner.Cell(answers[i], kind)
+	}
+
+	// Cross-model verification (Section 6): ask a second model the same
+	// question and NULL out disagreements.
+	if c.Verifier != nil {
+		verdicts, err := llm.CompleteBatch(c.Ctx, c.Verifier, prompts, workers)
+		if err != nil {
+			return fmt.Errorf("physical: verifying %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
+		}
+		tol := c.VerifyTolerance
+		if tol <= 0 {
+			tol = 0.1
+		}
+		for i := range values {
+			if values[i].IsNull() {
+				continue
+			}
+			other := c.Cleaner.Cell(verdicts[i], kind)
+			if !valuesAgree(values[i], other, tol) {
+				values[i] = value.Null()
+			}
+		}
+	}
+
+	f.rows = make([]schema.Tuple, len(rows))
+	for i, row := range rows {
+		f.rows[i] = append(row.Clone(), values[i])
+	}
+	f.cursor = 0
+	return nil
+}
+
+// valuesAgree compares two independently produced answers: numerics within
+// a relative tolerance, strings case-insensitively.
+func valuesAgree(a, b value.Value, tol float64) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	af, aNum := a.Numeric()
+	bf, bNum := b.Numeric()
+	if aNum && bNum {
+		if af == 0 {
+			return bf == 0
+		}
+		d := af - bf
+		if d < 0 {
+			d = -d
+		}
+		ref := af
+		if ref < 0 {
+			ref = -ref
+		}
+		return d/ref <= tol
+	}
+	return strings.EqualFold(strings.TrimSpace(a.String()), strings.TrimSpace(b.String()))
+}
+
+func (f *llmFetchAttrOp) Close() error { return nil }
+
+func (f *llmFetchAttrOp) Next() (schema.Tuple, error) {
+	if f.cursor >= len(f.rows) {
+		return nil, io.EOF
+	}
+	t := f.rows[f.cursor]
+	f.cursor++
+	return t, nil
+}
+
+// llmFilterOp keeps tuples for which the per-key boolean prompt answers
+// yes ("Has city Chicago population more than 1000000? Answer yes or no.").
+type llmFilterOp struct {
+	node  *logical.LLMFilter
+	input Operator
+
+	rows   []schema.Tuple
+	cursor int
+}
+
+func (f *llmFilterOp) Schema() *schema.Schema { return f.node.Schema() }
+
+func (f *llmFilterOp) Open(c *Context) error {
+	if c.Client == nil {
+		return fmt.Errorf("physical: LLM filter without an LLM client")
+	}
+	if err := f.input.Open(c); err != nil {
+		return err
+	}
+	rows, err := drain(f.input)
+	f.input.Close()
+	if err != nil {
+		return err
+	}
+
+	ref := f.node.Cond.Left.(*ast.ColumnRef)
+	lit := f.node.Cond.Right.(*ast.Literal)
+	opPhrase := prompt.OpPhrase(f.node.Cond.Op)
+
+	prompts := make([]string, len(rows))
+	for i, row := range rows {
+		key := row[f.node.KeyCol].String()
+		prompts[i] = c.Prompts.Filter(f.node.Table.Name, key, ref.Name, opPhrase, lit.Val.String())
+	}
+	workers := c.BatchWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	answers, err := llm.CompleteBatch(c.Ctx, c.Client, prompts, workers)
+	if err != nil {
+		return fmt.Errorf("physical: LLM filter %s: %w", f.node.Cond.String(), err)
+	}
+
+	f.rows = f.rows[:0]
+	for i, row := range rows {
+		if isYes(answers[i]) {
+			f.rows = append(f.rows, row)
+		}
+	}
+	f.cursor = 0
+	return nil
+}
+
+func isYes(s string) bool {
+	s = strings.ToLower(strings.TrimSpace(s))
+	return strings.HasPrefix(s, "yes") || strings.HasPrefix(s, "true")
+}
+
+func (f *llmFilterOp) Close() error { return nil }
+
+func (f *llmFilterOp) Next() (schema.Tuple, error) {
+	if f.cursor >= len(f.rows) {
+		return nil, io.EOF
+	}
+	t := f.rows[f.cursor]
+	f.cursor++
+	return t, nil
+}

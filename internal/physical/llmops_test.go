@@ -1,0 +1,295 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clean"
+	"repro/internal/logical"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// scriptedLLM answers prompts from a rule table, recording every prompt.
+// It is safe for the concurrent calls batched operators make.
+type scriptedLLM struct {
+	rules []struct {
+		contains string
+		answer   string
+	}
+	calls   int32
+	failOn  string
+	mu      sync.Mutex
+	prompts []string
+}
+
+func (s *scriptedLLM) Name() string { return "scripted" }
+
+func (s *scriptedLLM) Complete(ctx context.Context, p string) (string, error) {
+	atomic.AddInt32(&s.calls, 1)
+	s.mu.Lock()
+	s.prompts = append(s.prompts, p)
+	s.mu.Unlock()
+	if s.failOn != "" && strings.Contains(p, s.failOn) {
+		return "", errors.New("scripted failure")
+	}
+	for _, r := range s.rules {
+		if strings.Contains(p, r.contains) {
+			return r.answer, nil
+		}
+	}
+	return prompt.UnknownMarker, nil
+}
+
+func (s *scriptedLLM) on(contains, answer string) *scriptedLLM {
+	s.rules = append(s.rules, struct{ contains, answer string }{contains, answer})
+	return s
+}
+
+func llmCtx(client *scriptedLLM) *Context {
+	b := prompt.NewBuilder()
+	b.IncludePreamble = false
+	return &Context{
+		Ctx:               context.Background(),
+		Client:            client,
+		Prompts:           b,
+		Cleaner:           clean.New(clean.DefaultOptions()),
+		MaxScanIterations: 5,
+		BatchWorkers:      2,
+	}
+}
+
+func townDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name:      "town",
+		KeyColumn: "name",
+		Schema: schema.New(
+			schema.Column{Name: "name", Type: value.KindString},
+			schema.Column{Name: "population", Type: value.KindInt},
+		),
+	}
+}
+
+func TestLLMKeyScanIteratesUntilDone(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("Do not repeat any of: Alpha; Beta", "Done").
+		on("List the names of all towns", "Alpha\nBeta")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	rel, err := Run(llmCtx(client), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 {
+		t.Fatalf("keys = %d:\n%s", rel.Cardinality(), rel.String())
+	}
+	if client.calls != 2 {
+		t.Errorf("calls = %d, want list + one more-round", client.calls)
+	}
+}
+
+func TestLLMKeyScanStopsWhenNoNewKeys(t *testing.T) {
+	// The model keeps repeating the same keys; the scan must terminate.
+	client := (&scriptedLLM{}).on("towns", "Alpha\nBeta")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	rel, err := Run(llmCtx(client), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 {
+		t.Errorf("keys = %d", rel.Cardinality())
+	}
+	if client.calls > 3 {
+		t.Errorf("scan must stop once no new keys arrive, made %d calls", client.calls)
+	}
+}
+
+func TestLLMKeyScanIterationCap(t *testing.T) {
+	// A pathological model that always invents a fresh key: the cap must
+	// stop the loop.
+	n := 0
+	client := &scriptedLLM{}
+	client.rules = append(client.rules, struct{ contains, answer string }{"", ""})
+	// Override via closure-free trick: wrap with dynamic answer.
+	dyn := &dynamicLLM{f: func(p string) string {
+		n++
+		return fmt.Sprintf("Town%d", n)
+	}}
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	ctx := llmCtx(client)
+	ctx.Client = dyn
+	ctx.MaxScanIterations = 3
+	rel, err := Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 3 {
+		t.Errorf("cap=3 should yield 3 keys, got %d", rel.Cardinality())
+	}
+}
+
+type dynamicLLM struct{ f func(string) string }
+
+func (d *dynamicLLM) Name() string { return "dynamic" }
+func (d *dynamicLLM) Complete(ctx context.Context, p string) (string, error) {
+	return d.f(p), nil
+}
+
+func TestLLMKeyScanUnknown(t *testing.T) {
+	client := (&scriptedLLM{}).on("towns", "Unknown")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	rel, err := Run(llmCtx(client), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 0 {
+		t.Errorf("Unknown should yield an empty relation, got %d", rel.Cardinality())
+	}
+}
+
+func TestLLMFetchAttr(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("population of the town Alpha", "1.2 million").
+		on("population of the town Beta", "Unknown")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta")}
+	fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+	rel, err := Run(llmCtx(client), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 {
+		t.Fatalf("rows = %d", rel.Cardinality())
+	}
+	if rel.Rows[0][1].AsInt() != 1200000 {
+		t.Errorf("Alpha population = %v (cleaned from '1.2 million')", rel.Rows[0][1])
+	}
+	if !rel.Rows[1][1].IsNull() {
+		t.Errorf("Unknown must become NULL, got %v", rel.Rows[1][1])
+	}
+}
+
+func keysRelation(keys ...string) *schema.Relation {
+	rel := schema.NewRelation(schema.New(schema.Column{Table: "t", Name: "name", Type: value.KindString}))
+	for _, k := range keys {
+		rel.Append(schema.Tuple{value.Text(k)})
+	}
+	return rel
+}
+
+func TestLLMFilter(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("Has town Alpha population more than 1000000", "yes").
+		on("Has town Beta population more than 1000000", "No.")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta")}
+	cond := &ast.Binary{
+		Op:    ">",
+		Left:  &ast.ColumnRef{Table: "t", Name: "population"},
+		Right: &ast.Literal{Val: value.Int(1000000)},
+	}
+	filter := &logical.LLMFilter{Input: scan, Table: townDef(), Binding: "t", Cond: cond, KeyCol: 0}
+	op := &llmFilterOp{node: filter, input: keyOp}
+	rel, err := Run(llmCtx(client), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 1 || rel.Rows[0][0].AsString() != "Alpha" {
+		t.Errorf("filter kept %v", rel.Rows)
+	}
+}
+
+func TestLLMErrorPropagates(t *testing.T) {
+	client := (&scriptedLLM{failOn: "towns"})
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	if _, err := Run(llmCtx(client), op); err == nil {
+		t.Error("LLM errors must propagate")
+	}
+}
+
+func TestLLMOpsRequireClient(t *testing.T) {
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	ctx := llmCtx(&scriptedLLM{})
+	ctx.Client = nil
+	if _, err := Run(ctx, op); err == nil {
+		t.Error("LLM scan without a client must fail")
+	}
+}
+
+func TestIsYes(t *testing.T) {
+	for s, want := range map[string]bool{
+		"yes": true, "Yes.": true, "YES": true, "true": true,
+		"no": false, "No.": false, "maybe": false, "": false,
+		"yes, it does": true,
+	} {
+		if got := isYes(s); got != want {
+			t.Errorf("isYes(%q) = %v", s, got)
+		}
+	}
+}
+
+func TestFetchVerification(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("population of the town Alpha", "100").
+		on("population of the town Beta", "200")
+	// The verifier agrees on Alpha (within 10%) and contradicts Beta.
+	verifier := (&scriptedLLM{}).
+		on("population of the town Alpha", "105").
+		on("population of the town Beta", "900")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta")}
+	fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+	ctx := llmCtx(client)
+	ctx.Verifier = verifier
+	rel, err := Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][1].AsInt() != 100 {
+		t.Errorf("agreeing value must survive: %v", rel.Rows[0][1])
+	}
+	if !rel.Rows[1][1].IsNull() {
+		t.Errorf("contradicted value must become NULL: %v", rel.Rows[1][1])
+	}
+}
+
+func TestValuesAgree(t *testing.T) {
+	cases := []struct {
+		a, b value.Value
+		tol  float64
+		want bool
+	}{
+		{value.Int(100), value.Int(105), 0.1, true},
+		{value.Int(100), value.Int(120), 0.1, false},
+		{value.Text("Rome"), value.Text(" rome "), 0.1, true},
+		{value.Text("Rome"), value.Text("Paris"), 0.1, false},
+		{value.Int(0), value.Int(0), 0.1, true},
+		{value.Int(0), value.Int(1), 0.1, false},
+		{value.Null(), value.Int(1), 0.1, false},
+	}
+	for _, c := range cases {
+		if got := valuesAgree(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("valuesAgree(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}

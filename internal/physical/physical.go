@@ -1,0 +1,258 @@
+// Package physical executes logical plans with an iterator (Open/Next/
+// Close) operator model. Traditional operators (scans, filters, joins,
+// aggregation, sorting) implement exact relational semantics over
+// materialized tuples; the LLM-backed operators (key scan, attribute
+// fetch, boolean filter) realize the paper's prompt-based physical
+// operators against any llm.Client.
+package physical
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/clean"
+	"repro/internal/expr"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+)
+
+// Context carries the runtime environment shared by all operators of one
+// query execution.
+type Context struct {
+	Ctx     context.Context
+	Client  llm.Client      // nil for DB-only plans
+	Prompts *prompt.Builder // prompt construction
+	Cleaner *clean.Cleaner  // answer normalization
+	// MaxScanIterations caps the "return more results" loop per leaf
+	// (Section 4's termination threshold).
+	MaxScanIterations int
+	// BatchWorkers bounds the concurrency of batched prompt execution.
+	BatchWorkers int
+	// Verifier, when non-nil, is a second model that double-checks every
+	// fetched attribute value (Section 6, "Knowledge of the Unknown":
+	// "verify generated query answers by another model"). Cells the
+	// verifier disagrees with become NULL.
+	Verifier llm.Client
+	// VerifyTolerance is the relative error under which two numeric
+	// answers count as agreeing (default 0.1 when Verifier is set).
+	VerifyTolerance float64
+}
+
+// Operator is one physical operator.
+type Operator interface {
+	Schema() *schema.Schema
+	Open(*Context) error
+	Next() (schema.Tuple, error) // io.EOF at end of stream
+	Close() error
+}
+
+// Run drains an operator into a materialized relation.
+func Run(ctx *Context, op Operator) (*schema.Relation, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := schema.NewRelation(op.Schema().Clone())
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Append(t)
+	}
+}
+
+// memScan iterates a materialized relation under the scan's qualified
+// schema.
+type memScan struct {
+	out  *schema.Schema
+	rel  *schema.Relation
+	next int
+}
+
+// NewMemScan builds a scan over data with the given output schema. The
+// data's column order must match the schema.
+func NewMemScan(out *schema.Schema, data *schema.Relation) Operator {
+	return &memScan{out: out, rel: data}
+}
+
+func (s *memScan) Schema() *schema.Schema { return s.out }
+func (s *memScan) Open(*Context) error    { s.next = 0; return nil }
+func (s *memScan) Close() error           { return nil }
+
+func (s *memScan) Next() (schema.Tuple, error) {
+	if s.next >= len(s.rel.Rows) {
+		return nil, io.EOF
+	}
+	t := s.rel.Rows[s.next]
+	s.next++
+	return t, nil
+}
+
+// filterOp streams tuples passing the predicate.
+type filterOp struct {
+	input Operator
+	cond  expr.Func
+}
+
+// NewFilter compiles cond against the input schema.
+func NewFilter(input Operator, cond expr.Func) Operator {
+	return &filterOp{input: input, cond: cond}
+}
+
+func (f *filterOp) Schema() *schema.Schema { return f.input.Schema() }
+func (f *filterOp) Open(c *Context) error  { return f.input.Open(c) }
+func (f *filterOp) Close() error           { return f.input.Close() }
+
+func (f *filterOp) Next() (schema.Tuple, error) {
+	for {
+		t, err := f.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := expr.EvalBool(f.cond, t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+}
+
+// projectOp evaluates one function per output column.
+type projectOp struct {
+	input Operator
+	out   *schema.Schema
+	funcs []expr.Func
+}
+
+func (p *projectOp) Schema() *schema.Schema { return p.out }
+func (p *projectOp) Open(c *Context) error  { return p.input.Open(c) }
+func (p *projectOp) Close() error           { return p.input.Close() }
+
+func (p *projectOp) Next() (schema.Tuple, error) {
+	t, err := p.input.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(schema.Tuple, len(p.funcs))
+	for i, f := range p.funcs {
+		v, err := f(t)
+		if err != nil {
+			return nil, fmt.Errorf("physical: projecting column %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// stripOp keeps the first k columns.
+type stripOp struct {
+	input Operator
+	out   *schema.Schema
+	keep  int
+}
+
+func (s *stripOp) Schema() *schema.Schema { return s.out }
+func (s *stripOp) Open(c *Context) error  { return s.input.Open(c) }
+func (s *stripOp) Close() error           { return s.input.Close() }
+
+func (s *stripOp) Next() (schema.Tuple, error) {
+	t, err := s.input.Next()
+	if err != nil {
+		return nil, err
+	}
+	return t[:s.keep], nil
+}
+
+// limitOp emits at most n tuples after skipping offset.
+type limitOp struct {
+	input   Operator
+	n       int // -1 = unlimited
+	offset  int
+	skipped int
+	emitted int
+}
+
+func (l *limitOp) Schema() *schema.Schema { return l.input.Schema() }
+
+func (l *limitOp) Open(c *Context) error {
+	l.skipped, l.emitted = 0, 0
+	return l.input.Open(c)
+}
+
+func (l *limitOp) Close() error { return l.input.Close() }
+
+func (l *limitOp) Next() (schema.Tuple, error) {
+	for l.skipped < l.offset {
+		if _, err := l.input.Next(); err != nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.n >= 0 && l.emitted >= l.n {
+		return nil, io.EOF
+	}
+	t, err := l.input.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.emitted++
+	return t, nil
+}
+
+// distinctOp drops duplicates over the first keyCols columns.
+type distinctOp struct {
+	input   Operator
+	keyCols int
+	seen    map[string]bool
+}
+
+func (d *distinctOp) Schema() *schema.Schema { return d.input.Schema() }
+
+func (d *distinctOp) Open(c *Context) error {
+	d.seen = map[string]bool{}
+	return d.input.Open(c)
+}
+
+func (d *distinctOp) Close() error { return d.input.Close() }
+
+func (d *distinctOp) Next() (schema.Tuple, error) {
+	idx := make([]int, d.keyCols)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		t, err := d.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := t.Key(idx)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t, nil
+	}
+}
+
+// drain materializes an operator's remaining stream.
+func drain(op Operator) ([]schema.Tuple, error) {
+	var rows []schema.Tuple
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, t)
+	}
+}

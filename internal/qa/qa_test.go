@@ -1,0 +1,138 @@
+package qa
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/clean"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func cleaner() *clean.Cleaner { return clean.New(clean.DefaultOptions()) }
+
+func singleCol(kind value.Kind) *schema.Schema {
+	return schema.New(schema.Column{Name: "x", Type: kind})
+}
+
+func TestParseSingleColumnList(t *testing.T) {
+	rel := Parse("Paris, Rome, London", singleCol(value.KindString), cleaner())
+	if rel.Cardinality() != 3 || rel.Rows[1][0].AsString() != "Rome" {
+		t.Errorf("parsed = %v", rel.Rows)
+	}
+}
+
+func TestParseBulletedList(t *testing.T) {
+	rel := Parse("- Paris\n- Rome\n- Paris", singleCol(value.KindString), cleaner())
+	if rel.Cardinality() != 2 {
+		t.Errorf("dedup failed: %v", rel.Rows)
+	}
+}
+
+func TestParseSingleNumber(t *testing.T) {
+	rel := Parse("About 42.", singleCol(value.KindInt), cleaner())
+	if rel.Cardinality() != 1 || rel.Rows[0][0].AsInt() != 42 {
+		t.Errorf("number = %v", rel.Rows)
+	}
+	// Unparseable numerics are dropped, not kept as text.
+	rel = Parse("dunno, maybe", singleCol(value.KindInt), cleaner())
+	if rel.Cardinality() != 0 {
+		t.Errorf("garbage numeric = %v", rel.Rows)
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	rel := Parse("Unknown", singleCol(value.KindString), cleaner())
+	if rel.Cardinality() != 0 {
+		t.Errorf("Unknown should be empty, got %v", rel.Rows)
+	}
+	rel = Parse("", singleCol(value.KindString), cleaner())
+	if rel.Cardinality() != 0 {
+		t.Errorf("empty should be empty")
+	}
+}
+
+func TestParseMultiColumnWithDates(t *testing.T) {
+	s := schema.New(
+		schema.Column{Name: "city", Type: value.KindString},
+		schema.Column{Name: "birth", Type: value.KindDate},
+	)
+	text := "- New York City: May 8, 1961\n- Chicago: August 4, 1962"
+	rel := Parse(text, s, cleaner())
+	if rel.Cardinality() != 2 {
+		t.Fatalf("rows = %d: %v", rel.Cardinality(), rel.Rows)
+	}
+	if rel.Rows[0][0].AsString() != "New York City" {
+		t.Errorf("key = %v", rel.Rows[0][0])
+	}
+	if !value.Equal(rel.Rows[0][1], value.Date(1961, 5, 8)) {
+		t.Errorf("comma-containing date survived splitting: %v", rel.Rows[0][1])
+	}
+}
+
+func TestParseMultiColumnCommaForm(t *testing.T) {
+	s := schema.New(
+		schema.Column{Name: "a", Type: value.KindString},
+		schema.Column{Name: "b", Type: value.KindInt},
+	)
+	rel := Parse("- Rome, 2873000\n- Paris, 2161000", s, cleaner())
+	if rel.Cardinality() != 2 || rel.Rows[0][1].AsInt() != 2873000 {
+		t.Errorf("rows = %v", rel.Rows)
+	}
+}
+
+func TestParseAnswerPrefix(t *testing.T) {
+	text := "Step 1: think.\nStep 2: think more.\nAnswer: Paris, Rome"
+	rel := Parse(text, singleCol(value.KindString), cleaner())
+	if rel.Cardinality() != 2 || rel.Rows[0][0].AsString() != "Paris" {
+		t.Errorf("CoT answer extraction = %v", rel.Rows)
+	}
+}
+
+func TestParsePadsShortRecords(t *testing.T) {
+	s := schema.New(
+		schema.Column{Name: "a", Type: value.KindString},
+		schema.Column{Name: "b", Type: value.KindString},
+		schema.Column{Name: "c", Type: value.KindString},
+	)
+	rel := Parse("- Rome, x", s, cleaner())
+	if rel.Cardinality() != 1 || !rel.Rows[0][2].IsNull() {
+		t.Errorf("short record = %v", rel.Rows)
+	}
+}
+
+func TestParseSkipsChattyHeaders(t *testing.T) {
+	s := schema.New(
+		schema.Column{Name: "a", Type: value.KindString},
+		schema.Column{Name: "b", Type: value.KindString},
+	)
+	rel := Parse("Here are the results:\n- Rome: Italy", s, cleaner())
+	if rel.Cardinality() != 1 {
+		t.Errorf("header line leaked into records: %v", rel.Rows)
+	}
+}
+
+// fixedClient returns one canned answer.
+type fixedClient struct{ answer string }
+
+func (f *fixedClient) Name() string { return "fixed" }
+func (f *fixedClient) Complete(ctx context.Context, p string) (string, error) {
+	return f.answer, nil
+}
+
+func TestAsk(t *testing.T) {
+	client := &fixedClient{answer: "Paris, Rome"}
+	res, err := Ask(context.Background(), client, prompt.NewBuilder(), "Which cities?", singleCol(value.KindString), cleaner(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != "Paris, Rome" || res.Relation.Cardinality() != 2 {
+		t.Errorf("Ask = %+v", res)
+	}
+	// CoT variant sends a different prompt but parses the same way.
+	res, err = Ask(context.Background(), client, prompt.NewBuilder(), "Which cities?", singleCol(value.KindString), cleaner(), true)
+	if err != nil || res.Relation.Cardinality() != 2 {
+		t.Errorf("CoT Ask = %+v, %v", res, err)
+	}
+}

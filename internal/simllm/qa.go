@@ -1,0 +1,367 @@
+package simllm
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/prompt"
+	"repro/internal/value"
+)
+
+// QuerySpec is the semantic reading of one natural-language benchmark
+// question. The simulated model "understands" a registered question by
+// executing its spec over the model's own noisy beliefs — the same beliefs
+// the Galois prompt operators tap — and rendering the result as prose.
+// This keeps the T_M / T_M^C baselines honest: both paths read the same
+// stored knowledge; only the reasoning harness differs.
+type QuerySpec struct {
+	Relation string
+	Select   []string // attributes to report (key included explicitly)
+	Filter   []FilterSpec
+	Agg      string // "", "count", "sum", "avg", "min", "max"
+	AggAttr  string
+	GroupBy  string
+	Join     *JoinSpec
+	OrderBy  string // superlative questions sort mentally ...
+	Desc     bool
+	Limit    int // ... and keep the top-k (0 = all)
+	Distinct bool
+}
+
+// FilterSpec is one conjunctive condition.
+type FilterSpec struct {
+	Attr  string
+	Op    string // = != < <= > >=
+	Value string // literal as text
+}
+
+// JoinSpec links a second relation through an equality.
+type JoinSpec struct {
+	Relation  string
+	LeftAttr  string // attribute of the outer relation
+	RightAttr string // attribute of the joined relation
+	Select    []string
+	Filter    []FilterSpec
+}
+
+func normalizeQuestion(q string) string {
+	q = strings.ToLower(strings.TrimSpace(q))
+	q = strings.TrimRight(q, "?.! ")
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// handleQA answers "Q: <question>\nA:" prompts.
+func (m *Model) handleQA(body string) string {
+	q := extractQuestion(body, "Q:", "\nA:")
+	spec, ok := m.questions[normalizeQuestion(q)]
+	if !ok {
+		return prompt.UnknownMarker
+	}
+	return m.answerSpec(spec, false)
+}
+
+// handleCoTQA answers the chain-of-thought variant.
+func (m *Model) handleCoTQA(body string) string {
+	q := extractQuestion(body, "Question:", "\nLet's reason")
+	if q == "" {
+		q = extractQuestion(body, "Q:", "\nA:")
+	}
+	spec, ok := m.questions[normalizeQuestion(q)]
+	if !ok {
+		return prompt.UnknownMarker
+	}
+	var b strings.Builder
+	b.WriteString("Step 1: recall the relevant " + prompt.Pluralize(prompt.Humanize(spec.Relation)) + ".\n")
+	step := 2
+	if len(spec.Filter) > 0 {
+		b.WriteString("Step " + strconv.Itoa(step) + ": apply the conditions.\n")
+		step++
+	}
+	if spec.Join != nil {
+		b.WriteString("Step " + strconv.Itoa(step) + ": connect each one to its " + prompt.Humanize(spec.Join.Relation) + ".\n")
+		step++
+	}
+	if spec.Agg != "" {
+		b.WriteString("Step " + strconv.Itoa(step) + ": compute the " + spec.Agg + ".\n")
+	}
+	b.WriteString("Answer: ")
+	b.WriteString(m.answerSpec(spec, true))
+	return b.String()
+}
+
+func extractQuestion(body, start, end string) string {
+	i := strings.LastIndex(body, start)
+	if i < 0 {
+		return ""
+	}
+	rest := body[i+len(start):]
+	if j := strings.Index(rest, end); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// qaRow is one intermediate result row during holistic answering.
+type qaRow struct {
+	key   string
+	vals  []value.Value // positionally aligned with the selected attrs
+	attrs []string      // (relation-qualified for rendering context)
+	rels  []string
+}
+
+// answerSpec executes a spec over the model's beliefs with holistic-
+// reasoning noise and renders a prose answer.
+func (m *Model) answerSpec(spec QuerySpec, cot bool) string {
+	slipKey := "qaslip"
+	joinRate := m.profile.QAJoinRate
+	aggErrRate := m.profile.QAAggErrRate
+	if cot {
+		slipKey = "cotslip"
+		joinRate = 0 // the fixed exemplar never quite fits the join step
+		aggErrRate = m.profile.CoTAggErrR
+	}
+
+	// 1. Recall and filter.
+	var rows []qaRow
+	for _, key := range m.knownKeys(spec.Relation) {
+		include := m.passesFilters(spec.Relation, key, spec.Filter)
+		// Holistic reasoning slips: items wrongly included or dropped.
+		if m.h01(slipKey, spec.Relation, key) < m.profile.QASlip {
+			include = !include
+		}
+		if !include {
+			continue
+		}
+		rows = append(rows, m.makeRow(spec.Relation, key, spec.Select))
+	}
+
+	// 2. Join.
+	if spec.Join != nil {
+		rows = m.joinRows(rows, spec, joinRate, slipKey)
+	}
+
+	// 3. Superlative ordering.
+	if spec.OrderBy != "" {
+		m.sortRows(rows, spec)
+	}
+	if spec.Limit > 0 && len(rows) > spec.Limit {
+		rows = rows[:spec.Limit]
+	}
+
+	// 4. Aggregate or enumerate.
+	if spec.Agg != "" {
+		return m.renderAggregate(rows, spec, aggErrRate)
+	}
+	return m.renderRows(rows, spec)
+}
+
+func (m *Model) passesFilters(rel, key string, filters []FilterSpec) bool {
+	for _, f := range filters {
+		bv, known := m.belief(rel, key, f.Attr)
+		if !known || !evalCond(bv, f.Op, f.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Model) makeRow(rel, key string, attrs []string) qaRow {
+	row := qaRow{key: key}
+	for _, a := range attrs {
+		bv, known := m.belief(rel, key, a)
+		if !known {
+			bv = value.Null()
+		}
+		row.vals = append(row.vals, bv)
+		row.attrs = append(row.attrs, a)
+		row.rels = append(row.rels, rel)
+	}
+	return row
+}
+
+func (m *Model) joinRows(rows []qaRow, spec QuerySpec, joinRate float64, slipKey string) []qaRow {
+	j := spec.Join
+	var out []qaRow
+	for _, row := range rows {
+		leftVal, known := m.belief(spec.Relation, row.key, j.LeftAttr)
+		if !known {
+			continue
+		}
+		// Can the model hold the two facts together? Mostly not — the
+		// paper's joins are where holistic QA falls apart.
+		if m.h01(slipKey+"-join", spec.Relation, row.key) >= joinRate {
+			continue
+		}
+		for _, rk := range m.knownKeys(j.Relation) {
+			rv, rknown := m.belief(j.Relation, rk, j.RightAttr)
+			if !rknown || !strings.EqualFold(rv.String(), leftVal.String()) {
+				continue
+			}
+			if !m.passesFilters(j.Relation, rk, j.Filter) {
+				continue
+			}
+			combined := qaRow{key: row.key}
+			combined.vals = append(combined.vals, row.vals...)
+			combined.attrs = append(combined.attrs, row.attrs...)
+			combined.rels = append(combined.rels, row.rels...)
+			for _, a := range j.Select {
+				bv, bknown := m.belief(j.Relation, rk, a)
+				if !bknown {
+					bv = value.Null()
+				}
+				combined.vals = append(combined.vals, bv)
+				combined.attrs = append(combined.attrs, a)
+				combined.rels = append(combined.rels, j.Relation)
+			}
+			out = append(out, combined)
+			break // first match, as a person would
+		}
+	}
+	return out
+}
+
+func (m *Model) sortRows(rows []qaRow, spec QuerySpec) {
+	keyOf := func(r qaRow) float64 {
+		bv, known := m.belief(spec.Relation, r.key, spec.OrderBy)
+		if !known {
+			return math.Inf(-1)
+		}
+		if f, ok := bv.Numeric(); ok {
+			return f
+		}
+		return 0
+	}
+	sort.SliceStable(rows, func(i, k int) bool {
+		a, b := keyOf(rows[i]), keyOf(rows[k])
+		if spec.Desc {
+			return a > b
+		}
+		return a < b
+	})
+}
+
+func (m *Model) renderAggregate(rows []qaRow, spec QuerySpec, errRate float64) string {
+	apply := func(vals []float64, groupKey string) string {
+		var out float64
+		switch spec.Agg {
+		case "count":
+			out = float64(len(vals))
+		case "sum":
+			for _, v := range vals {
+				out += v
+			}
+		case "avg":
+			if len(vals) == 0 {
+				return prompt.UnknownMarker
+			}
+			for _, v := range vals {
+				out += v
+			}
+			out /= float64(len(vals))
+		case "min":
+			if len(vals) == 0 {
+				return prompt.UnknownMarker
+			}
+			out = vals[0]
+			for _, v := range vals {
+				out = math.Min(out, v)
+			}
+		case "max":
+			if len(vals) == 0 {
+				return prompt.UnknownMarker
+			}
+			out = vals[0]
+			for _, v := range vals {
+				out = math.Max(out, v)
+			}
+		}
+		// Mental arithmetic is unreliable (Section 3: LLMs "fail with
+		// numerical comparisons" and aggregation).
+		if m.h01("qaagg", spec.Relation, spec.Agg, spec.AggAttr, groupKey) < errRate {
+			f := 1 + m.profile.QAAggSpread*(2*m.h01("qaaggamt", spec.Relation, spec.Agg, spec.AggAttr, groupKey)-1)
+			out *= f
+		}
+		if spec.Agg == "count" || out == math.Trunc(out) {
+			return strconv.FormatInt(int64(math.Round(out)), 10)
+		}
+		return strconv.FormatFloat(out, 'f', 1, 64)
+	}
+
+	collect := func(rs []qaRow) []float64 {
+		var vals []float64
+		for _, r := range rs {
+			if spec.Agg == "count" && spec.AggAttr == "" {
+				vals = append(vals, 1)
+				continue
+			}
+			bv, known := m.belief(spec.Relation, r.key, spec.AggAttr)
+			if !known {
+				continue
+			}
+			if f, ok := bv.Numeric(); ok {
+				vals = append(vals, f)
+			}
+		}
+		return vals
+	}
+
+	if spec.GroupBy == "" {
+		return apply(collect(rows), "")
+	}
+	groups := map[string][]qaRow{}
+	var order []string
+	for _, r := range rows {
+		bv, known := m.belief(spec.Relation, r.key, spec.GroupBy)
+		if !known {
+			continue
+		}
+		g := bv.String()
+		if _, seen := groups[g]; !seen {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	var lines []string
+	for _, g := range order {
+		lines = append(lines, "- "+g+": "+apply(collect(groups[g]), g))
+	}
+	if len(lines) == 0 {
+		return prompt.UnknownMarker
+	}
+	return strings.Join(lines, "\n")
+}
+
+func (m *Model) renderRows(rows []qaRow, spec QuerySpec) string {
+	if len(rows) == 0 {
+		return prompt.UnknownMarker
+	}
+	if len(rows) > m.profile.QAListLimit {
+		rows = rows[:m.profile.QAListLimit]
+	}
+	seen := map[string]bool{}
+	singleAttr := len(rows[0].vals) == 1
+	var parts []string
+	for _, r := range rows {
+		var fields []string
+		for i, v := range r.vals {
+			fields = append(fields, m.render(r.rels[i], r.key, r.attrs[i], v))
+		}
+		line := strings.Join(fields, ", ")
+		if spec.Distinct || singleAttr {
+			if seen[strings.ToLower(line)] {
+				continue
+			}
+			seen[strings.ToLower(line)] = true
+		}
+		parts = append(parts, line)
+	}
+	if singleAttr {
+		return strings.Join(parts, ", ")
+	}
+	for i := range parts {
+		parts[i] = "- " + parts[i]
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,365 @@
+package simllm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/prompt"
+	"repro/internal/world"
+)
+
+func newModel(t *testing.T, p Profile) *Model {
+	t.Helper()
+	return New(p, world.Build(), 1)
+}
+
+func builder() *prompt.Builder {
+	b := prompt.NewBuilder()
+	b.IncludePreamble = false
+	return b
+}
+
+func ask(t *testing.T, m *Model, p string) string {
+	t.Helper()
+	out, err := m.Complete(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDeterministic(t *testing.T) {
+	m := newModel(t, ChatGPT)
+	p := builder().Attr("country", "Italy", "capital")
+	a, b := ask(t, m, p), ask(t, m, p)
+	if a != b {
+		t.Errorf("same prompt must get the same answer: %q vs %q", a, b)
+	}
+	// A different seed may answer differently, but stays deterministic.
+	m2 := New(ChatGPT, world.Build(), 2)
+	c, d := ask(t, m2, p), ask(t, m2, p)
+	if c != d {
+		t.Error("seeded model must be self-consistent")
+	}
+}
+
+func TestPreambleTolerated(t *testing.T) {
+	m := newModel(t, GPT3)
+	withPreamble := prompt.NewBuilder()
+	bare := builder()
+	a := ask(t, m, withPreamble.Attr("country", "France", "capital"))
+	b := ask(t, m, bare.Attr("country", "France", "capital"))
+	if a != b {
+		t.Errorf("preamble must not change the answer: %q vs %q", a, b)
+	}
+}
+
+func TestListPrompt(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, builder().KeyList("country", "name", nil, nil))
+	lines := strings.Split(out, "\n")
+	if len(lines) == 0 || len(lines) > GPT3.ListLimit+2 {
+		t.Errorf("list size %d exceeds limit %d", len(lines), GPT3.ListLimit)
+	}
+	// The most famous country heads the list.
+	if !strings.Contains(out, "United States") {
+		t.Errorf("list should contain the most popular entities:\n%s", out)
+	}
+}
+
+func TestListExclusionsRespected(t *testing.T) {
+	m := newModel(t, GPT3)
+	first := ask(t, m, builder().KeyList("country", "name", nil, nil))
+	keys := strings.Split(first, "\n")
+	more := ask(t, m, builder().KeyList("country", "name", nil, keys))
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		for _, line := range strings.Split(more, "\n") {
+			if strings.EqualFold(strings.TrimSpace(line), strings.TrimSpace(k)) {
+				t.Errorf("repeated key %q in more-results answer", k)
+			}
+		}
+	}
+}
+
+func TestListUnknownRelation(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, builder().KeyList("spaceship", "name", nil, nil))
+	if out != prompt.UnknownMarker {
+		t.Errorf("unknown relation = %q", out)
+	}
+}
+
+func TestPushedConditionFilters(t *testing.T) {
+	m := newModel(t, GPT3)
+	conds := []prompt.Condition{{Attr: "continent", OpPhrase: "equal to", Value: "Europe"}}
+	out := ask(t, m, builder().KeyList("country", "name", conds, nil))
+	if strings.Contains(out, "United States") {
+		t.Errorf("pushed condition ignored:\n%s", out)
+	}
+}
+
+func TestAttrPrompt(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, builder().Attr("country", "France", "capital"))
+	if !strings.Contains(strings.ToLower(out), "paris") && out != prompt.UnknownMarker {
+		t.Errorf("capital of France = %q", out)
+	}
+	// Multi-word attribute labels resolve.
+	out = ask(t, m, builder().Attr("country", "France", "independence_year"))
+	if out == prompt.UnknownMarker {
+		t.Skip("model refused; acceptable under noise")
+	}
+}
+
+func TestAttrUnknownEntity(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, builder().Attr("country", "Atlantis", "capital"))
+	if out != prompt.UnknownMarker {
+		t.Errorf("unknown entity = %q", out)
+	}
+}
+
+func TestAttrAliasUnderstood(t *testing.T) {
+	m := newModel(t, GPT3)
+	canonical := ask(t, m, builder().Attr("country", "United States", "capital"))
+	alias := ask(t, m, builder().Attr("country", "USA", "capital"))
+	if canonical != alias {
+		t.Errorf("the model should understand alias spellings: %q vs %q", canonical, alias)
+	}
+}
+
+func TestFilterPrompt(t *testing.T) {
+	m := newModel(t, GPT3)
+	yes := ask(t, m, builder().Filter("country", "China", "population", "more than", "1000000"))
+	no := ask(t, m, builder().Filter("country", "Iceland", "population", "more than", "1000000000"))
+	if !strings.HasPrefix(strings.ToLower(yes), "yes") {
+		t.Errorf("China has >1M people: %q", yes)
+	}
+	if !strings.HasPrefix(strings.ToLower(no), "no") {
+		t.Errorf("Iceland has <1B people: %q", no)
+	}
+}
+
+func TestFilterUnknownEntityIsNo(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, builder().Filter("country", "Atlantis", "population", "more than", "1"))
+	if out != "no" {
+		t.Errorf("unknown entity filter = %q", out)
+	}
+}
+
+func TestRecallOrdering(t *testing.T) {
+	// The bigger model must recall at least as many entities on average.
+	w := world.Build()
+	small := New(Flan, w, 1)
+	big := New(GPT3, w, 1)
+	if len(small.knownKeys("country")) > len(big.knownKeys("country")) {
+		t.Errorf("flan recalls %d countries, gpt3 %d — ordering violated",
+			len(small.knownKeys("country")), len(big.knownKeys("country")))
+	}
+	// GPT-3 knows nearly everything.
+	if n := len(big.knownKeys("country")); n < 40 {
+		t.Errorf("gpt3 recalls only %d/48 countries", n)
+	}
+	// Flan is popularity-biased: it must know the most famous one.
+	if !small.knows("country", "United States", 1.0) {
+		t.Error("even a small model knows the most popular entity")
+	}
+}
+
+func TestBeliefStable(t *testing.T) {
+	m := newModel(t, ChatGPT)
+	a, okA := m.belief("city", "Chicago", "population")
+	b, okB := m.belief("city", "Chicago", "population")
+	if okA != okB || a.String() != b.String() {
+		t.Error("beliefs must be stable across queries")
+	}
+}
+
+func TestQARegisteredQuestion(t *testing.T) {
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"which countries are in europe": {
+			Relation: "country", Select: []string{"name"},
+			Filter: []FilterSpec{{Attr: "continent", Op: "=", Value: "Europe"}},
+		},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("Which countries are in Europe?"))
+	if out == prompt.UnknownMarker {
+		t.Fatal("registered question must be answered")
+	}
+	if strings.Contains(out, "China") {
+		t.Errorf("filter ignored: %s", out)
+	}
+}
+
+func TestQAUnregisteredQuestion(t *testing.T) {
+	m := newModel(t, GPT3)
+	out := ask(t, m, prompt.NewBuilder().Question("What is the meaning of life?"))
+	if out != prompt.UnknownMarker {
+		t.Errorf("unregistered question = %q", out)
+	}
+}
+
+func TestCoTAnswerHasSteps(t *testing.T) {
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"how many countries are there": {Relation: "country", Agg: "count"},
+	})
+	out := ask(t, m, prompt.NewBuilder().CoTQuestion("How many countries are there?"))
+	if !strings.Contains(out, "Step 1") || !strings.Contains(out, "Answer:") {
+		t.Errorf("CoT answer should show its steps: %q", out)
+	}
+}
+
+func TestQAAggregates(t *testing.T) {
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"max mountain": {Relation: "mountain", Agg: "max", AggAttr: "height"},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("max mountain"))
+	if out == prompt.UnknownMarker {
+		t.Fatal("aggregate question must produce a number")
+	}
+}
+
+func TestQAGroupBy(t *testing.T) {
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"countries per continent": {Relation: "country", Agg: "count", GroupBy: "continent"},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("countries per continent"))
+	if !strings.Contains(out, ":") {
+		t.Errorf("grouped answer should have group: value lines, got %q", out)
+	}
+}
+
+func TestProfileRegistry(t *testing.T) {
+	for _, id := range []string{"flan", "tk", "gpt3", "chatgpt"} {
+		p, ok := ProfileByName(id)
+		if !ok || p.ID != id {
+			t.Errorf("ProfileByName(%q) = %+v, %v", id, p, ok)
+		}
+	}
+	if _, ok := ProfileByName("gpt5"); ok {
+		t.Error("unknown profile must not resolve")
+	}
+	if len(AllProfiles()) != 4 {
+		t.Error("four models, as in the paper")
+	}
+}
+
+func TestGarbagePrompt(t *testing.T) {
+	m := newModel(t, ChatGPT)
+	out := ask(t, m, "complete gibberish with no recognizable structure")
+	if out != prompt.UnknownMarker {
+		t.Errorf("gibberish = %q", out)
+	}
+}
+
+func TestSplitKeyAttr(t *testing.T) {
+	m := newModel(t, GPT3)
+	key, attr, ok := m.splitKeyAttr("country", "United States independence year")
+	if !ok || key != "United States" || attr != "independence_year" {
+		t.Errorf("splitKeyAttr = %q %q %v", key, attr, ok)
+	}
+	_, _, ok = m.splitKeyAttr("country", "no such attribute here")
+	if ok {
+		t.Error("unsplittable input must fail")
+	}
+}
+
+func TestDerivedAttrBelief(t *testing.T) {
+	// Asking for a derived attribute directly must agree with chaining
+	// the two underlying questions — the Section 6 schema-less property,
+	// modulo recall.
+	m := newModel(t, GPT3)
+	direct := ask(t, m, builder().Attr("city", "Paris", "mayor_birth_date"))
+	mayor := ask(t, m, builder().Attr("city", "Paris", "mayor"))
+	if mayor == prompt.UnknownMarker || direct == prompt.UnknownMarker {
+		t.Skip("model refused under noise; acceptable")
+	}
+	indirect := ask(t, m, builder().Attr("mayor", mayor, "birth_date"))
+	if direct != indirect {
+		t.Errorf("derived answer %q must chain the same beliefs as %q", direct, indirect)
+	}
+}
+
+func TestQASuperlative(t *testing.T) {
+	// OrderBy + Limit answers superlative questions with the top entity.
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"most populous city": {
+			Relation: "city", Select: []string{"name"},
+			OrderBy: "population", Desc: true, Limit: 1,
+		},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("most populous city"))
+	if out == prompt.UnknownMarker {
+		t.Fatal("superlative must answer")
+	}
+	if strings.Contains(out, ",") {
+		t.Errorf("limit 1 should yield one entity, got %q", out)
+	}
+}
+
+func TestQAJoinSpec(t *testing.T) {
+	// Join questions produce few correct pairs (the paper's QA joins reach
+	// only 8%); the plumbing must still work end to end.
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"city continents": {
+			Relation: "city", Select: []string{"name"},
+			Join: &JoinSpec{Relation: "country", LeftAttr: "country", RightAttr: "name", Select: []string{"continent"}},
+		},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("city continents"))
+	// Either some pairs or a refusal; never an error.
+	if out == "" {
+		t.Error("join QA must produce text")
+	}
+}
+
+func TestQADistinct(t *testing.T) {
+	m := newModel(t, GPT3)
+	m.RegisterQuestions(map[string]QuerySpec{
+		"distinct continents": {
+			Relation: "country", Select: []string{"continent"}, Distinct: true,
+		},
+	})
+	out := ask(t, m, prompt.NewBuilder().Question("distinct continents"))
+	seen := map[string]bool{}
+	for _, item := range strings.Split(out, ",") {
+		k := strings.ToLower(strings.TrimSpace(item))
+		if seen[k] {
+			t.Errorf("duplicate %q in distinct answer %q", item, out)
+		}
+		seen[k] = true
+	}
+}
+
+func TestModelConcurrencySafe(t *testing.T) {
+	// Models are used concurrently by batched operators; hammer one from
+	// many goroutines (run with -race).
+	m := newModel(t, ChatGPT)
+	b := builder()
+	done := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			key := []string{"France", "Italy", "Japan", "Brazil"}[i%4]
+			out, _ := m.Complete(context.Background(), b.Attr("country", key, "capital"))
+			done <- out
+		}(i)
+	}
+	answers := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		answers[<-done] = true
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+}

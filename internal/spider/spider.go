@@ -1,0 +1,499 @@
+// Package spider defines the benchmark corpus: 46 SQL queries about
+// generic topics (world geography, cities, airports, music, sport) in the
+// spirit of the paper's Spider subset, each with its natural-language
+// paraphrase (for the QA baselines) and a class tag matching Table 2's
+// breakdown (selections, aggregates, joins, other).
+//
+// Every query runs against the synthetic world: on the in-memory DBMS for
+// the ground truth R_D, through Galois for R_M, and as an NL question for
+// T_M and T_M^C.
+package spider
+
+import (
+	"repro/internal/simllm"
+)
+
+// Class tags a query for Table 2's per-class breakdown.
+type Class string
+
+// Query classes.
+const (
+	ClassOther     Class = "other"     // projection-only
+	ClassSelection Class = "selection" // selection (+ projection)
+	ClassAggregate Class = "aggregate" // aggregation, optionally filtered
+	ClassJoin      Class = "join"      // multi-relation
+)
+
+// Query is one benchmark entry.
+type Query struct {
+	ID    int
+	SQL   string
+	NL    string
+	Class Class
+	// Spec is the semantic reading of NL registered with the simulated
+	// models so they can answer the question holistically.
+	Spec simllm.QuerySpec
+}
+
+// Queries returns the 46-query corpus in ID order.
+func Queries() []Query { return corpus }
+
+// ByClass returns the queries of one class.
+func ByClass(c Class) []Query {
+	var out []Query
+	for _, q := range corpus {
+		if q.Class == c {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QuestionBank maps every NL paraphrase to its spec, for
+// Model.RegisterQuestions.
+func QuestionBank() map[string]simllm.QuerySpec {
+	bank := make(map[string]simllm.QuerySpec, len(corpus))
+	for _, q := range corpus {
+		bank[q.NL] = q.Spec
+	}
+	return bank
+}
+
+var corpus = []Query{
+	// ------------------------------------------------ projections (other)
+	{
+		ID: 1, Class: ClassOther,
+		SQL: `SELECT name FROM country`,
+		NL:  "List the names of all countries.",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name"},
+		},
+	},
+	{
+		ID: 2, Class: ClassOther,
+		SQL: `SELECT name, capital FROM country`,
+		NL:  "What are the names and capitals of all countries?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name", "capital"},
+		},
+	},
+	{
+		ID: 3, Class: ClassOther,
+		SQL: `SELECT name FROM city`,
+		NL:  "List the names of all cities.",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+		},
+	},
+	{
+		ID: 4, Class: ClassOther,
+		SQL: `SELECT iata, city FROM airport`,
+		NL:  "List the IATA code and city of every airport.",
+		Spec: simllm.QuerySpec{
+			Relation: "airport", Select: []string{"iata", "city"},
+		},
+	},
+	{
+		ID: 5, Class: ClassOther,
+		SQL: `SELECT name, genre FROM singer`,
+		NL:  "List every singer together with their genre.",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Select: []string{"name", "genre"},
+		},
+	},
+	{
+		ID: 6, Class: ClassOther,
+		SQL: `SELECT name, mountain_range FROM mountain`,
+		NL:  "List every mountain and the range it belongs to.",
+		Spec: simllm.QuerySpec{
+			Relation: "mountain", Select: []string{"name", "mountain_range"},
+		},
+	},
+	{
+		ID: 7, Class: ClassOther,
+		SQL: `SELECT name, city FROM stadium`,
+		NL:  "List stadium names and the cities they are in.",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Select: []string{"name", "city"},
+		},
+	},
+	{
+		ID: 8, Class: ClassOther,
+		SQL: `SELECT name, language FROM country`,
+		NL:  "What language is spoken in each country?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name", "language"},
+		},
+	},
+	{
+		ID: 9, Class: ClassOther,
+		SQL: `SELECT name, mayor FROM city`,
+		NL:  "Who is the mayor of each city?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name", "mayor"},
+		},
+	},
+	{
+		ID: 10, Class: ClassOther,
+		SQL: `SELECT name, currency FROM country`,
+		NL:  "What currency does each country use?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name", "currency"},
+		},
+	},
+
+	// ------------------------------------------------------- selections
+	{
+		ID: 11, Class: ClassSelection,
+		SQL: `SELECT name FROM country WHERE independence_year > 1950`,
+		NL:  "What are the names of the countries that became independent after 1950?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "independence_year", Op: ">", Value: "1950"}},
+		},
+	},
+	{
+		ID: 12, Class: ClassSelection,
+		SQL: `SELECT name FROM city WHERE population > 5000000`,
+		NL:  "Which cities have more than 5 million inhabitants?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "population", Op: ">", Value: "5000000"}},
+		},
+	},
+	{
+		ID: 13, Class: ClassSelection,
+		SQL: `SELECT name FROM country WHERE continent = 'Europe'`,
+		NL:  "List the countries in Europe.",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "continent", Op: "=", Value: "Europe"}},
+		},
+	},
+	{
+		ID: 14, Class: ClassSelection,
+		SQL: `SELECT name FROM mountain WHERE height > 5000`,
+		NL:  "Which mountains are higher than 5000 meters?",
+		Spec: simllm.QuerySpec{
+			Relation: "mountain", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "height", Op: ">", Value: "5000"}},
+		},
+	},
+	{
+		ID: 15, Class: ClassSelection,
+		SQL: `SELECT name FROM singer WHERE birth_year > 1990`,
+		NL:  "Which singers were born after 1990?",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "birth_year", Op: ">", Value: "1990"}},
+		},
+	},
+	{
+		ID: 16, Class: ClassSelection,
+		SQL: `SELECT name FROM stadium WHERE capacity > 80000`,
+		NL:  "Which stadiums hold more than 80000 spectators?",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "capacity", Op: ">", Value: "80000"}},
+		},
+	},
+	{
+		ID: 17, Class: ClassSelection,
+		SQL: `SELECT iata FROM airport WHERE passengers > 50`,
+		NL:  "Which airports serve more than 50 million passengers a year? Give their IATA codes.",
+		Spec: simllm.QuerySpec{
+			Relation: "airport", Select: []string{"iata"},
+			Filter: []simllm.FilterSpec{{Attr: "passengers", Op: ">", Value: "50"}},
+		},
+	},
+	{
+		ID: 18, Class: ClassSelection,
+		SQL: `SELECT name FROM country WHERE population > 100000000`,
+		NL:  "Which countries have more than 100 million people?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "population", Op: ">", Value: "100000000"}},
+		},
+	},
+	{
+		ID: 19, Class: ClassSelection,
+		SQL: `SELECT name FROM city WHERE elevation > 1000`,
+		NL:  "Which cities lie above 1000 meters of elevation?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "elevation", Op: ">", Value: "1000"}},
+		},
+	},
+	{
+		ID: 20, Class: ClassSelection,
+		SQL: `SELECT name FROM country WHERE continent = 'Africa'`,
+		NL:  "List the countries in Africa.",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "continent", Op: "=", Value: "Africa"}},
+		},
+	},
+	{
+		ID: 21, Class: ClassSelection,
+		SQL: `SELECT name FROM singer WHERE genre = 'Pop'`,
+		NL:  "Which singers perform pop music?",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "genre", Op: "=", Value: "Pop"}},
+		},
+	},
+	{
+		ID: 22, Class: ClassSelection,
+		SQL: `SELECT name FROM mayor WHERE election_year = 2019`,
+		NL:  "Which mayors were elected in 2019?",
+		Spec: simllm.QuerySpec{
+			Relation: "mayor", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "election_year", Op: "=", Value: "2019"}},
+		},
+	},
+	{
+		ID: 23, Class: ClassSelection,
+		SQL: `SELECT name FROM city WHERE founded_year < 1000`,
+		NL:  "Which cities were founded before the year 1000?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "founded_year", Op: "<", Value: "1000"}},
+		},
+	},
+	{
+		ID: 24, Class: ClassSelection,
+		SQL: `SELECT name FROM stadium WHERE opened_year > 2000`,
+		NL:  "Which stadiums opened after the year 2000?",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "opened_year", Op: ">", Value: "2000"}},
+		},
+	},
+
+	// ------------------------------------------------------- aggregates
+	{
+		ID: 25, Class: ClassAggregate,
+		SQL: `SELECT COUNT(*) FROM country`,
+		NL:  "How many countries are there?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Agg: "count",
+		},
+	},
+	{
+		ID: 26, Class: ClassAggregate,
+		SQL: `SELECT AVG(population) FROM city`,
+		NL:  "What is the average population of the cities?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Agg: "avg", AggAttr: "population",
+		},
+	},
+	{
+		ID: 27, Class: ClassAggregate,
+		SQL: `SELECT MAX(height) FROM mountain`,
+		NL:  "How high is the highest mountain?",
+		Spec: simllm.QuerySpec{
+			Relation: "mountain", Agg: "max", AggAttr: "height",
+		},
+	},
+	{
+		ID: 28, Class: ClassAggregate,
+		SQL: `SELECT MIN(opened_year) FROM stadium`,
+		NL:  "In which year did the oldest stadium open?",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Agg: "min", AggAttr: "opened_year",
+		},
+	},
+	{
+		ID: 29, Class: ClassAggregate,
+		SQL: `SELECT SUM(albums) FROM singer`,
+		NL:  "How many albums have all the singers released in total?",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Agg: "sum", AggAttr: "albums",
+		},
+	},
+	{
+		ID: 30, Class: ClassAggregate,
+		SQL: `SELECT AVG(gdp) FROM country WHERE continent = 'Europe'`,
+		NL:  "What is the average GDP of European countries?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Agg: "avg", AggAttr: "gdp",
+			Filter: []simllm.FilterSpec{{Attr: "continent", Op: "=", Value: "Europe"}},
+		},
+	},
+	{
+		ID: 31, Class: ClassAggregate,
+		SQL: `SELECT COUNT(*) FROM city WHERE population > 5000000`,
+		NL:  "How many cities have more than 5 million inhabitants?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Agg: "count",
+			Filter: []simllm.FilterSpec{{Attr: "population", Op: ">", Value: "5000000"}},
+		},
+	},
+	{
+		ID: 32, Class: ClassAggregate,
+		SQL: `SELECT MAX(capacity) FROM stadium`,
+		NL:  "What is the capacity of the largest stadium?",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Agg: "max", AggAttr: "capacity",
+		},
+	},
+	{
+		ID: 33, Class: ClassAggregate,
+		SQL: `SELECT AVG(passengers) FROM airport`,
+		NL:  "On average, how many million passengers does an airport serve per year?",
+		Spec: simllm.QuerySpec{
+			Relation: "airport", Agg: "avg", AggAttr: "passengers",
+		},
+	},
+	{
+		ID: 34, Class: ClassAggregate,
+		SQL: `SELECT COUNT(*) FROM singer WHERE genre = 'Pop'`,
+		NL:  "How many singers perform pop music?",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Agg: "count",
+			Filter: []simllm.FilterSpec{{Attr: "genre", Op: "=", Value: "Pop"}},
+		},
+	},
+	{
+		ID: 35, Class: ClassAggregate,
+		SQL: `SELECT continent, COUNT(*) FROM country GROUP BY continent`,
+		NL:  "How many countries are there on each continent?",
+		Spec: simllm.QuerySpec{
+			Relation: "country", Agg: "count", GroupBy: "continent",
+		},
+	},
+	{
+		ID: 36, Class: ClassAggregate,
+		SQL: `SELECT MIN(height) FROM mountain`,
+		NL:  "How high is the lowest of the famous mountains?",
+		Spec: simllm.QuerySpec{
+			Relation: "mountain", Agg: "min", AggAttr: "height",
+		},
+	},
+
+	// ------------------------------------------------------------ joins
+	{
+		ID: 37, Class: ClassJoin,
+		SQL: `SELECT c.name, m.birth_date FROM city c, mayor m WHERE c.mayor = m.name AND m.election_year = 2019`,
+		NL:  "List names of the cities and mayor birth date for the cities where the current mayor has been in charge since 2019.",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "mayor", LeftAttr: "mayor", RightAttr: "name",
+				Select: []string{"birth_date"},
+				Filter: []simllm.FilterSpec{{Attr: "election_year", Op: "=", Value: "2019"}},
+			},
+		},
+	},
+	{
+		ID: 38, Class: ClassJoin,
+		SQL: `SELECT ci.name, co.continent FROM city ci, country co WHERE ci.country = co.name`,
+		NL:  "For each city, which continent is it on?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "country", LeftAttr: "country", RightAttr: "name",
+				Select: []string{"continent"},
+			},
+		},
+	},
+	{
+		ID: 39, Class: ClassJoin,
+		SQL: `SELECT a.iata, c.population FROM airport a, city c WHERE a.city = c.name`,
+		NL:  "For each airport, what is the population of its city?",
+		Spec: simllm.QuerySpec{
+			Relation: "airport", Select: []string{"iata"},
+			Join: &simllm.JoinSpec{
+				Relation: "city", LeftAttr: "city", RightAttr: "name",
+				Select: []string{"population"},
+			},
+		},
+	},
+	{
+		ID: 40, Class: ClassJoin,
+		SQL: `SELECT s.name, c.mayor FROM stadium s, city c WHERE s.city = c.name`,
+		NL:  "For each stadium, who is the mayor of its city?",
+		Spec: simllm.QuerySpec{
+			Relation: "stadium", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "city", LeftAttr: "city", RightAttr: "name",
+				Select: []string{"mayor"},
+			},
+		},
+	},
+	{
+		ID: 41, Class: ClassJoin,
+		SQL: `SELECT m.name, c.population FROM mountain m, country c WHERE m.country = c.name`,
+		NL:  "For each mountain, what is the population of its country?",
+		Spec: simllm.QuerySpec{
+			Relation: "mountain", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "country", LeftAttr: "country", RightAttr: "name",
+				Select: []string{"population"},
+			},
+		},
+	},
+	{
+		ID: 42, Class: ClassJoin,
+		SQL: `SELECT s.name, co.capital FROM singer s, country co WHERE s.country = co.name`,
+		NL:  "For each singer, what is the capital of their country?",
+		Spec: simllm.QuerySpec{
+			Relation: "singer", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "country", LeftAttr: "country", RightAttr: "name",
+				Select: []string{"capital"},
+			},
+		},
+	},
+	{
+		ID: 43, Class: ClassJoin,
+		SQL: `SELECT c.name, m.party FROM city c, mayor m WHERE c.mayor = m.name AND c.population > 5000000`,
+		NL:  "For the cities with more than 5 million inhabitants, which party does the mayor belong to?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Filter: []simllm.FilterSpec{{Attr: "population", Op: ">", Value: "5000000"}},
+			Join: &simllm.JoinSpec{
+				Relation: "mayor", LeftAttr: "mayor", RightAttr: "name",
+				Select: []string{"party"},
+			},
+		},
+	},
+	{
+		ID: 44, Class: ClassJoin,
+		SQL: `SELECT a.name, co.code FROM airport a, country co WHERE a.country = co.name AND co.continent = 'Europe'`,
+		NL:  "List the European airports together with their country code.",
+		Spec: simllm.QuerySpec{
+			Relation: "airport", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "country", LeftAttr: "country", RightAttr: "name",
+				Select: []string{"code"},
+				Filter: []simllm.FilterSpec{{Attr: "continent", Op: "=", Value: "Europe"}},
+			},
+		},
+	},
+	{
+		ID: 45, Class: ClassJoin,
+		SQL: `SELECT ci.name, co.gdp FROM city ci, country co WHERE ci.country = co.name AND co.continent = 'Asia'`,
+		NL:  "For the cities in Asian countries, what is the GDP of their country?",
+		Spec: simllm.QuerySpec{
+			Relation: "city", Select: []string{"name"},
+			Join: &simllm.JoinSpec{
+				Relation: "country", LeftAttr: "country", RightAttr: "name",
+				Select: []string{"gdp"},
+				Filter: []simllm.FilterSpec{{Attr: "continent", Op: "=", Value: "Asia"}},
+			},
+		},
+	},
+	{
+		ID: 46, Class: ClassJoin,
+		SQL: `SELECT m.city, m.name FROM mayor m, city c WHERE m.name = c.mayor AND m.age < 40`,
+		NL:  "Which cities have a mayor younger than 40, and who is it?",
+		Spec: simllm.QuerySpec{
+			Relation: "mayor", Select: []string{"city", "name"},
+			Filter: []simllm.FilterSpec{{Attr: "age", Op: "<", Value: "40"}},
+			Join: &simllm.JoinSpec{
+				Relation: "city", LeftAttr: "name", RightAttr: "mayor",
+			},
+		},
+	},
+}

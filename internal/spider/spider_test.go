@@ -1,0 +1,144 @@
+package spider
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/memdb"
+	"repro/internal/sql/parser"
+	"repro/internal/world"
+)
+
+func TestCorpusSize(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 46 {
+		t.Fatalf("corpus has %d queries, the paper uses 46", len(qs))
+	}
+	seen := map[int]bool{}
+	for i, q := range qs {
+		if q.ID != i+1 {
+			t.Errorf("query %d has ID %d", i, q.ID)
+		}
+		if seen[q.ID] {
+			t.Errorf("duplicate ID %d", q.ID)
+		}
+		seen[q.ID] = true
+	}
+}
+
+func TestClassBreakdown(t *testing.T) {
+	counts := map[Class]int{}
+	for _, q := range Queries() {
+		counts[q.Class]++
+	}
+	if counts[ClassOther] != 10 || counts[ClassSelection] != 14 ||
+		counts[ClassAggregate] != 12 || counts[ClassJoin] != 10 {
+		t.Errorf("class breakdown = %v", counts)
+	}
+	if got := len(ByClass(ClassJoin)); got != 10 {
+		t.Errorf("ByClass(join) = %d", got)
+	}
+}
+
+func TestEveryQueryParses(t *testing.T) {
+	for _, q := range Queries() {
+		if _, err := parser.ParseSelect(q.SQL); err != nil {
+			t.Errorf("query %d does not parse: %v", q.ID, err)
+		}
+		if strings.TrimSpace(q.NL) == "" {
+			t.Errorf("query %d has no NL paraphrase", q.ID)
+		}
+		if q.Spec.Relation == "" {
+			t.Errorf("query %d has no semantic spec", q.ID)
+		}
+	}
+}
+
+func TestQuestionBank(t *testing.T) {
+	bank := QuestionBank()
+	if len(bank) != 46 {
+		t.Fatalf("question bank has %d entries (NL paraphrases must be distinct)", len(bank))
+	}
+	for _, q := range Queries() {
+		if _, ok := bank[q.NL]; !ok {
+			t.Errorf("question %d missing from bank", q.ID)
+		}
+	}
+}
+
+// TestGroundTruthNonEmpty executes every query on the world DB: each must
+// run and return at least one row (the paper averages over queries with
+// non-empty results; ours are all non-empty by construction).
+func TestGroundTruthNonEmpty(t *testing.T) {
+	w := world.Build()
+	db := memdb.New()
+	for _, name := range w.Tables() {
+		if err := db.LoadRelation(w.Table(name).Def, w.Relation(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for _, q := range Queries() {
+		rel, err := db.QuerySQL(ctx, q.SQL)
+		if err != nil {
+			t.Errorf("query %d fails on ground truth: %v", q.ID, err)
+			continue
+		}
+		if rel.Cardinality() == 0 {
+			t.Errorf("query %d has empty ground truth: %s", q.ID, q.SQL)
+		}
+	}
+}
+
+// TestSpecsConsistentWithSQL sanity-checks that each spec's relation and
+// join relation exist in the world and that selected attrs are declared.
+func TestSpecsConsistentWithSQL(t *testing.T) {
+	w := world.Build()
+	for _, q := range Queries() {
+		def := w.Def(q.Spec.Relation)
+		if def == nil {
+			t.Errorf("query %d spec references unknown relation %q", q.ID, q.Spec.Relation)
+			continue
+		}
+		for _, a := range q.Spec.Select {
+			if def.Schema.IndexOf("", a) < 0 {
+				t.Errorf("query %d spec selects unknown attr %s.%s", q.ID, q.Spec.Relation, a)
+			}
+		}
+		for _, f := range q.Spec.Filter {
+			if def.Schema.IndexOf("", f.Attr) < 0 {
+				t.Errorf("query %d spec filters unknown attr %s.%s", q.ID, q.Spec.Relation, f.Attr)
+			}
+		}
+		if j := q.Spec.Join; j != nil {
+			jdef := w.Def(j.Relation)
+			if jdef == nil {
+				t.Errorf("query %d spec joins unknown relation %q", q.ID, j.Relation)
+				continue
+			}
+			if def.Schema.IndexOf("", j.LeftAttr) < 0 {
+				t.Errorf("query %d join left attr %s missing", q.ID, j.LeftAttr)
+			}
+			if jdef.Schema.IndexOf("", j.RightAttr) < 0 {
+				t.Errorf("query %d join right attr %s missing", q.ID, j.RightAttr)
+			}
+			for _, a := range j.Select {
+				if jdef.Schema.IndexOf("", a) < 0 {
+					t.Errorf("query %d join selects unknown attr %s.%s", q.ID, j.Relation, a)
+				}
+			}
+		}
+	}
+}
+
+// TestGenericTopicsOnly ensures the corpus avoids the DB-only employees
+// table (the paper keeps only queries "about generic topics" the LLM has
+// seen).
+func TestGenericTopicsOnly(t *testing.T) {
+	for _, q := range Queries() {
+		if strings.Contains(strings.ToLower(q.SQL), "employees") {
+			t.Errorf("query %d touches the DB-only employees table", q.ID)
+		}
+	}
+}

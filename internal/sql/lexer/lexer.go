@@ -1,0 +1,247 @@
+// Package lexer tokenizes SQL text for the Galois parser.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/sql/token"
+)
+
+// Lexer scans SQL text into tokens. It is not safe for concurrent use.
+type Lexer struct {
+	src []rune
+	pos int // index of next rune to read
+}
+
+// New returns a lexer over the given SQL text.
+func New(src string) *Lexer { return &Lexer{src: []rune(src)} }
+
+// Tokenize scans the whole input and returns the token stream, ending with
+// an EOF token. It returns an error for unterminated strings or stray
+// characters.
+func Tokenize(src string) ([]token.Token, error) {
+	l := New(src)
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.peek()
+	l.pos++
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		for unicode.IsSpace(l.peek()) {
+			l.pos++
+		}
+		// -- line comments
+		if l.peek() == '-' && l.peekAt(1) == '-' {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.pos++
+			}
+			continue
+		}
+		// /* block comments */
+		if l.peek() == '/' && l.peekAt(1) == '*' {
+			l.pos += 2
+			for !(l.peek() == '*' && l.peekAt(1) == '/') && l.peek() != 0 {
+				l.pos++
+			}
+			if l.peek() != 0 {
+				l.pos += 2
+			}
+			continue
+		}
+		return
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	r := l.peek()
+	switch {
+	case r == 0:
+		return token.Token{Type: token.EOF, Pos: start}, nil
+	case isIdentStart(r):
+		return l.lexIdent(start), nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		return l.lexNumber(start)
+	case r == '\'':
+		return l.lexString(start)
+	case r == '"' || r == '`':
+		return l.lexQuotedIdent(start, r)
+	}
+	l.pos++
+	mk := func(t token.Type, lit string) (token.Token, error) {
+		return token.Token{Type: t, Literal: lit, Pos: start}, nil
+	}
+	switch r {
+	case ',':
+		return mk(token.Comma, ",")
+	case '.':
+		return mk(token.Dot, ".")
+	case ';':
+		return mk(token.Semicolon, ";")
+	case '(':
+		return mk(token.LParen, "(")
+	case ')':
+		return mk(token.RParen, ")")
+	case '*':
+		return mk(token.Star, "*")
+	case '+':
+		return mk(token.Plus, "+")
+	case '-':
+		return mk(token.Minus, "-")
+	case '/':
+		return mk(token.Slash, "/")
+	case '%':
+		return mk(token.Percent, "%")
+	case '=':
+		return mk(token.Eq, "=")
+	case '!':
+		if l.peek() == '=' {
+			l.pos++
+			return mk(token.NotEq, "!=")
+		}
+		return token.Token{Type: token.Illegal, Literal: "!", Pos: start},
+			fmt.Errorf("sql: unexpected character %q at offset %d", r, start)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.pos++
+			return mk(token.LtEq, "<=")
+		case '>':
+			l.pos++
+			return mk(token.NotEq, "<>")
+		}
+		return mk(token.Lt, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.pos++
+			return mk(token.GtEq, ">=")
+		}
+		return mk(token.Gt, ">")
+	}
+	return token.Token{Type: token.Illegal, Literal: string(r), Pos: start},
+		fmt.Errorf("sql: unexpected character %q at offset %d", r, start)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) lexIdent(start int) token.Token {
+	for isIdentPart(l.peek()) {
+		l.pos++
+	}
+	lit := string(l.src[start:l.pos])
+	if token.IsKeyword(lit) {
+		return token.Token{Type: token.Keyword, Literal: strings.ToUpper(lit), Pos: start}
+	}
+	return token.Token{Type: token.Ident, Literal: lit, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start int) (token.Token, error) {
+	seenDot := false
+	for {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			l.pos++
+			continue
+		}
+		if r == '.' && !seenDot && unicode.IsDigit(l.peekAt(1)) {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	// Exponent part: 1e9, 2.5E-3.
+	if r := l.peek(); r == 'e' || r == 'E' {
+		save := l.pos
+		l.pos++
+		if l.peek() == '+' || l.peek() == '-' {
+			l.pos++
+		}
+		if unicode.IsDigit(l.peek()) {
+			for unicode.IsDigit(l.peek()) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	return token.Token{Type: token.Number, Literal: string(l.src[start:l.pos]), Pos: start}, nil
+}
+
+func (l *Lexer) lexString(start int) (token.Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		r := l.advance()
+		switch r {
+		case 0:
+			return token.Token{Type: token.Illegal, Pos: start},
+				fmt.Errorf("sql: unterminated string literal at offset %d", start)
+		case '\'':
+			if l.peek() == '\'' { // escaped quote ''
+				b.WriteRune('\'')
+				l.pos++
+				continue
+			}
+			return token.Token{Type: token.String, Literal: b.String(), Pos: start}, nil
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) lexQuotedIdent(start int, quote rune) (token.Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		r := l.advance()
+		switch r {
+		case 0:
+			return token.Token{Type: token.Illegal, Pos: start},
+				fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		case quote:
+			return token.Token{Type: token.Ident, Literal: b.String(), Pos: start}, nil
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/sql/token"
+)
+
+func kinds(t *testing.T, src string) []token.Type {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Type, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Type
+	}
+	return out
+}
+
+func TestBasicSelect(t *testing.T) {
+	toks, err := Tokenize("SELECT c.name FROM city c WHERE c.population > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		tt  token.Type
+		lit string
+	}{
+		{token.Keyword, "SELECT"}, {token.Ident, "c"}, {token.Dot, "."},
+		{token.Ident, "name"}, {token.Keyword, "FROM"}, {token.Ident, "city"},
+		{token.Ident, "c"}, {token.Keyword, "WHERE"}, {token.Ident, "c"},
+		{token.Dot, "."}, {token.Ident, "population"}, {token.Gt, ">"},
+		{token.Number, "1000000"}, {token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.tt || toks[i].Literal != w.lit {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Type, toks[i].Literal, w.tt, w.lit)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select From WhErE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Type != token.Keyword {
+			t.Errorf("%q should lex as keyword", tok.Literal)
+		}
+	}
+	if toks[0].Literal != "SELECT" {
+		t.Errorf("keywords are upper-cased, got %q", toks[0].Literal)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Tokenize("'Europe' 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Literal != "Europe" {
+		t.Errorf("string literal = %q", toks[0].Literal)
+	}
+	if toks[1].Literal != "O'Brien" {
+		t.Errorf("escaped quote literal = %q", toks[1].Literal)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string must error")
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"weird name" ` + "`another`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != token.Ident || toks[0].Literal != "weird name" {
+		t.Errorf("quoted ident = %v %q", toks[0].Type, toks[0].Literal)
+	}
+	if toks[1].Type != token.Ident || toks[1].Literal != "another" {
+		t.Errorf("backquoted ident = %v %q", toks[1].Type, toks[1].Literal)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []string{"0", "42", "3.14", ".5", "1e9", "2.5E-3", "7e+2"}
+	for _, c := range cases {
+		toks, err := Tokenize(c)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", c, err)
+		}
+		if toks[0].Type != token.Number || toks[0].Literal != c {
+			t.Errorf("Tokenize(%q) = {%v %q}", c, toks[0].Type, toks[0].Literal)
+		}
+	}
+	// "1e" is a number followed by an identifier, not an error.
+	toks, err := Tokenize("1e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Literal != "1" || toks[1].Literal != "e" {
+		t.Errorf("partial exponent: %v", toks)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "= != <> < <= > >= + - * / % ( ) , ;")
+	want := []token.Type{
+		token.Eq, token.NotEq, token.NotEq, token.Lt, token.LtEq,
+		token.Gt, token.GtEq, token.Plus, token.Minus, token.Star,
+		token.Slash, token.Percent, token.LParen, token.RParen,
+		token.Comma, token.Semicolon, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- a comment\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	for _, tok := range toks {
+		if tok.Type != token.EOF {
+			lits = append(lits, tok.Literal)
+		}
+	}
+	if len(lits) != 4 || lits[0] != "SELECT" || lits[1] != "1" || lits[2] != "+" || lits[3] != "2" {
+		t.Errorf("comments not skipped: %v", lits)
+	}
+}
+
+func TestBadCharacter(t *testing.T) {
+	if _, err := Tokenize("SELECT @"); err == nil {
+		t.Error("stray @ must error")
+	}
+	if _, err := Tokenize("a ! b"); err == nil {
+		t.Error("bare ! must error")
+	}
+}
+
+func TestUnicodeIdent(t *testing.T) {
+	toks, err := Tokenize("ciudad_año")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != token.Ident || toks[0].Literal != "ciudad_año" {
+		t.Errorf("unicode identifier = %v %q", toks[0].Type, toks[0].Literal)
+	}
+}
+
+func TestIsKeywordHelpers(t *testing.T) {
+	if !token.IsKeyword("select") || token.IsKeyword("city") {
+		t.Error("IsKeyword misbehaves")
+	}
+	if !token.IsAggregateName("avg") || token.IsAggregateName("upper") {
+		t.Error("IsAggregateName misbehaves")
+	}
+}

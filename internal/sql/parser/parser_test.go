@@ -1,0 +1,278 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+func mustSelect(t *testing.T, src string) *ast.Select {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT name, population FROM city")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if ref, ok := sel.Items[0].Expr.(*ast.ColumnRef); !ok || ref.Name != "name" {
+		t.Errorf("item 0 = %v", sel.Items[0].Expr)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "city" {
+		t.Errorf("from = %v", sel.From)
+	}
+	if sel.Limit != -1 {
+		t.Errorf("absent LIMIT should be -1, got %d", sel.Limit)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT name AS n, population pop FROM city c")
+	if sel.Items[0].Alias != "n" || sel.Items[1].Alias != "pop" {
+		t.Errorf("aliases = %q %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	if sel.From[0].Alias != "c" || sel.From[0].Binding() != "c" {
+		t.Errorf("table alias = %q", sel.From[0].Alias)
+	}
+}
+
+func TestQualifiedAndStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT *, c.*, c.name FROM city c")
+	if _, ok := sel.Items[0].Expr.(*ast.Star); !ok {
+		t.Error("item 0 should be *")
+	}
+	star, ok := sel.Items[1].Expr.(*ast.Star)
+	if !ok || star.Table != "c" {
+		t.Errorf("item 1 should be c.*, got %v", sel.Items[1].Expr)
+	}
+	ref, ok := sel.Items[2].Expr.(*ast.ColumnRef)
+	if !ok || ref.Table != "c" || ref.Name != "name" {
+		t.Errorf("item 2 = %v", sel.Items[2].Expr)
+	}
+}
+
+func TestWherePrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*ast.Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top should be OR: %v", sel.Where)
+	}
+	and, ok := or.Right.(*ast.Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND binds tighter: %v", or.Right)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 + 2 * 3 FROM t")
+	add, ok := sel.Items[0].Expr.(*ast.Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %v", sel.Items[0].Expr)
+	}
+	if mul, ok := add.Right.(*ast.Binary); !ok || mul.Op != "*" {
+		t.Fatalf("* binds tighter: %v", add.Right)
+	}
+}
+
+func TestComparisonForms(t *testing.T) {
+	src := "SELECT x FROM t WHERE a IN (1, 2) AND b NOT IN (3) AND c BETWEEN 1 AND 5 AND d NOT BETWEEN 2 AND 3 AND e LIKE 'a%' AND f NOT LIKE '_b' AND g IS NULL AND h IS NOT NULL"
+	sel := mustSelect(t, src)
+	conjuncts := 0
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		conjuncts++
+	}
+	walk(sel.Where)
+	if conjuncts != 8 {
+		t.Errorf("conjuncts = %d, want 8", conjuncts)
+	}
+}
+
+func TestNegativeNumbersFold(t *testing.T) {
+	sel := mustSelect(t, "SELECT x FROM t WHERE a > -5 AND b < -2.5")
+	s := sel.Where.String()
+	if !strings.Contains(s, "-5") || !strings.Contains(s, "-2.5") {
+		t.Errorf("negative literals should fold: %s", s)
+	}
+}
+
+func TestAggregatesAndGroupBy(t *testing.T) {
+	sel := mustSelect(t, "SELECT continent, COUNT(*), AVG(gdp), COUNT(DISTINCT language) FROM country GROUP BY continent HAVING COUNT(*) > 2 ORDER BY AVG(gdp) DESC LIMIT 3 OFFSET 1")
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("group by = %v", sel.GroupBy)
+	}
+	count, ok := sel.Items[1].Expr.(*ast.FuncCall)
+	if !ok || count.Name != "COUNT" {
+		t.Fatalf("COUNT(*) = %v", sel.Items[1].Expr)
+	}
+	if _, isStar := count.Args[0].(*ast.Star); !isStar {
+		t.Error("COUNT(*) arg should be Star")
+	}
+	distinct, ok := sel.Items[3].Expr.(*ast.FuncCall)
+	if !ok || !distinct.Distinct {
+		t.Error("COUNT(DISTINCT ...) should set Distinct")
+	}
+	if sel.Having == nil {
+		t.Error("HAVING missing")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by = %v", sel.OrderBy)
+	}
+	if sel.Limit != 3 || sel.Offset != 1 {
+		t.Errorf("limit/offset = %d/%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y CROSS JOIN d")
+	if len(sel.From) != 4 {
+		t.Fatalf("from = %v", sel.From)
+	}
+	if sel.From[1].Join != ast.JoinInner || sel.From[1].On == nil {
+		t.Error("inner join parsed wrong")
+	}
+	if sel.From[2].Join != ast.JoinLeft {
+		t.Error("left join parsed wrong")
+	}
+	if sel.From[3].Join != ast.JoinCross || sel.From[3].On != nil {
+		t.Error("cross join parsed wrong")
+	}
+}
+
+func TestCommaJoin(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM city c, mayor m WHERE c.mayor = m.name")
+	if len(sel.From) != 2 || sel.From[1].Join != ast.JoinCross {
+		t.Errorf("comma join = %v", sel.From)
+	}
+}
+
+func TestSourceQualifiers(t *testing.T) {
+	sel := mustSelect(t, "SELECT c.gdp FROM LLM.country c, DB.Employees e")
+	if sel.From[0].Source != "LLM" || sel.From[0].Table != "country" {
+		t.Errorf("LLM qualifier = %+v", sel.From[0])
+	}
+	if sel.From[1].Source != "DB" || sel.From[1].Table != "Employees" {
+		t.Errorf("DB qualifier = %+v", sel.From[1])
+	}
+}
+
+func TestCase(t *testing.T) {
+	sel := mustSelect(t, "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+	c, ok := sel.Items[0].Expr.(*ast.Case)
+	if !ok || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("case = %v", sel.Items[0].Expr)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if !mustSelect(t, "SELECT DISTINCT name FROM t").Distinct {
+		t.Error("DISTINCT not set")
+	}
+	if mustSelect(t, "SELECT ALL name FROM t").Distinct {
+		t.Error("ALL means not distinct")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE city (name TEXT PRIMARY KEY, population INT, gdp FLOAT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := stmt.(*ast.CreateTable)
+	if !ok {
+		t.Fatalf("statement = %T", stmt)
+	}
+	if ct.Name != "city" || len(ct.Columns) != 3 {
+		t.Fatalf("create = %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != value.KindString {
+		t.Errorf("column 0 = %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Type != value.KindInt || ct.Columns[2].Type != value.KindFloat {
+		t.Error("column types wrong")
+	}
+}
+
+func TestInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO city (name, population) VALUES ('Rome', 2873000), ('Paris', 2161000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := stmt.(*ast.Insert)
+	if !ok {
+		t.Fatalf("statement = %T", stmt)
+	}
+	if len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT x FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("script statements = %d", len(stmts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing garbage (",
+		"INSERT INTO t",
+		"CREATE TABLE t",
+		"SELECT a FROM t WHERE a IN ()",
+		"UPDATE t SET x = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// TestRoundTrip renders parsed statements back to SQL and reparses; the
+// two ASTs must render identically.
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT name FROM city",
+		"SELECT DISTINCT c.name, c.population FROM city c WHERE c.population > 1000000 ORDER BY c.population DESC LIMIT 5",
+		"SELECT continent, COUNT(*) FROM country GROUP BY continent HAVING COUNT(*) > 2",
+		"SELECT a.x FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
+		"SELECT x FROM t WHERE a BETWEEN 1 AND 2 AND b LIKE 'x%' AND c IN (1, 2, 3)",
+		"SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+		"SELECT x + 1 AS y FROM t WHERE NOT (a = 1)",
+	}
+	for _, q := range queries {
+		first := mustSelect(t, q)
+		second := mustSelect(t, first.String())
+		if first.String() != second.String() {
+			t.Errorf("round trip diverged:\n  in:  %s\n  1st: %s\n  2nd: %s", q, first.String(), second.String())
+		}
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	if _, err := Parse("SELECT x FROM t;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+}

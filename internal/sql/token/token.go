@@ -1,0 +1,90 @@
+// Package token defines the lexical tokens of the SQL dialect Galois
+// understands.
+package token
+
+import "strings"
+
+// Type identifies the class of a token.
+type Type uint8
+
+// Token types.
+const (
+	Illegal Type = iota
+	EOF
+
+	Ident  // city, c.name (qualification handled by the parser)
+	Number // 42, 3.14
+	String // 'abc'
+
+	// Operators and punctuation.
+	Comma
+	Dot
+	Semicolon
+	LParen
+	RParen
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+	Eq
+	NotEq // != or <>
+	Lt
+	LtEq
+	Gt
+	GtEq
+
+	Keyword // SELECT, FROM, ...
+)
+
+var typeNames = map[Type]string{
+	Illegal: "ILLEGAL", EOF: "EOF", Ident: "IDENT", Number: "NUMBER",
+	String: "STRING", Comma: ",", Dot: ".", Semicolon: ";", LParen: "(",
+	RParen: ")", Star: "*", Plus: "+", Minus: "-", Slash: "/", Percent: "%",
+	Eq: "=", NotEq: "!=", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	Keyword: "KEYWORD",
+}
+
+// String returns a printable name for the token type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Type    Type
+	Literal string // raw text; for Keyword it is upper-cased
+	Pos     int
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitively) lex as Keyword tokens.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"DISTINCT": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "OUTER": true, "CROSS": true, "ON": true,
+	"ASC": true, "DESC": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"UNION": true, "ALL": true, "EXISTS": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// IsKeyword reports whether the identifier text is reserved.
+func IsKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+// IsAggregateName reports whether the keyword names an aggregate function.
+func IsAggregateName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

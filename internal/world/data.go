@@ -1,0 +1,619 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// The entity tables below are ordered most-famous-first; popularity decays
+// with position (see addTable). Values are plausible approximations of the
+// real world circa the paper's evaluation — the point is a consistent
+// synthetic world shared by the ground-truth DB and the simulated LLMs,
+// not an almanac.
+
+type countryRow struct {
+	name, code, code2, continent string
+	population                   int64
+	area, gdp                    float64 // km², billions USD
+	capital                      string
+	indep                        int64
+	language, currency           string
+}
+
+var countryData = []countryRow{
+	{"United States", "USA", "US", "North America", 331900000, 9833520, 25460, "Washington D.C.", 1776, "English", "US Dollar"},
+	{"China", "CHN", "CN", "Asia", 1412000000, 9596960, 17960, "Beijing", 1949, "Mandarin", "Renminbi"},
+	{"India", "IND", "IN", "Asia", 1408000000, 3287263, 3390, "New Delhi", 1947, "Hindi", "Indian Rupee"},
+	{"United Kingdom", "GBR", "GB", "Europe", 67330000, 243610, 3070, "London", 1707, "English", "Pound Sterling"},
+	{"France", "FRA", "FR", "Europe", 67750000, 643801, 2780, "Paris", 843, "French", "Euro"},
+	{"Germany", "DEU", "DE", "Europe", 83200000, 357022, 4070, "Berlin", 1871, "German", "Euro"},
+	{"Japan", "JPN", "JP", "Asia", 125700000, 377915, 4230, "Tokyo", 660, "Japanese", "Yen"},
+	{"Brazil", "BRA", "BR", "South America", 214300000, 8515770, 1920, "Brasilia", 1822, "Portuguese", "Real"},
+	{"Italy", "ITA", "IT", "Europe", 59110000, 301340, 2010, "Rome", 1861, "Italian", "Euro"},
+	{"Canada", "CAN", "CA", "North America", 38250000, 9984670, 2140, "Ottawa", 1867, "English", "Canadian Dollar"},
+	{"Russia", "RUS", "RU", "Europe", 143400000, 17098242, 2240, "Moscow", 1991, "Russian", "Ruble"},
+	{"Australia", "AUS", "AU", "Oceania", 25690000, 7741220, 1680, "Canberra", 1901, "English", "Australian Dollar"},
+	{"Spain", "ESP", "ES", "Europe", 47420000, 505370, 1400, "Madrid", 1479, "Spanish", "Euro"},
+	{"Mexico", "MEX", "MX", "North America", 126700000, 1964375, 1410, "Mexico City", 1810, "Spanish", "Mexican Peso"},
+	{"South Korea", "KOR", "KR", "Asia", 51740000, 99720, 1670, "Seoul", 1948, "Korean", "Won"},
+	{"Indonesia", "IDN", "ID", "Asia", 273800000, 1904569, 1320, "Jakarta", 1945, "Indonesian", "Rupiah"},
+	{"Netherlands", "NLD", "NL", "Europe", 17530000, 41543, 990, "Amsterdam", 1581, "Dutch", "Euro"},
+	{"Turkey", "TUR", "TR", "Asia", 84780000, 783562, 910, "Ankara", 1923, "Turkish", "Lira"},
+	{"Switzerland", "CHE", "CH", "Europe", 8700000, 41277, 810, "Bern", 1291, "German", "Swiss Franc"},
+	{"Argentina", "ARG", "AR", "South America", 45810000, 2780400, 630, "Buenos Aires", 1816, "Spanish", "Argentine Peso"},
+	{"Sweden", "SWE", "SE", "Europe", 10420000, 450295, 590, "Stockholm", 1523, "Swedish", "Krona"},
+	{"Poland", "POL", "PL", "Europe", 37750000, 312685, 690, "Warsaw", 1918, "Polish", "Zloty"},
+	{"Egypt", "EGY", "EG", "Africa", 109300000, 1001450, 480, "Cairo", 1922, "Arabic", "Egyptian Pound"},
+	{"South Africa", "ZAF", "ZA", "Africa", 59390000, 1219090, 410, "Pretoria", 1910, "Zulu", "Rand"},
+	{"Nigeria", "NGA", "NG", "Africa", 213400000, 923768, 480, "Abuja", 1960, "English", "Naira"},
+	{"Greece", "GRC", "GR", "Europe", 10640000, 131957, 220, "Athens", 1821, "Greek", "Euro"},
+	{"Portugal", "PRT", "PT", "Europe", 10330000, 92090, 250, "Lisbon", 1143, "Portuguese", "Euro"},
+	{"Norway", "NOR", "NO", "Europe", 5408000, 323802, 580, "Oslo", 1905, "Norwegian", "Krone"},
+	{"Austria", "AUT", "AT", "Europe", 8956000, 83871, 470, "Vienna", 1955, "German", "Euro"},
+	{"Belgium", "BEL", "BE", "Europe", 11590000, 30528, 580, "Brussels", 1830, "Dutch", "Euro"},
+	{"Thailand", "THA", "TH", "Asia", 71600000, 513120, 500, "Bangkok", 1238, "Thai", "Baht"},
+	{"Ireland", "IRL", "IE", "Europe", 5033000, 70273, 530, "Dublin", 1922, "English", "Euro"},
+	{"Denmark", "DNK", "DK", "Europe", 5857000, 43094, 400, "Copenhagen", 1849, "Danish", "Krone"},
+	{"Finland", "FIN", "FI", "Europe", 5541000, 338145, 280, "Helsinki", 1917, "Finnish", "Euro"},
+	{"Vietnam", "VNM", "VN", "Asia", 97470000, 331210, 410, "Hanoi", 1945, "Vietnamese", "Dong"},
+	{"Chile", "CHL", "CL", "South America", 19490000, 756102, 300, "Santiago", 1810, "Spanish", "Chilean Peso"},
+	{"Colombia", "COL", "CO", "South America", 51520000, 1138910, 340, "Bogota", 1810, "Spanish", "Colombian Peso"},
+	{"Czech Republic", "CZE", "CZ", "Europe", 10510000, 78867, 290, "Prague", 1993, "Czech", "Koruna"},
+	{"Peru", "PER", "PE", "South America", 33720000, 1285216, 240, "Lima", 1821, "Spanish", "Sol"},
+	{"New Zealand", "NZL", "NZ", "Oceania", 5123000, 267710, 250, "Wellington", 1907, "English", "New Zealand Dollar"},
+	{"Hungary", "HUN", "HU", "Europe", 9710000, 93028, 180, "Budapest", 1918, "Hungarian", "Forint"},
+	{"Morocco", "MAR", "MA", "Africa", 37080000, 446550, 130, "Rabat", 1956, "Arabic", "Dirham"},
+	{"Kenya", "KEN", "KE", "Africa", 53010000, 580367, 110, "Nairobi", 1963, "Swahili", "Kenyan Shilling"},
+	{"Iceland", "ISL", "IS", "Europe", 372000, 103000, 28, "Reykjavik", 1944, "Icelandic", "Krona"},
+	{"Croatia", "HRV", "HR", "Europe", 3899000, 56594, 70, "Zagreb", 1991, "Croatian", "Euro"},
+	{"Uruguay", "URY", "UY", "South America", 3426000, 176215, 71, "Montevideo", 1825, "Spanish", "Uruguayan Peso"},
+	{"Slovenia", "SVN", "SI", "Europe", 2108000, 20273, 62, "Ljubljana", 1991, "Slovene", "Euro"},
+	{"Estonia", "EST", "EE", "Europe", 1331000, 45228, 38, "Tallinn", 1918, "Estonian", "Euro"},
+}
+
+// countryNameAliases lists common alternate spellings used as surface-form
+// noise and fixed by the canonicalizer.
+var countryNameAliases = map[string]string{
+	"USA":               "United States",
+	"U.S.":              "United States",
+	"US":                "United States",
+	"UK":                "United Kingdom",
+	"Great Britain":     "United Kingdom",
+	"Holland":           "Netherlands",
+	"Republic of Korea": "South Korea",
+}
+
+// countryOfficialNames is the entity-level alternate spelling of every
+// country — the long/official form a model may emit when referencing the
+// country from another relation's prompt, which is exactly the kind of
+// surface-form inconsistency the paper observed breaking joins.
+var countryOfficialNames = map[string]string{
+	"United States":  "United States of America",
+	"China":          "People's Republic of China",
+	"India":          "Republic of India",
+	"United Kingdom": "United Kingdom of Great Britain and Northern Ireland",
+	"France":         "French Republic",
+	"Germany":        "Federal Republic of Germany",
+	"Japan":          "State of Japan",
+	"Brazil":         "Federative Republic of Brazil",
+	"Italy":          "Italian Republic",
+	"Canada":         "Dominion of Canada",
+	"Russia":         "Russian Federation",
+	"Australia":      "Commonwealth of Australia",
+	"Spain":          "Kingdom of Spain",
+	"Mexico":         "United Mexican States",
+	"South Korea":    "Republic of Korea",
+	"Indonesia":      "Republic of Indonesia",
+	"Netherlands":    "Kingdom of the Netherlands",
+	"Turkey":         "Republic of Türkiye",
+	"Switzerland":    "Swiss Confederation",
+	"Argentina":      "Argentine Republic",
+	"Sweden":         "Kingdom of Sweden",
+	"Poland":         "Republic of Poland",
+	"Egypt":          "Arab Republic of Egypt",
+	"South Africa":   "Republic of South Africa",
+	"Nigeria":        "Federal Republic of Nigeria",
+	"Greece":         "Hellenic Republic",
+	"Portugal":       "Portuguese Republic",
+	"Norway":         "Kingdom of Norway",
+	"Austria":        "Republic of Austria",
+	"Belgium":        "Kingdom of Belgium",
+	"Thailand":       "Kingdom of Thailand",
+	"Ireland":        "Republic of Ireland",
+	"Denmark":        "Kingdom of Denmark",
+	"Finland":        "Republic of Finland",
+	"Vietnam":        "Socialist Republic of Vietnam",
+	"Chile":          "Republic of Chile",
+	"Colombia":       "Republic of Colombia",
+	"Czech Republic": "Czechia",
+	"Peru":           "Republic of Peru",
+	"New Zealand":    "Aotearoa New Zealand",
+	"Hungary":        "Republic of Hungary",
+	"Morocco":        "Kingdom of Morocco",
+	"Kenya":          "Republic of Kenya",
+	"Iceland":        "Republic of Iceland",
+	"Croatia":        "Republic of Croatia",
+	"Uruguay":        "Oriental Republic of Uruguay",
+	"Slovenia":       "Republic of Slovenia",
+	"Estonia":        "Republic of Estonia",
+}
+
+func (w *World) addCountries() {
+	def := &schema.TableDef{
+		Name:      "country",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("code", value.KindString),
+			col("continent", value.KindString),
+			col("population", value.KindInt),
+			col("area", value.KindFloat),
+			col("gdp", value.KindFloat),
+			col("capital", value.KindString),
+			col("independence_year", value.KindInt),
+			col("language", value.KindString),
+			col("currency", value.KindString),
+		),
+	}
+	rows := make([]schema.Tuple, len(countryData))
+	for i, c := range countryData {
+		rows[i] = schema.Tuple{
+			value.Text(c.name), value.Text(c.code), value.Text(c.continent),
+			value.Int(c.population), value.Float(c.area), value.Float(c.gdp),
+			value.Text(c.capital), value.Int(c.indep),
+			value.Text(c.language), value.Text(c.currency),
+		}
+	}
+	w.addTable(def, rows)
+	for _, c := range countryData {
+		// Alternate surface form of the code: the alpha-2 spelling the
+		// paper saw break joins ("IT" vs "ITA").
+		w.addAlt("country", c.name, "code", c.code2)
+		if official, ok := countryOfficialNames[c.name]; ok {
+			w.addEntityAlt("country", c.name, official)
+		}
+	}
+	for alias, canonical := range countryNameAliases {
+		w.aliases[lower(alias)] = canonical
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+type cityRow struct {
+	name, country string
+	population    int64
+	elevation     int64
+	founded       int64
+}
+
+var cityData = []cityRow{
+	{"New York City", "United States", 8468000, 10, 1624},
+	{"London", "United Kingdom", 8982000, 11, 47},
+	{"Paris", "France", 2161000, 35, -250},
+	{"Tokyo", "Japan", 13960000, 40, 1457},
+	{"Los Angeles", "United States", 3849000, 87, 1781},
+	{"Chicago", "United States", 2697000, 181, 1833},
+	{"Berlin", "Germany", 3645000, 34, 1237},
+	{"Rome", "Italy", 2873000, 21, -753},
+	{"Madrid", "Spain", 3223000, 667, 860},
+	{"Sydney", "Australia", 5312000, 3, 1788},
+	{"Toronto", "Canada", 2930000, 76, 1793},
+	{"Moscow", "Russia", 12500000, 156, 1147},
+	{"Beijing", "China", 21540000, 43, -1045},
+	{"Shanghai", "China", 24280000, 4, 751},
+	{"Mumbai", "India", 12440000, 14, 1507},
+	{"San Francisco", "United States", 873000, 16, 1776},
+	{"Amsterdam", "Netherlands", 872000, -2, 1275},
+	{"Barcelona", "Spain", 1620000, 12, -218},
+	{"Vienna", "Austria", 1897000, 193, -500},
+	{"Seoul", "South Korea", 9776000, 38, -18},
+	{"Mexico City", "Mexico", 9209000, 2240, 1325},
+	{"Sao Paulo", "Brazil", 12330000, 760, 1554},
+	{"Buenos Aires", "Argentina", 3075000, 25, 1536},
+	{"Istanbul", "Turkey", 15460000, 39, -657},
+	{"Cairo", "Egypt", 9540000, 23, 969},
+	{"Bangkok", "Thailand", 10540000, 1, 1782},
+	{"Singapore", "Indonesia", 5454000, 15, 1819},
+	{"Dublin", "Ireland", 555000, 20, 841},
+	{"Lisbon", "Portugal", 545000, 2, -1200},
+	{"Athens", "Greece", 664000, 70, -3000},
+	{"Stockholm", "Sweden", 975000, 28, 1252},
+	{"Copenhagen", "Denmark", 602000, 14, 1167},
+	{"Oslo", "Norway", 697000, 23, 1040},
+	{"Helsinki", "Finland", 656000, 16, 1550},
+	{"Warsaw", "Poland", 1790000, 100, 1300},
+	{"Prague", "Czech Republic", 1309000, 177, 885},
+	{"Budapest", "Hungary", 1752000, 102, 1873},
+	{"Brussels", "Belgium", 1209000, 13, 580},
+	{"Zurich", "Switzerland", 421000, 408, -15},
+	{"Milan", "Italy", 1372000, 120, -400},
+	{"Munich", "Germany", 1488000, 520, 1158},
+	{"Hamburg", "Germany", 1841000, 6, 808},
+	{"Lyon", "France", 516000, 173, -43},
+	{"Naples", "Italy", 959000, 17, -600},
+	{"Melbourne", "Australia", 5078000, 31, 1835},
+	{"Vancouver", "Canada", 675000, 2, 1886},
+	{"Montreal", "Canada", 1780000, 36, 1642},
+	{"Boston", "United States", 675000, 43, 1630},
+	{"Seattle", "United States", 737000, 53, 1851},
+	{"Miami", "United States", 442000, 2, 1896},
+	{"Houston", "United States", 2288000, 12, 1836},
+	{"Tampa", "United States", 384000, 15, 1823},
+	{"Denver", "United States", 715000, 1609, 1858},
+	{"Atlanta", "United States", 499000, 320, 1837},
+	{"Lima", "Peru", 9752000, 161, 1535},
+	{"Bogota", "Colombia", 7412000, 2640, 1538},
+	{"Santiago", "Chile", 6160000, 570, 1541},
+	{"Auckland", "New Zealand", 1463000, 20, 1840},
+	{"Nairobi", "Kenya", 4397000, 1795, 1899},
+	{"Casablanca", "Morocco", 3359000, 27, 768},
+	{"Reykjavik", "Iceland", 131000, 15, 874},
+	{"Zagreb", "Croatia", 769000, 158, 1094},
+	{"Montevideo", "Uruguay", 1319000, 43, 1724},
+	{"Ljubljana", "Slovenia", 295000, 295, -50},
+	{"Tallinn", "Estonia", 437000, 9, 1248},
+}
+
+// mayorFirst and mayorLast seed the deterministic fictional mayors; the
+// real ones change too often for a frozen ground truth, and the simulated
+// LLM only needs internally consistent facts.
+var mayorFirst = []string{
+	"Elena", "Marcus", "Sofia", "David", "Amara", "Lucas", "Nadia", "Viktor",
+	"Clara", "Omar", "Ingrid", "Pablo", "Yuki", "Henrik", "Leila", "Tomas",
+}
+
+var mayorLast = []string{
+	"Moreau", "Lindqvist", "Okafor", "Tanaka", "Rossi", "Weber", "Novak",
+	"Silva", "Haddad", "Petrov", "Jensen", "Garcia", "Kowalski", "Byrne",
+}
+
+func (w *World) addCities() {
+	cityDef := &schema.TableDef{
+		Name:      "city",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("country", value.KindString),
+			col("population", value.KindInt),
+			col("mayor", value.KindString),
+			col("elevation", value.KindInt),
+			col("founded_year", value.KindInt),
+		),
+	}
+	mayorDef := &schema.TableDef{
+		Name:      "mayor",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("city", value.KindString),
+			col("birth_date", value.KindDate),
+			col("age", value.KindInt),
+			col("election_year", value.KindInt),
+			col("party", value.KindString),
+		),
+	}
+	parties := []string{"Civic Alliance", "Progress Party", "Green Coalition", "Liberal Union", "City First"}
+
+	cityRows := make([]schema.Tuple, len(cityData))
+	mayorRows := make([]schema.Tuple, len(cityData))
+	for i, c := range cityData {
+		// Deterministic fictional mayor per city.
+		first := mayorFirst[(i*7+3)%len(mayorFirst)]
+		last := mayorLast[(i*5+1)%len(mayorLast)]
+		mayorName := first + " " + last
+		birthYear := 1955 + (i*13+7)%40 // 1955..1994
+		birthMonth := 1 + (i*11)%12
+		birthDay := 1 + (i*17)%28
+		election := 2014 + (i*3+1)%10 // 2014..2023
+		age := 2023 - birthYear
+
+		cityRows[i] = schema.Tuple{
+			value.Text(c.name), value.Text(c.country), value.Int(c.population),
+			value.Text(mayorName), value.Int(c.elevation), value.Int(c.founded),
+		}
+		mayorRows[i] = schema.Tuple{
+			value.Text(mayorName), value.Text(c.name),
+			value.Date(birthYear, time.Month(birthMonth), birthDay),
+			value.Int(int64(age)), value.Int(int64(election)),
+			value.Text(parties[(i*3)%len(parties)]),
+		}
+	}
+	w.addTable(cityDef, cityRows)
+	w.addTable(mayorDef, mayorRows)
+	for i, c := range cityData {
+		// Entity-level alternates: a model referencing a city from
+		// another relation may qualify it ("Paris, France"); a mayor may
+		// come back with an initialed first name ("E. Moreau").
+		w.addEntityAlt("city", c.name, c.name+", "+c.country)
+		mayorName := cityRows[i][3].String()
+		parts := strings.SplitN(mayorName, " ", 2)
+		if len(parts) == 2 {
+			w.addEntityAlt("mayor", mayorName, parts[0][:1]+". "+parts[1])
+		}
+	}
+}
+
+type airportRow struct {
+	iata, name, city, country string
+	passengers                float64 // millions per year
+	runways                   int64
+}
+
+var airportData = []airportRow{
+	{"ATL", "Hartsfield-Jackson Atlanta International Airport", "Atlanta", "United States", 93.7, 5},
+	{"LHR", "London Heathrow Airport", "London", "United Kingdom", 61.6, 2},
+	{"JFK", "John F. Kennedy International Airport", "New York City", "United States", 55.3, 4},
+	{"CDG", "Charles de Gaulle Airport", "Paris", "France", 57.5, 4},
+	{"LAX", "Los Angeles International Airport", "Los Angeles", "United States", 65.8, 4},
+	{"HND", "Tokyo Haneda Airport", "Tokyo", "Japan", 64.2, 4},
+	{"ORD", "O'Hare International Airport", "Chicago", "United States", 68.3, 8},
+	{"FRA", "Frankfurt Airport", "Hamburg", "Germany", 48.9, 4},
+	{"AMS", "Amsterdam Airport Schiphol", "Amsterdam", "Netherlands", 52.5, 6},
+	{"MAD", "Adolfo Suarez Madrid-Barajas Airport", "Madrid", "Spain", 50.6, 4},
+	{"PEK", "Beijing Capital International Airport", "Beijing", "China", 52.9, 3},
+	{"SYD", "Sydney Kingsford Smith Airport", "Sydney", "Australia", 38.6, 3},
+	{"YYZ", "Toronto Pearson International Airport", "Toronto", "Canada", 35.6, 5},
+	{"SVO", "Sheremetyevo International Airport", "Moscow", "Russia", 28.4, 2},
+	{"BOM", "Chhatrapati Shivaji Maharaj International Airport", "Mumbai", "India", 43.3, 2},
+	{"SFO", "San Francisco International Airport", "San Francisco", "United States", 42.0, 4},
+	{"BCN", "Barcelona-El Prat Airport", "Barcelona", "Spain", 41.6, 3},
+	{"VIE", "Vienna International Airport", "Vienna", "Austria", 29.5, 2},
+	{"ICN", "Incheon International Airport", "Seoul", "South Korea", 47.7, 3},
+	{"MEX", "Mexico City International Airport", "Mexico City", "Mexico", 46.3, 2},
+	{"GRU", "Sao Paulo-Guarulhos International Airport", "Sao Paulo", "Brazil", 34.5, 2},
+	{"EZE", "Ministro Pistarini International Airport", "Buenos Aires", "Argentina", 9.9, 2},
+	{"IST", "Istanbul Airport", "Istanbul", "Turkey", 64.5, 5},
+	{"CAI", "Cairo International Airport", "Cairo", "Egypt", 14.7, 3},
+	{"BKK", "Suvarnabhumi Airport", "Bangkok", "Thailand", 55.9, 2},
+	{"DUB", "Dublin Airport", "Dublin", "Ireland", 32.9, 2},
+	{"LIS", "Humberto Delgado Airport", "Lisbon", "Portugal", 31.2, 2},
+	{"ATH", "Athens International Airport", "Athens", "Greece", 25.6, 2},
+	{"ARN", "Stockholm Arlanda Airport", "Stockholm", "Sweden", 25.6, 3},
+	{"CPH", "Copenhagen Airport", "Copenhagen", "Denmark", 30.3, 3},
+	{"OSL", "Oslo Gardermoen Airport", "Oslo", "Norway", 28.6, 2},
+	{"HEL", "Helsinki-Vantaa Airport", "Helsinki", "Finland", 21.9, 3},
+	{"WAW", "Warsaw Chopin Airport", "Warsaw", "Poland", 18.9, 2},
+	{"PRG", "Vaclav Havel Airport Prague", "Prague", "Czech Republic", 17.8, 2},
+	{"BUD", "Budapest Ferenc Liszt International Airport", "Budapest", "Hungary", 16.2, 2},
+	{"ZRH", "Zurich Airport", "Zurich", "Switzerland", 31.1, 3},
+	{"KEF", "Keflavik International Airport", "Reykjavik", "Iceland", 7.2, 2},
+}
+
+func (w *World) addAirports() {
+	def := &schema.TableDef{
+		Name:      "airport",
+		KeyColumn: "iata",
+		Schema: schema.New(
+			col("iata", value.KindString),
+			col("name", value.KindString),
+			col("city", value.KindString),
+			col("country", value.KindString),
+			col("passengers", value.KindFloat),
+			col("runways", value.KindInt),
+		),
+	}
+	rows := make([]schema.Tuple, len(airportData))
+	for i, a := range airportData {
+		rows[i] = schema.Tuple{
+			value.Text(a.iata), value.Text(a.name), value.Text(a.city),
+			value.Text(a.country), value.Float(a.passengers), value.Int(a.runways),
+		}
+	}
+	w.addTable(def, rows)
+}
+
+type singerRow struct {
+	name, country string
+	birthYear     int64
+	genre         string
+	albums        int64
+}
+
+var singerData = []singerRow{
+	{"Aria Bennett", "United States", 1989, "Pop", 7},
+	{"Liam Hartley", "United Kingdom", 1991, "Pop", 5},
+	{"Camille Dubois", "France", 1984, "Chanson", 9},
+	{"Matteo Ferri", "Italy", 1978, "Opera", 12},
+	{"Hana Sato", "Japan", 1995, "J-Pop", 4},
+	{"Klara Svensson", "Sweden", 1986, "Electropop", 6},
+	{"Diego Morales", "Mexico", 1982, "Latin", 10},
+	{"Amina Diallo", "France", 1993, "R&B", 3},
+	{"Jonas Keller", "Germany", 1975, "Rock", 14},
+	{"Isabela Costa", "Brazil", 1990, "Bossa Nova", 5},
+	{"Minji Park", "South Korea", 1998, "K-Pop", 3},
+	{"Owen Gallagher", "Ireland", 1980, "Folk", 8},
+	{"Anastasia Volkov", "Russia", 1987, "Classical", 6},
+	{"Thabo Nkosi", "South Africa", 1985, "Jazz", 7},
+	{"Lucia Herrera", "Spain", 1992, "Flamenco", 4},
+	{"Erik Johansen", "Norway", 1983, "Indie", 6},
+	{"Priya Sharma", "India", 1988, "Playback", 11},
+	{"Nikos Papadopoulos", "Greece", 1971, "Laiko", 15},
+	{"Zeynep Yilmaz", "Turkey", 1994, "Pop", 2},
+	{"Santiago Rojas", "Colombia", 1986, "Reggaeton", 5},
+	{"Freya Madsen", "Denmark", 1996, "Synth-pop", 2},
+	{"Marco Bianchi", "Italy", 1969, "Pop Rock", 16},
+	{"Aoife Murphy", "Ireland", 1999, "Folk", 1},
+	{"Viktor Horvath", "Hungary", 1979, "Rock", 9},
+	{"Chen Wei", "China", 1990, "Mandopop", 6},
+	{"Sofia Lindgren", "Sweden", 1997, "Pop", 2},
+}
+
+func (w *World) addSingers() {
+	def := &schema.TableDef{
+		Name:      "singer",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("country", value.KindString),
+			col("birth_year", value.KindInt),
+			col("genre", value.KindString),
+			col("albums", value.KindInt),
+		),
+	}
+	rows := make([]schema.Tuple, len(singerData))
+	for i, s := range singerData {
+		rows[i] = schema.Tuple{
+			value.Text(s.name), value.Text(s.country), value.Int(s.birthYear),
+			value.Text(s.genre), value.Int(s.albums),
+		}
+	}
+	w.addTable(def, rows)
+}
+
+type stadiumRow struct {
+	name, city, country string
+	capacity            int64
+	opened              int64
+}
+
+var stadiumData = []stadiumRow{
+	{"Wembley Stadium", "London", "United Kingdom", 90000, 2007},
+	{"Camp Nou", "Barcelona", "Spain", 99354, 1957},
+	{"Maracana", "Sao Paulo", "Brazil", 78838, 1950},
+	{"San Siro", "Milan", "Italy", 80018, 1926},
+	{"Allianz Arena", "Munich", "Germany", 75024, 2005},
+	{"Santiago Bernabeu", "Madrid", "Spain", 81044, 1947},
+	{"Stade de France", "Paris", "France", 80698, 1998},
+	{"MetLife Stadium", "New York City", "United States", 82500, 2010},
+	{"Melbourne Cricket Ground", "Melbourne", "Australia", 100024, 1853},
+	{"Luzhniki Stadium", "Moscow", "Russia", 81000, 1956},
+	{"Azteca Stadium", "Mexico City", "Mexico", 87523, 1966},
+	{"Soldier Field", "Chicago", "United States", 61500, 1924},
+	{"Olympiastadion", "Berlin", "Germany", 74475, 1936},
+	{"Johan Cruyff Arena", "Amsterdam", "Netherlands", 55500, 1996},
+	{"Parken Stadium", "Copenhagen", "Denmark", 38065, 1992},
+	{"Aviva Stadium", "Dublin", "Ireland", 51700, 2010},
+	{"Ataturk Olympic Stadium", "Istanbul", "Turkey", 76092, 2002},
+	{"Seoul World Cup Stadium", "Seoul", "South Korea", 66704, 2001},
+	{"National Stadium", "Warsaw", "Poland", 58580, 2012},
+	{"Puskas Arena", "Budapest", "Hungary", 67215, 2019},
+	{"Estadio Monumental", "Buenos Aires", "Argentina", 83196, 1938},
+	{"BC Place", "Vancouver", "Canada", 54500, 1983},
+}
+
+func (w *World) addStadiums() {
+	def := &schema.TableDef{
+		Name:      "stadium",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("city", value.KindString),
+			col("country", value.KindString),
+			col("capacity", value.KindInt),
+			col("opened_year", value.KindInt),
+		),
+	}
+	rows := make([]schema.Tuple, len(stadiumData))
+	for i, s := range stadiumData {
+		rows[i] = schema.Tuple{
+			value.Text(s.name), value.Text(s.city), value.Text(s.country),
+			value.Int(s.capacity), value.Int(s.opened),
+		}
+	}
+	w.addTable(def, rows)
+}
+
+type mountainRow struct {
+	name, country string
+	height        int64
+	mrange        string
+}
+
+var mountainData = []mountainRow{
+	{"Mount Everest", "China", 8849, "Himalayas"},
+	{"K2", "China", 8611, "Karakoram"},
+	{"Mont Blanc", "France", 4808, "Alps"},
+	{"Matterhorn", "Switzerland", 4478, "Alps"},
+	{"Denali", "United States", 6190, "Alaska Range"},
+	{"Aconcagua", "Argentina", 6961, "Andes"},
+	{"Mount Fuji", "Japan", 3776, "Fuji Volcanic Zone"},
+	{"Kilimanjaro", "Kenya", 5895, "Eastern Rift"},
+	{"Mount Elbrus", "Russia", 5642, "Caucasus"},
+	{"Zugspitze", "Germany", 2962, "Alps"},
+	{"Ben Nevis", "United Kingdom", 1345, "Grampians"},
+	{"Mount Kosciuszko", "Australia", 2228, "Snowy Mountains"},
+	{"Mulhacen", "Spain", 3479, "Sierra Nevada"},
+	{"Gran Paradiso", "Italy", 4061, "Alps"},
+	{"Galdhopiggen", "Norway", 2469, "Jotunheimen"},
+	{"Mount Cook", "New Zealand", 3724, "Southern Alps"},
+	{"Pico de Orizaba", "Mexico", 5636, "Trans-Mexican Belt"},
+	{"Mount Logan", "Canada", 5959, "Saint Elias"},
+	{"Huascaran", "Peru", 6768, "Andes"},
+	{"Ojos del Salado", "Chile", 6893, "Andes"},
+	{"Rysy", "Poland", 2499, "Tatras"},
+	{"Musala", "Greece", 2925, "Rila"},
+	{"Triglav", "Slovenia", 2864, "Julian Alps"},
+	{"Carrauntoohil", "Ireland", 1038, "MacGillycuddy's Reeks"},
+}
+
+func (w *World) addMountains() {
+	def := &schema.TableDef{
+		Name:      "mountain",
+		KeyColumn: "name",
+		Schema: schema.New(
+			col("name", value.KindString),
+			col("country", value.KindString),
+			col("height", value.KindInt),
+			col("mountain_range", value.KindString),
+		),
+	}
+	rows := make([]schema.Tuple, len(mountainData))
+	for i, m := range mountainData {
+		rows[i] = schema.Tuple{
+			value.Text(m.name), value.Text(m.country), value.Int(m.height),
+			value.Text(m.mrange),
+		}
+	}
+	w.addTable(def, rows)
+}
+
+// addEmployees generates the DB-only Employees table used by the hybrid
+// query example (Figure 2 / the GDP-vs-salary query in the introduction).
+// It is deterministic and references country codes from the country table.
+func (w *World) addEmployees() {
+	def := &schema.TableDef{
+		Name:      "employees",
+		KeyColumn: "id",
+		Schema: schema.New(
+			col("id", value.KindInt),
+			col("name", value.KindString),
+			col("countryCode", value.KindString),
+			col("salary", value.KindFloat),
+			col("department", value.KindString),
+		),
+	}
+	departments := []string{"Engineering", "Sales", "Marketing", "Finance", "Support"}
+	first := []string{"Alex", "Sam", "Jordan", "Robin", "Casey", "Morgan", "Taylor", "Jamie"}
+	last := []string{"Nguyen", "Patel", "Smith", "Muller", "Rossi", "Dubois", "Kim", "Lopez"}
+	// Use the ten most famous countries so the hybrid join has matches.
+	codes := make([]string, 0, 10)
+	for i := 0; i < 10 && i < len(countryData); i++ {
+		codes = append(codes, countryData[i].code)
+	}
+	var rows []schema.Tuple
+	for i := 0; i < 48; i++ {
+		name := fmt.Sprintf("%s %s", first[(i*3)%len(first)], last[(i*5+2)%len(last)])
+		salary := 42000 + float64((i*7919)%60000)
+		rows = append(rows, schema.Tuple{
+			value.Int(int64(1000 + i)),
+			value.Text(name),
+			value.Text(codes[i%len(codes)]),
+			value.Float(salary),
+			value.Text(departments[i%len(departments)]),
+		})
+	}
+	w.addTable(def, rows)
+}

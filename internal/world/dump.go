@@ -1,0 +1,72 @@
+package world
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// DumpSQL renders one table as a CREATE TABLE + INSERT script that the
+// memdb engine (and most SQL engines) can replay. The script round-trips:
+// parsing and executing it reproduces the table exactly (see
+// TestDumpSQLRoundTrip).
+func DumpSQL(w *World, table string) string {
+	t := w.Table(table)
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(t.Def.Name)
+	b.WriteString(" (")
+	for i, c := range t.Def.Schema.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(sqlTypeName(c.Type))
+		if strings.EqualFold(c.Name, t.Def.KeyColumn) {
+			b.WriteString(" PRIMARY KEY")
+		}
+	}
+	b.WriteString(");\n")
+
+	if len(t.Rows) == 0 {
+		return b.String()
+	}
+	b.WriteString("INSERT INTO ")
+	b.WriteString(t.Def.Name)
+	b.WriteString(" VALUES\n")
+	for i, row := range t.Rows {
+		b.WriteString("  (")
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.SQLLiteral())
+		}
+		b.WriteByte(')')
+		if i < len(t.Rows)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(";\n")
+	return b.String()
+}
+
+func sqlTypeName(k value.Kind) string {
+	switch k {
+	case value.KindInt:
+		return "INTEGER"
+	case value.KindFloat:
+		return "FLOAT"
+	case value.KindBool:
+		return "BOOLEAN"
+	case value.KindDate:
+		return "DATE"
+	default:
+		return "TEXT"
+	}
+}
