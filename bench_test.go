@@ -44,7 +44,7 @@ func BenchmarkTable1(b *testing.B) {
 	var rows []bench.Table1Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = r.Table1(ctx, simllm.AllProfiles(), core.DefaultOptions())
+		rows, err = r.Table1(ctx, simllm.AllProfiles(), bench.PaperOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkTable2(b *testing.B) {
 	var rows []bench.Table2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = r.Table2(ctx, simllm.ChatGPT, core.DefaultOptions())
+		rows, err = r.Table2(ctx, simllm.ChatGPT, bench.PaperOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func BenchmarkTable2(b *testing.B) {
 // Figure 3 plan); the golden-content check lives in the optimizer tests.
 func BenchmarkFigure3(b *testing.B) {
 	r := mustRunner(b)
-	engine, err := r.Engine(r.Model(simllm.ChatGPT), core.DefaultOptions())
+	engine, err := r.Engine(r.Model(simllm.ChatGPT), bench.PaperOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func BenchmarkPromptCounts(b *testing.B) {
 	var stats *bench.LatencyStats
 	for i := 0; i < b.N; i++ {
 		var err error
-		stats, err = r.Latency(ctx, simllm.GPT3, core.DefaultOptions())
+		stats, err = r.Latency(ctx, simllm.GPT3, bench.PaperOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,11 +189,59 @@ func BenchmarkMoreResultsThreshold(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationCache compares model calls per query with the
+// engine-level prompt cache off vs on across the corpus (Ablation E): the
+// cache-on arm reuses key scans and attribute fetches across queries,
+// collapses concurrent identical prompts, and deduplicates batches.
+func BenchmarkAblationCache(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = r.AblationCache(ctx, simllm.ChatGPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].AvgPrompts, "cache_off_prompts/query")
+	b.ReportMetric(rows[1].AvgPrompts, "cache_on_prompts/query")
+	b.ReportMetric(rows[0].CellMatch, "cache_off_cell_%")
+	b.ReportMetric(rows[1].CellMatch, "cache_on_cell_%")
+}
+
+// BenchmarkRepeatedQueryCached measures the repeated-traffic hot path the
+// cache targets: the same query against one warm engine. After the first
+// iteration every prompt is a cache hit, so this is the zero-model-call
+// serving cost.
+func BenchmarkRepeatedQueryCached(b *testing.B) {
+	r := mustRunner(b)
+	engine, err := r.Engine(r.Model(simllm.ChatGPT), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const q = `SELECT name FROM country WHERE independence_year > 1950`
+	if _, _, err := engine.Query(ctx, q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var prompts int
+	for i := 0; i < b.N; i++ {
+		_, rep, err := engine.Query(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prompts += rep.Stats.Prompts
+	}
+	b.ReportMetric(float64(prompts)/float64(b.N), "prompts/query")
+}
+
 // BenchmarkGaloisQuery measures one representative end-to-end query on the
 // simulated ChatGPT (micro-benchmark of the full pipeline).
 func BenchmarkGaloisQuery(b *testing.B) {
 	r := mustRunner(b)
-	engine, err := r.Engine(r.Model(simllm.ChatGPT), core.DefaultOptions())
+	engine, err := r.Engine(r.Model(simllm.ChatGPT), bench.PaperOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -250,7 +298,7 @@ func BenchmarkPortability(b *testing.B) {
 	var cells []bench.PortabilityCell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = r.Portability(ctx, simllm.AllProfiles(), core.DefaultOptions())
+		cells, err = r.Portability(ctx, simllm.AllProfiles(), bench.PaperOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -268,7 +316,7 @@ func BenchmarkSchemaFreedom(b *testing.B) {
 	var res *bench.SchemaFreedomResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = r.SchemaFreedom(ctx, simllm.GPT3, core.DefaultOptions())
+		res, err = r.SchemaFreedom(ctx, simllm.GPT3, bench.PaperOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

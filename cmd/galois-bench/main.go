@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/llm"
 	"repro/internal/prompt"
 	"repro/internal/simllm"
 )
@@ -38,9 +39,11 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
+	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
+	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains when -cache is set")
 	flag.Parse()
 
 	runner, err := bench.NewRunner(*seed)
@@ -52,7 +55,9 @@ func run() error {
 		return fmt.Errorf("unknown model %q", *model)
 	}
 	ctx := context.Background()
-	opts := core.DefaultOptions()
+	opts := bench.PaperOptions()
+	opts.CacheEnabled = *cache
+	opts.CacheSize = *cacheSize
 
 	specific := *table != 0 || *figure != 0 || *latency || *ablation != ""
 
@@ -80,12 +85,12 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
 		for _, name := range names {
-			if err := printAblation(ctx, runner, profile, name); err != nil {
+			if err := printAblation(ctx, runner, profile, name, opts); err != nil {
 				return err
 			}
 		}
@@ -161,7 +166,7 @@ func printLatency(ctx context.Context, r *bench.Runner, opts core.Options) error
 	return nil
 }
 
-func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name string) error {
+func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name string, opts core.Options) error {
 	var rows []bench.AblationRow
 	var err error
 	var title string
@@ -178,13 +183,16 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 	case "more":
 		title = "Ablation D: termination threshold for the more-results loop (projection queries)"
 		rows, err = r.AblationMoreResults(ctx, p, []int{1, 2, 4, 8, 12})
+	case "cache":
+		title = "Ablation E: engine-level prompt cache (LRU + singleflight + batch dedup; prompts = model calls issued)"
+		rows, err = r.AblationCache(ctx, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
 	case "portability":
-		return printPortability(ctx, r)
+		return printPortability(ctx, r, opts)
 	case "schemafree":
-		return printSchemaFree(ctx, r, p)
+		return printSchemaFree(ctx, r, p, opts)
 	default:
 		return fmt.Errorf("unknown ablation %q", name)
 	}
@@ -200,8 +208,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 	return nil
 }
 
-func printPortability(ctx context.Context, r *bench.Runner) error {
-	cells, err := r.Portability(ctx, simllm.AllProfiles(), core.DefaultOptions())
+func printPortability(ctx context.Context, r *bench.Runner, opts core.Options) error {
+	cells, err := r.Portability(ctx, simllm.AllProfiles(), opts)
 	if err != nil {
 		return err
 	}
@@ -213,10 +221,10 @@ func printPortability(ctx context.Context, r *bench.Runner) error {
 	return nil
 }
 
-func printSchemaFree(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+func printSchemaFree(ctx context.Context, r *bench.Runner, p simllm.Profile, opts core.Options) error {
 	fmt.Println("Extension: schema-less equivalence — Q1 (join) vs Q2 (flat) (Section 6)")
 	for _, prof := range []simllm.Profile{simllm.GPT3, p} {
-		res, err := r.SchemaFreedom(ctx, prof, core.DefaultOptions())
+		res, err := r.SchemaFreedom(ctx, prof, opts)
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/llm"
 	"repro/internal/simllm"
 )
 
@@ -39,6 +40,8 @@ func run() error {
 	stats := flag.Bool("stats", false, "print prompt statistics after the result")
 	truth := flag.Bool("truth", false, "also execute on the ground-truth DBMS and print both")
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
+	cache := flag.Bool("cache", true, "enable the engine-level prompt cache (dedup + reuse of completions)")
+	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -58,6 +61,8 @@ func run() error {
 	}
 	opts := core.DefaultOptions()
 	opts.Optimizer.PromptPushdown = *pushdown
+	opts.CacheEnabled = *cache
+	opts.CacheSize = *cacheSize
 	engine, err := runner.Engine(runner.Model(profile), opts)
 	if err != nil {
 		return err

@@ -59,8 +59,8 @@ func (r *Runner) runConfig(ctx context.Context, p simllm.Profile, opts core.Opti
 func (r *Runner) AblationPushdown(ctx context.Context, p simllm.Profile) ([]AblationRow, error) {
 	queries := spider.ByClass(spider.ClassSelection)
 
-	staged := core.DefaultOptions()
-	merged := core.DefaultOptions()
+	staged := PaperOptions()
+	merged := PaperOptions()
 	merged.Optimizer.PromptPushdown = true
 
 	a, err := r.runConfig(ctx, p, staged, queries, "staged-prompts")
@@ -80,8 +80,8 @@ func (r *Runner) AblationPushdown(ctx context.Context, p simllm.Profile) ([]Abla
 func (r *Runner) AblationCleaning(ctx context.Context, p simllm.Profile) ([]AblationRow, error) {
 	queries := spider.Queries()
 
-	withClean := core.DefaultOptions()
-	withoutClean := core.DefaultOptions()
+	withClean := PaperOptions()
+	withoutClean := PaperOptions()
 	withoutClean.Clean = clean.Options{NormalizeNumbers: false, EnforceTypes: false}
 
 	a, err := r.runConfig(ctx, p, withClean, queries, "cleaning-on")
@@ -100,8 +100,8 @@ func (r *Runner) AblationCleaning(ctx context.Context, p simllm.Profile) ([]Abla
 func (r *Runner) AblationJoinFormats(ctx context.Context, p simllm.Profile) ([]AblationRow, error) {
 	queries := spider.ByClass(spider.ClassJoin)
 
-	plain := core.DefaultOptions()
-	canon := core.DefaultOptions()
+	plain := PaperOptions()
+	canon := PaperOptions()
 	canon.Clean.Canonicalizer = clean.NewCanonicalizer(r.World.Aliases())
 
 	a, err := r.runConfig(ctx, p, plain, queries, "raw-surface-forms")
@@ -121,7 +121,7 @@ func (r *Runner) AblationMoreResults(ctx context.Context, p simllm.Profile, iter
 	queries := spider.ByClass(spider.ClassOther)
 	var out []AblationRow
 	for _, n := range iterations {
-		opts := core.DefaultOptions()
+		opts := PaperOptions()
 		opts.MaxScanIterations = n
 		row, err := r.runConfig(ctx, p, opts, queries, fmt.Sprintf("max-iterations=%d", n))
 		if err != nil {
@@ -130,4 +130,30 @@ func (r *Runner) AblationMoreResults(ctx context.Context, p simllm.Profile, iter
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// AblationCache measures the engine-level prompt cache on a repeated-key
+// workload: one engine per config runs the full corpus, so with the cache
+// on the key scans and attribute fetches that recur across queries are
+// served from memory, concurrent identical prompts collapse, and
+// duplicate prompts inside one batch cost one completion. AvgPrompts
+// counts only model calls actually issued — the cache-on arm must show a
+// clear drop.
+func (r *Runner) AblationCache(ctx context.Context, p simllm.Profile) ([]AblationRow, error) {
+	queries := spider.Queries()
+
+	off := core.DefaultOptions()
+	off.CacheEnabled = false
+	on := core.DefaultOptions()
+	on.CacheEnabled = true
+
+	a, err := r.runConfig(ctx, p, off, queries, "cache-off")
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.runConfig(ctx, p, on, queries, "cache-on")
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{a, b}, nil
 }

@@ -73,6 +73,16 @@ func (r *Runner) GroundTruth(ctx context.Context, sql string) (*schema.Relation,
 	return r.DB.QuerySQL(ctx, sql)
 }
 
+// PaperOptions is the published configuration: the engine defaults with
+// the prompt cache disabled, since the paper's system had no prompt
+// reuse. Experiments reproducing the paper's numbers run with these;
+// AblationCache measures the cache itself.
+func PaperOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	return opts
+}
+
 // CellOptions returns the content-matching configuration: 5% numeric
 // tolerance plus the alias canonicalizer standing in for the paper's
 // manual tuple mapping.

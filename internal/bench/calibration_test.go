@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/simllm"
 )
 
@@ -21,7 +20,7 @@ func TestCalibrationReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	opts := core.DefaultOptions()
+	opts := PaperOptions()
 
 	t1, err := r.Table1(ctx, simllm.AllProfiles(), opts)
 	if err != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/simllm"
 )
 
@@ -29,7 +28,7 @@ func TestTable1Shape(t *testing.T) {
 		t.Skip("full experiment")
 	}
 	r := runner(t)
-	rows, err := r.Table1(context.Background(), simllm.AllProfiles(), core.DefaultOptions())
+	rows, err := r.Table1(context.Background(), simllm.AllProfiles(), PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +67,7 @@ func TestTable2Shape(t *testing.T) {
 		t.Skip("full experiment")
 	}
 	r := runner(t)
-	rows, err := r.Table2(context.Background(), simllm.ChatGPT, core.DefaultOptions())
+	rows, err := r.Table2(context.Background(), simllm.ChatGPT, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +107,7 @@ func TestLatencyShape(t *testing.T) {
 		t.Skip("full experiment")
 	}
 	r := runner(t)
-	stats, err := r.Latency(context.Background(), simllm.GPT3, core.DefaultOptions())
+	stats, err := r.Latency(context.Background(), simllm.GPT3, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +208,11 @@ func TestDeterminismAcrossRunners(t *testing.T) {
 	ctx := context.Background()
 	a := runner(t)
 	b := runner(t)
-	ra, err := a.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, core.DefaultOptions())
+	ra, err := a.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, core.DefaultOptions())
+	rb, err := b.Table1(ctx, []simllm.Profile{simllm.ChatGPT}, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

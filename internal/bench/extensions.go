@@ -135,8 +135,8 @@ func (r *Runner) SchemaFreedom(ctx context.Context, p simllm.Profile, opts core.
 func (r *Runner) AblationVerification(ctx context.Context, primary, verifier simllm.Profile) ([]AblationRow, error) {
 	queries := spider.Queries()
 
-	plain := core.DefaultOptions()
-	verified := core.DefaultOptions()
+	plain := PaperOptions()
+	verified := PaperOptions()
 	verified.Verifier = r.Model(verifier)
 
 	a, err := r.runConfig(ctx, primary, plain, queries, "unverified")

@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/simllm"
 )
 
@@ -16,7 +15,7 @@ func TestPortabilityShape(t *testing.T) {
 	}
 	r := runner(t)
 	cells, err := r.Portability(context.Background(),
-		[]simllm.Profile{simllm.Flan, simllm.GPT3, simllm.ChatGPT}, core.DefaultOptions())
+		[]simllm.Profile{simllm.Flan, simllm.GPT3, simllm.ChatGPT}, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +43,7 @@ func TestSchemaFreedom(t *testing.T) {
 		t.Skip("full experiment")
 	}
 	r := runner(t)
-	res, err := r.SchemaFreedom(context.Background(), simllm.GPT3, core.DefaultOptions())
+	res, err := r.SchemaFreedom(context.Background(), simllm.GPT3, PaperOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

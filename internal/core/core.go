@@ -45,6 +45,15 @@ type Options struct {
 	// BatchWorkers bounds concurrent prompt execution in batched
 	// operators.
 	BatchWorkers int
+	// CacheEnabled turns on the engine-level prompt cache: completions
+	// are reused across operators and across every query of this engine,
+	// concurrent identical prompts collapse into one model call, and
+	// duplicate prompts within one batch cost one completion. Default on
+	// (DefaultOptions).
+	CacheEnabled bool
+	// CacheSize caps the number of completions the prompt cache retains
+	// (0 means llm.DefaultCacheSize).
+	CacheSize int
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string
@@ -63,8 +72,9 @@ func DefaultOptions() Options {
 		Optimizer:         optimizer.Defaults(),
 		Clean:             clean.DefaultOptions(),
 		MaxScanIterations: 12,
-		BatchWorkers:      8,
+		BatchWorkers:      llm.DefaultBatchWorkers,
 		DefaultSource:     "LLM",
+		CacheEnabled:      true,
 	}
 }
 
@@ -75,6 +85,10 @@ type Engine struct {
 	llmDefs map[string]*schema.TableDef
 	opts    Options
 	builder *prompt.Builder
+	// cache is the engine-level prompt cache (nil when disabled): the
+	// shared stateful tier between the executor and the model, persistent
+	// across queries.
+	cache *llm.Cache
 }
 
 // New builds an engine over the given LLM client.
@@ -83,17 +97,30 @@ func New(client llm.Client, opts Options) *Engine {
 		opts.MaxScanIterations = 12
 	}
 	if opts.BatchWorkers <= 0 {
-		opts.BatchWorkers = 8
+		opts.BatchWorkers = llm.DefaultBatchWorkers
 	}
 	if opts.DefaultSource == "" {
 		opts.DefaultSource = "LLM"
 	}
-	return &Engine{
+	e := &Engine{
 		client:  client,
 		llmDefs: map[string]*schema.TableDef{},
 		opts:    opts,
 		builder: prompt.NewBuilder(),
 	}
+	if opts.CacheEnabled {
+		e.cache = llm.NewCache(opts.CacheSize)
+	}
+	return e
+}
+
+// CacheStats reports the engine-lifetime prompt-cache counters (zero
+// value when the cache is disabled).
+func (e *Engine) CacheStats() llm.CacheStats {
+	if e.cache == nil {
+		return llm.CacheStats{}
+	}
+	return e.cache.Stats()
 }
 
 // AttachDB connects a relational store for DB-bound (and hybrid) queries.
@@ -202,6 +229,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 	pctx := &physical.Context{
 		Ctx:               ctx,
 		Client:            recorder,
+		Cache:             e.cache,
 		Prompts:           e.builder,
 		Cleaner:           clean.New(e.opts.Clean),
 		MaxScanIterations: e.opts.MaxScanIterations,

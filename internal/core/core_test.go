@@ -118,6 +118,71 @@ func TestQueryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestQueryCacheAcrossQueries: with the default-on prompt cache, running
+// the same query twice on one engine costs zero model calls and zero
+// simulated seconds the second time, with every prompt served as a hit.
+func TestQueryCacheAcrossQueries(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+	const q = "SELECT name, capital FROM country WHERE continent = 'Europe'"
+	ctx := context.Background()
+
+	first, rep1, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Stats.Prompts == 0 {
+		t.Fatal("cold cache must issue prompts")
+	}
+	second, rep2, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats.Prompts != 0 {
+		t.Errorf("warm cache issued %d prompts, want 0", rep2.Stats.Prompts)
+	}
+	if rep2.Stats.CacheHits == 0 {
+		t.Error("warm run must record cache hits")
+	}
+	if rep2.Stats.SimulatedLatency != 0 {
+		t.Errorf("cached prompts must cost zero simulated time, got %v", rep2.Stats.SimulatedLatency)
+	}
+	if first.Cardinality() != second.Cardinality() {
+		t.Errorf("cached result diverged: %d vs %d rows", first.Cardinality(), second.Cardinality())
+	}
+	cs := e.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 || cs.Entries == 0 {
+		t.Errorf("engine cache stats = %+v", cs)
+	}
+}
+
+// TestQueryCacheDisabled: CacheEnabled=false restores pay-per-prompt
+// behavior — the second identical query costs the same as the first.
+func TestQueryCacheDisabled(t *testing.T) {
+	w := world.Build()
+	opts := DefaultOptions()
+	opts.CacheEnabled = false
+	e := New(simllm.New(simllm.GPT3, w, 1), opts)
+	if err := e.BindLLMTable(w.Table("country").Def); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT name FROM country WHERE continent = 'Europe'"
+	ctx := context.Background()
+	_, rep1, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats.Prompts != rep1.Stats.Prompts {
+		t.Errorf("cache off must re-issue prompts: %d vs %d", rep2.Stats.Prompts, rep1.Stats.Prompts)
+	}
+	if rep2.Stats.CacheHits != 0 || rep2.Stats.CacheMisses != 0 {
+		t.Errorf("cache off must not record cache traffic: %+v", rep2.Stats)
+	}
+}
+
 func TestHybridQuery(t *testing.T) {
 	e, _ := testEngine(t, simllm.GPT3)
 	rel, _, err := e.Query(context.Background(),

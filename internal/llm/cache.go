@@ -1,0 +1,199 @@
+package llm
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// DefaultCacheSize is the fallback capacity (in completions) of a prompt
+// cache built with size 0.
+const DefaultCacheSize = 4096
+
+// cacheKey identifies one completion: the same prompt sent to two models
+// is two entries.
+type cacheKey struct {
+	model  string
+	prompt string
+}
+
+// flight is one in-flight completion shared by every concurrent caller of
+// the same (model, prompt); done is closed once out/err are set.
+type flight struct {
+	done chan struct{}
+	out  string
+	err  error
+}
+
+// cacheEntry is one resident completion, stored inside the LRU list.
+type cacheEntry struct {
+	key cacheKey
+	out string
+}
+
+// CacheStats is a snapshot of a cache's lifetime counters.
+type CacheStats struct {
+	Hits    int // served from memory or from a concurrent in-flight call
+	Misses  int // required a model call
+	Entries int // completions currently resident
+}
+
+// Cache is a concurrency-safe LRU of prompt completions keyed by
+// (model name, prompt), with a singleflight layer that collapses
+// concurrent identical prompts into one in-flight model call. An engine
+// typically shares one Cache across all its queries, so repeated traffic
+// reuses completions across operators and across queries.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	flights  map[cacheKey]*flight
+	hits     int
+	misses   int
+}
+
+// NewCache builds a cache retaining at most capacity completions
+// (0 or negative means DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[cacheKey]*list.Element{},
+		order:    list.New(),
+		flights:  map[cacheKey]*flight{},
+	}
+}
+
+// Get returns the cached completion for (model, prompt), bumping its
+// recency. It does not touch the hit/miss counters; Fetch does.
+func (c *Cache) Get(model, prompt string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{model, prompt}]
+	if !ok {
+		return "", false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Put stores a completion, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) Put(model, prompt, out string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(cacheKey{model, prompt}, out)
+}
+
+func (c *Cache) insertLocked(key cacheKey, out string) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, out: out})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of resident completions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}
+
+// Fetch returns the completion for (model, prompt): from the cache when
+// resident, from a concurrent identical in-flight call when one exists,
+// otherwise by invoking complete and storing its result. The returned
+// bool reports whether this caller issued the model call itself — false
+// means the answer cost nothing. Errors are never cached, and a joiner
+// whose leader failed retries rather than inheriting the failure — the
+// leader's error may be its own cancellation, which must not spuriously
+// fail an unrelated query sharing the cache.
+func (c *Cache) Fetch(ctx context.Context, model, prompt string, complete func() (string, error)) (string, bool, error) {
+	key := cacheKey{model, prompt}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			out := el.Value.(*cacheEntry).out
+			c.mu.Unlock()
+			return out, false, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return "", false, ctx.Err()
+			}
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.out, false, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return "", false, err
+			}
+			continue // leader failed; next round joins a fresh flight or leads
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.out, f.err = complete()
+		close(f.done)
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.out)
+		}
+		c.mu.Unlock()
+		return f.out, true, f.err
+	}
+}
+
+// CompleteCached issues one prompt through client, consulting cache when
+// non-nil: resident completions return immediately (recorded as cache
+// hits with zero simulated latency), concurrent identical prompts share
+// one model call. With a nil cache it is exactly client.Complete.
+func CompleteCached(ctx context.Context, client Client, cache *Cache, prompt string) (string, error) {
+	if cache == nil {
+		return client.Complete(ctx, prompt)
+	}
+	rec, _ := client.(*Recorder)
+	out, issued, err := cache.Fetch(ctx, client.Name(), prompt, func() (string, error) {
+		// The leader goes through the full client (a Recorder accounts the
+		// real call normally); joiners and hits bypass it entirely.
+		return client.Complete(ctx, prompt)
+	})
+	if err != nil {
+		return "", err
+	}
+	if rec != nil {
+		if issued {
+			rec.recordCache(0, 1)
+		} else {
+			rec.recordCache(1, 0)
+		}
+	}
+	return out, nil
+}

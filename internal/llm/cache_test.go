@@ -1,0 +1,389 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("m", "p"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("m", "p", "out")
+	if got, ok := c.Get("m", "p"); !ok || got != "out" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// The same prompt under another model is a different entry.
+	if _, ok := c.Get("other", "p"); ok {
+		t.Error("model name must be part of the key")
+	}
+	c.Put("m", "p", "updated")
+	if got, _ := c.Get("m", "p"); got != "updated" {
+		t.Errorf("Put must overwrite, got %q", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("m", "a", "1")
+	c.Put("m", "b", "2")
+	// Touch a so b becomes the least recently used.
+	if _, ok := c.Get("m", "a"); !ok {
+		t.Fatal("a must be resident")
+	}
+	c.Put("m", "c", "3")
+	if _, ok := c.Get("m", "b"); ok {
+		t.Error("b was least recently used and must be evicted")
+	}
+	if _, ok := c.Get("m", "a"); !ok {
+		t.Error("a was touched and must survive")
+	}
+	if _, ok := c.Get("m", "c"); !ok {
+		t.Error("c was just inserted and must be resident")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, capacity is 2", c.Len())
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < DefaultCacheSize+10; i++ {
+		c.Put("m", fmt.Sprintf("p%d", i), "out")
+	}
+	if c.Len() != DefaultCacheSize {
+		t.Errorf("Len = %d, want %d", c.Len(), DefaultCacheSize)
+	}
+}
+
+// TestCacheSingleflight: concurrent identical prompts must produce exactly
+// one client call; everyone gets the same answer. Run with -race.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	var calls int32
+	gate := make(chan struct{})
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	outs := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g], _, errs[g] = c.Fetch(context.Background(), "m", "same prompt", func() (string, error) {
+				<-gate // hold the flight open until all callers joined
+				atomic.AddInt32(&calls, 1)
+				return "answer", nil
+			})
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Errorf("client called %d times, singleflight requires exactly 1", calls)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil || outs[g] != "answer" {
+			t.Fatalf("goroutine %d: %q, %v", g, outs[g], errs[g])
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != goroutines-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", s, goroutines-1)
+	}
+}
+
+func TestCacheFetchStatsCounters(t *testing.T) {
+	c := NewCache(8)
+	fetch := func(prompt string) {
+		if _, _, err := c.Fetch(context.Background(), "m", prompt, func() (string, error) {
+			return "out", nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fetch("a") // miss
+	fetch("a") // hit
+	fetch("a") // hit
+	fetch("b") // miss
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 2 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want 2/2/2", s)
+	}
+}
+
+func TestCacheFetchDoesNotCacheErrors(t *testing.T) {
+	c := NewCache(8)
+	boom := errors.New("boom")
+	if _, issued, err := c.Fetch(context.Background(), "m", "p", func() (string, error) {
+		return "", boom
+	}); !issued || !errors.Is(err, boom) {
+		t.Fatalf("issued=%v err=%v", issued, err)
+	}
+	if c.Len() != 0 {
+		t.Error("errors must not be cached")
+	}
+	// The next fetch must retry the model.
+	out, issued, err := c.Fetch(context.Background(), "m", "p", func() (string, error) {
+		return "recovered", nil
+	})
+	if err != nil || !issued || out != "recovered" {
+		t.Fatalf("retry = %q, issued=%v, %v", out, issued, err)
+	}
+}
+
+// TestCacheFetchRetriesAfterLeaderFailure: a joiner whose leader fails
+// (e.g. the leader's own query was canceled) must not inherit that
+// error — it retries and gets a real answer.
+func TestCacheFetchRetriesAfterLeaderFailure(t *testing.T) {
+	c := NewCache(8)
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		c.Fetch(context.Background(), "m", "p", func() (string, error) {
+			close(leaderStarted)
+			<-release
+			return "", context.Canceled // the leader's query went away
+		})
+	}()
+	<-leaderStarted
+
+	done := make(chan struct{})
+	var out string
+	var err error
+	go func() {
+		defer close(done)
+		out, _, err = c.Fetch(context.Background(), "m", "p", func() (string, error) {
+			return "answer", nil
+		})
+	}()
+	close(release)
+	<-done
+
+	if err != nil {
+		t.Fatalf("joiner inherited the leader's failure: %v", err)
+	}
+	if out != "answer" {
+		t.Fatalf("joiner got %q, want its own retried answer", out)
+	}
+}
+
+// TestCompleteBatchCanceledContext: a canceled parent context must yield
+// an error, never a silently partial result slice.
+func TestCompleteBatchCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prompts := make([]string, 10)
+	for i := range prompts {
+		prompts[i] = fmt.Sprintf("p%d", i)
+	}
+	if out, err := CompleteBatch(ctx, &echoClient{}, prompts, 2); err == nil {
+		t.Errorf("canceled batch returned %d outputs with nil error", len(out))
+	}
+	if out, err := CompleteBatchCached(ctx, &echoClient{}, NewCache(8), prompts, 2); err == nil {
+		t.Errorf("canceled cached batch returned %d outputs with nil error", len(out))
+	}
+}
+
+func TestCompleteCachedThroughRecorder(t *testing.T) {
+	client := &echoClient{}
+	rec := NewRecorder(client)
+	cache := NewCache(8)
+	ctx := context.Background()
+
+	first, err := CompleteCached(ctx, rec, cache, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := CompleteCached(ctx, rec, cache, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("cached answer diverged: %q vs %q", first, second)
+	}
+	if client.calls != 1 {
+		t.Errorf("client called %d times, want 1", client.calls)
+	}
+	s := rec.Stats()
+	if s.Prompts != 1 || s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// The hit must cost zero simulated seconds: total latency equals one
+	// uncached call's.
+	if want := promptLatency(2, 3); s.SimulatedLatency != want {
+		t.Errorf("latency = %v, want the single call's %v", s.SimulatedLatency, want)
+	}
+}
+
+func TestCompleteCachedNilCache(t *testing.T) {
+	client := &echoClient{}
+	out, err := CompleteCached(context.Background(), client, nil, "p")
+	if err != nil || !strings.HasPrefix(out, "echo:") {
+		t.Fatalf("nil cache must pass through: %q, %v", out, err)
+	}
+	if client.calls != 1 {
+		t.Errorf("calls = %d", client.calls)
+	}
+}
+
+// TestCompleteBatchCachedDedup: a batch of N prompts with K distinct
+// strings issues exactly K client calls, outputs stay positionally
+// aligned, and the recorder charges latency for K prompts only.
+func TestCompleteBatchCachedDedup(t *testing.T) {
+	client := &echoClient{}
+	rec := NewRecorder(client)
+	cache := NewCache(64)
+
+	prompts := []string{"a", "b", "a", "c", "b", "a", "a", "c"}
+	out, err := CompleteBatchCached(context.Background(), rec, cache, prompts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range prompts {
+		if out[i] != "echo: "+p {
+			t.Fatalf("output %d misaligned: %q", i, out[i])
+		}
+	}
+	if client.calls != 3 {
+		t.Errorf("client called %d times, want 3 distinct prompts", client.calls)
+	}
+	s := rec.Stats()
+	if s.Prompts != 3 || s.CacheMisses != 3 || s.CacheHits != len(prompts)-3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestCompleteBatchCachedCrossBatch: a second batch over prompts the cache
+// already holds issues zero client calls and zero simulated latency.
+func TestCompleteBatchCachedCrossBatch(t *testing.T) {
+	client := &echoClient{}
+	rec := NewRecorder(client)
+	cache := NewCache(64)
+	ctx := context.Background()
+
+	prompts := []string{"a", "b", "c"}
+	if _, err := CompleteBatchCached(ctx, rec, cache, prompts, 2); err != nil {
+		t.Fatal(err)
+	}
+	warm := rec.Stats()
+	if _, err := CompleteBatchCached(ctx, rec, cache, prompts, 2); err != nil {
+		t.Fatal(err)
+	}
+	if client.calls != 3 {
+		t.Errorf("second batch re-issued prompts: %d calls", client.calls)
+	}
+	s := rec.Stats()
+	if s.Prompts != warm.Prompts {
+		t.Errorf("cached batch must not issue prompts: %d vs %d", s.Prompts, warm.Prompts)
+	}
+	if s.SimulatedLatency != warm.SimulatedLatency {
+		t.Errorf("cached batch must cost zero simulated time: %v vs %v", s.SimulatedLatency, warm.SimulatedLatency)
+	}
+	if s.CacheHits != 3 {
+		t.Errorf("cache hits = %d, want 3", s.CacheHits)
+	}
+}
+
+// TestCompleteBatchCachedConcurrent hammers one cache from many batches
+// with overlapping prompt sets; under -race this exercises the
+// singleflight and LRU paths concurrently.
+func TestCompleteBatchCachedConcurrent(t *testing.T) {
+	client := &echoClient{}
+	cache := NewCache(128)
+	ctx := context.Background()
+
+	const batches = 8
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			prompts := make([]string, 20)
+			for i := range prompts {
+				prompts[i] = fmt.Sprintf("p%02d", (b+i)%10)
+			}
+			out, err := CompleteBatchCached(ctx, client, cache, prompts, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, o := range out {
+				if o != "echo: "+prompts[i] {
+					t.Errorf("batch %d output %d misaligned: %q", b, i, o)
+					return
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	// Ten distinct prompts exist in total; every call past the first ten
+	// must have been served by the cache or a shared flight.
+	if client.calls != 10 {
+		t.Errorf("client called %d times, want 10 distinct prompts", client.calls)
+	}
+}
+
+// failingClient fails prompts containing "fail", tagging the error with
+// the prompt, after waiting for `ready` so concurrent failures overlap.
+type failingClient struct {
+	ready *sync.WaitGroup
+}
+
+func (f *failingClient) Name() string { return "failing" }
+
+func (f *failingClient) Complete(ctx context.Context, p string) (string, error) {
+	if f.ready != nil {
+		f.ready.Done()
+		f.ready.Wait()
+	}
+	if strings.Contains(p, "fail") {
+		return "", fmt.Errorf("model refused %s", p)
+	}
+	return "ok", nil
+}
+
+// TestCompleteBatchJoinsDistinctErrors: when several prompts fail
+// concurrently, the returned error reports each distinct failure instead
+// of an arbitrary single one.
+func TestCompleteBatchJoinsDistinctErrors(t *testing.T) {
+	var ready sync.WaitGroup
+	ready.Add(2)
+	client := &failingClient{ready: &ready}
+	_, err := CompleteBatch(context.Background(), client, []string{"fail-one", "fail-two"}, 2)
+	if err == nil {
+		t.Fatal("batch must fail")
+	}
+	for _, want := range []string{"model refused fail-one", "model refused fail-two"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestJoinDistinct(t *testing.T) {
+	a, b := errors.New("a"), errors.New("b")
+	if err := joinDistinct([]error{nil, nil}); err != nil {
+		t.Errorf("all-nil must join to nil, got %v", err)
+	}
+	err := joinDistinct([]error{nil, a, errors.New("a"), b})
+	if err == nil || !errors.Is(err, a) || !errors.Is(err, b) {
+		t.Fatalf("join = %v", err)
+	}
+	if strings.Count(err.Error(), "a") != 1 {
+		t.Errorf("duplicate messages must collapse: %v", err)
+	}
+}

@@ -10,11 +10,17 @@ package llm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 )
+
+// DefaultBatchWorkers is the fallback bound on concurrent prompt
+// execution in batched operators. Every layer that needs a worker-count
+// default (engine options, physical operators) uses this constant.
+const DefaultBatchWorkers = 8
 
 // Client is a large language model endpoint.
 type Client interface {
@@ -26,13 +32,22 @@ type Client interface {
 
 // Stats accumulates usage across one query execution.
 type Stats struct {
+	// Prompts counts model calls actually issued; prompts served by the
+	// cache are counted in CacheHits instead and cost zero latency.
 	Prompts          int
 	PromptTokens     int
 	CompletionTokens int
+	// CacheHits counts prompts answered without a model call (resident in
+	// the prompt cache, collapsed into a concurrent identical call, or
+	// deduplicated inside one batch).
+	CacheHits int
+	// CacheMisses counts prompts that went to the model while a cache was
+	// in play.
+	CacheMisses int
 	// SimulatedLatency is the wall-clock the prompts would have cost on a
 	// real API, assuming the batching the recorder observed. Batched
 	// prompts (issued through CompleteBatch) overlap; sequential prompts
-	// add up.
+	// add up; cached prompts cost nothing.
 	SimulatedLatency time.Duration
 }
 
@@ -41,13 +56,15 @@ func (s *Stats) Add(other Stats) {
 	s.Prompts += other.Prompts
 	s.PromptTokens += other.PromptTokens
 	s.CompletionTokens += other.CompletionTokens
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
 	s.SimulatedLatency += other.SimulatedLatency
 }
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("prompts=%d prompt_tokens=%d completion_tokens=%d simulated_latency=%s",
-		s.Prompts, s.PromptTokens, s.CompletionTokens, s.SimulatedLatency.Round(time.Millisecond))
+	return fmt.Sprintf("prompts=%d prompt_tokens=%d completion_tokens=%d cache_hits=%d cache_misses=%d simulated_latency=%s",
+		s.Prompts, s.PromptTokens, s.CompletionTokens, s.CacheHits, s.CacheMisses, s.SimulatedLatency.Round(time.Millisecond))
 }
 
 // CountTokens approximates a tokenizer with whitespace splitting; good
@@ -113,9 +130,21 @@ func (r *Recorder) Reset() {
 	r.stats = Stats{}
 }
 
+// recordCache accounts prompts answered by (hits) or issued past (misses)
+// the prompt cache. Hits add zero simulated latency.
+func (r *Recorder) recordCache(hits, misses int) {
+	r.mu.Lock()
+	r.stats.CacheHits += hits
+	r.stats.CacheMisses += misses
+	r.mu.Unlock()
+}
+
 // recordBatch accounts a batch of prompts: tokens add up, latency is the
 // slowest prompt of each wave of `workers` concurrent calls.
 func (r *Recorder) recordBatch(prompts, outputs []string, workers int) {
+	if len(prompts) == 0 {
+		return
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -140,17 +169,26 @@ func (r *Recorder) recordBatch(prompts, outputs []string, workers int) {
 
 // CompleteBatch runs the prompts through the client with at most workers
 // concurrent calls and returns completions positionally aligned with the
-// prompts. The first error cancels the remaining work. When client is a
-// *Recorder the batch is accounted with overlapping latency.
+// prompts. The first error cancels the remaining work; all distinct
+// errors are joined into the returned one. When client is a *Recorder the
+// batch is accounted with overlapping latency.
 func CompleteBatch(ctx context.Context, client Client, prompts []string, workers int) ([]string, error) {
+	return CompleteBatchCached(ctx, client, nil, prompts, workers)
+}
+
+// CompleteBatchCached is CompleteBatch with a prompt cache: the batch is
+// deduplicated first (N prompts with K distinct strings cost at most K
+// completions), each distinct prompt consults the cache, and concurrent
+// identical prompts — including ones from other batches sharing the cache
+// — collapse into one in-flight call. Prompts answered without a model
+// call are recorded as cache hits with zero simulated latency. A nil
+// cache degrades to the plain batch behavior.
+func CompleteBatchCached(ctx context.Context, client Client, cache *Cache, prompts []string, workers int) ([]string, error) {
 	if len(prompts) == 0 {
 		return nil, nil
 	}
 	if workers < 1 {
 		workers = 1
-	}
-	if workers > len(prompts) {
-		workers = len(prompts)
 	}
 
 	// Unwrap the recorder: the batch is accounted once at the end so the
@@ -161,11 +199,30 @@ func CompleteBatch(ctx context.Context, client Client, prompts []string, workers
 		raw = rec.inner
 	}
 
+	// Intra-batch dedup: run each distinct prompt once, then fan the
+	// answers back out to the original positions.
+	distinct := prompts
+	var slot map[string]int
+	if cache != nil {
+		slot = make(map[string]int, len(prompts))
+		distinct = make([]string, 0, len(prompts))
+		for _, p := range prompts {
+			if _, ok := slot[p]; !ok {
+				slot[p] = len(distinct)
+				distinct = append(distinct, p)
+			}
+		}
+	}
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	outputs := make([]string, len(prompts))
-	errs := make([]error, len(prompts))
+	outputs := make([]string, len(distinct))
+	issued := make([]bool, len(distinct))
+	errs := make([]error, len(distinct))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -173,7 +230,16 @@ func CompleteBatch(ctx context.Context, client Client, prompts []string, workers
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out, err := raw.Complete(ctx, prompts[i])
+				var out string
+				var err error
+				if cache != nil {
+					out, issued[i], err = cache.Fetch(ctx, client.Name(), distinct[i], func() (string, error) {
+						return raw.Complete(ctx, distinct[i])
+					})
+				} else {
+					issued[i] = true
+					out, err = raw.Complete(ctx, distinct[i])
+				}
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -183,7 +249,7 @@ func CompleteBatch(ctx context.Context, client Client, prompts []string, workers
 			}
 		}()
 	}
-	for i := range prompts {
+	for i := range distinct {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -195,13 +261,53 @@ func CompleteBatch(ctx context.Context, client Client, prompts []string, workers
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := joinDistinct(errs); err != nil {
+		return nil, err
+	}
+	// All dispatched jobs succeeded, but the parent context may have been
+	// canceled between dispatches, leaving undispatched slots empty —
+	// never return partial results as if they were answers.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if rec != nil {
+		// Only the prompts that reached the model cost tokens and latency;
+		// everything else was served by the cache.
+		var issuedPrompts, issuedOutputs []string
+		for i := range distinct {
+			if issued[i] {
+				issuedPrompts = append(issuedPrompts, distinct[i])
+				issuedOutputs = append(issuedOutputs, outputs[i])
+			}
+		}
+		rec.recordBatch(issuedPrompts, issuedOutputs, workers)
+		if cache != nil {
+			rec.recordCache(len(prompts)-len(issuedPrompts), len(issuedPrompts))
 		}
 	}
-	if rec != nil {
-		rec.recordBatch(prompts, outputs, workers)
+
+	if cache == nil {
+		return outputs, nil
 	}
-	return outputs, nil
+	full := make([]string, len(prompts))
+	for i, p := range prompts {
+		full[i] = outputs[slot[p]]
+	}
+	return full, nil
+}
+
+// joinDistinct joins the distinct non-nil errors (by message) so callers
+// see everything that actually failed, not just the first by slice order.
+func joinDistinct(errs []error) error {
+	var joined []error
+	seen := map[string]bool{}
+	for _, err := range errs {
+		if err == nil || seen[err.Error()] {
+			continue
+		}
+		seen[err.Error()] = true
+		joined = append(joined, err)
+	}
+	return errors.Join(joined...)
 }

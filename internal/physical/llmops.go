@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/clean"
-	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/prompt"
 	"repro/internal/schema"
@@ -46,7 +45,7 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
-		resp, err := c.Client.Complete(c.Ctx, p)
+		resp, err := c.Complete(p)
 		if err != nil {
 			return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
 		}
@@ -154,11 +153,7 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 		key := row[f.node.KeyCol].String()
 		prompts[i] = c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
 	}
-	workers := c.BatchWorkers
-	if workers <= 0 {
-		workers = 8
-	}
-	answers, err := llm.CompleteBatch(c.Ctx, c.Client, prompts, workers)
+	answers, err := c.CompleteBatch(c.Client, prompts)
 	if err != nil {
 		return fmt.Errorf("physical: fetching %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
 	}
@@ -171,7 +166,7 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 	// Cross-model verification (Section 6): ask a second model the same
 	// question and NULL out disagreements.
 	if c.Verifier != nil {
-		verdicts, err := llm.CompleteBatch(c.Ctx, c.Verifier, prompts, workers)
+		verdicts, err := c.CompleteBatch(c.Verifier, prompts)
 		if err != nil {
 			return fmt.Errorf("physical: verifying %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
 		}
@@ -268,11 +263,7 @@ func (f *llmFilterOp) Open(c *Context) error {
 		key := row[f.node.KeyCol].String()
 		prompts[i] = c.Prompts.Filter(f.node.Table.Name, key, ref.Name, opPhrase, lit.Val.String())
 	}
-	workers := c.BatchWorkers
-	if workers <= 0 {
-		workers = 8
-	}
-	answers, err := llm.CompleteBatch(c.Ctx, c.Client, prompts, workers)
+	answers, err := c.CompleteBatch(c.Client, prompts)
 	if err != nil {
 		return fmt.Errorf("physical: LLM filter %s: %w", f.node.Cond.String(), err)
 	}

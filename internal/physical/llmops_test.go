@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/clean"
+	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/prompt"
 	"repro/internal/schema"
@@ -180,6 +181,71 @@ func TestLLMFetchAttr(t *testing.T) {
 	}
 	if !rel.Rows[1][1].IsNull() {
 		t.Errorf("Unknown must become NULL, got %v", rel.Rows[1][1])
+	}
+}
+
+// TestLLMFetchAttrDedup: with a prompt cache configured, fetching an
+// attribute over duplicate keys issues exactly one model call per
+// distinct key (K < N prompts) and still aligns answers positionally.
+func TestLLMFetchAttrDedup(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("population of the town Alpha", "100").
+		on("population of the town Beta", "200")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keys := keysRelation("Alpha", "Beta", "Alpha", "Alpha", "Beta")
+	keyOp := &memScan{out: scan.Schema(), rel: keys}
+	fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+	ctx := llmCtx(client)
+	ctx.Cache = llm.NewCache(16)
+	rel, err := Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 5 {
+		t.Fatalf("rows = %d, the batch must stay positionally complete", rel.Cardinality())
+	}
+	if client.calls != 2 {
+		t.Errorf("duplicate keys issued %d prompts, want 2 distinct", client.calls)
+	}
+	for i, want := range []int64{100, 200, 100, 100, 200} {
+		if rel.Rows[i][1].AsInt() != want {
+			t.Errorf("row %d = %v, want %d", i, rel.Rows[i][1], want)
+		}
+	}
+}
+
+// TestLLMFetchAttrCachedAcrossQueries: a second identical fetch against
+// the same cache issues zero model calls.
+func TestLLMFetchAttrCachedAcrossQueries(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("population of the town Alpha", "100").
+		on("population of the town Beta", "200")
+	cache := llm.NewCache(16)
+	run := func() {
+		scan := logical.NewScan(townDef(), "t", "LLM")
+		keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta")}
+		fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+		ctx := llmCtx(client)
+		ctx.Cache = cache
+		if _, err := Run(ctx, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if client.calls != 2 {
+		t.Fatalf("first run issued %d calls", client.calls)
+	}
+	run()
+	if client.calls != 2 {
+		t.Errorf("second run re-issued prompts: %d calls total", client.calls)
 	}
 }
 

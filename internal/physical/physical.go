@@ -25,6 +25,12 @@ type Context struct {
 	Client  llm.Client      // nil for DB-only plans
 	Prompts *prompt.Builder // prompt construction
 	Cleaner *clean.Cleaner  // answer normalization
+	// Cache, when non-nil, is the engine's prompt cache: completions are
+	// reused across operators and queries, concurrent identical prompts
+	// collapse into one model call, and duplicate prompts within a batch
+	// cost one completion. Operators consult it transparently through
+	// Complete and CompleteBatch.
+	Cache *llm.Cache
 	// MaxScanIterations caps the "return more results" loop per leaf
 	// (Section 4's termination threshold).
 	MaxScanIterations int
@@ -38,6 +44,23 @@ type Context struct {
 	// VerifyTolerance is the relative error under which two numeric
 	// answers count as agreeing (default 0.1 when Verifier is set).
 	VerifyTolerance float64
+}
+
+// Complete issues one prompt through the query's client, consulting the
+// prompt cache when one is configured.
+func (c *Context) Complete(prompt string) (string, error) {
+	return llm.CompleteCached(c.Ctx, c.Client, c.Cache, prompt)
+}
+
+// CompleteBatch issues prompts through the given client (the query's main
+// client or its verifier) with bounded concurrency, deduplicating and
+// caching when a prompt cache is configured.
+func (c *Context) CompleteBatch(client llm.Client, prompts []string) ([]string, error) {
+	workers := c.BatchWorkers
+	if workers <= 0 {
+		workers = llm.DefaultBatchWorkers
+	}
+	return llm.CompleteBatchCached(c.Ctx, client, c.Cache, prompts, workers)
 }
 
 // Operator is one physical operator.
