@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-pipeline
 
 check: vet build race
 
@@ -18,3 +18,7 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerates the committed BENCH_pipeline.json artifact (deterministic).
+bench-pipeline:
+	$(GO) test -run '^$$' -bench BenchmarkPipelineComparison -benchtime=1x .

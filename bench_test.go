@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -235,6 +236,39 @@ func BenchmarkRepeatedQueryCached(b *testing.B) {
 		prompts += rep.Stats.Prompts
 	}
 	b.ReportMetric(float64(prompts)/float64(b.N), "prompts/query")
+}
+
+// BenchmarkPipelineComparison measures the pipelined streaming executor
+// against stop-and-go execution — the multi-operator benchmark query and
+// the whole corpus, both with a GPT-3 verifier over ChatGPT — and writes
+// the machine-readable BENCH_pipeline.json artifact (prompts/query and
+// simulated latency per configuration) tracking the perf trajectory. The
+// report is deterministic, so the committed artifact is reproducible:
+//
+//	go test -run '^$' -bench BenchmarkPipelineComparison -benchtime=1x .
+func BenchmarkPipelineComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.PipelineReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.PipelineComparison(ctx, simllm.ChatGPT, simllm.GPT3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, bm := range rep.Benchmarks {
+		tag, _, _ := strings.Cut(bm.Name, "-") // "multiop-…" -> "multiop"
+		b.ReportMetric(bm.Speedup, tag+"_speedup_x")
+		b.ReportMetric(bm.Configs[0].AvgSimLatencyMS/1000, tag+"_stopgo_s/query")
+		b.ReportMetric(bm.Configs[1].AvgSimLatencyMS/1000, tag+"_pipelined_s/query")
+		if !bm.ResultsIdentical {
+			b.Fatalf("%s: pipelined execution changed a result", bm.Name)
+		}
+	}
+	if err := bench.WritePipelineArtifact("BENCH_pipeline.json", rep); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkGaloisQuery measures one representative end-to-end query on the

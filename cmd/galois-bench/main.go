@@ -12,7 +12,7 @@
 //	galois-bench -figure 3      # the lowered plan for q'
 //	galois-bench -figure 4      # the few-shot prompt
 //	galois-bench -latency
-//	galois-bench -ablation pushdown|cleaning|joins|more
+//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline
 package main
 
 import (
@@ -44,6 +44,7 @@ func run() error {
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
 	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains when -cache is set")
+	pipeline := flag.Bool("pipeline", false, "run the table/latency/extension experiments with the pipelined streaming executor (default off = the paper's stop-and-go execution)")
 	flag.Parse()
 
 	runner, err := bench.NewRunner(*seed)
@@ -58,6 +59,7 @@ func run() error {
 	opts := bench.PaperOptions()
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
+	opts.Pipelined = *pipeline
 
 	specific := *table != 0 || *figure != 0 || *latency || *ablation != ""
 
@@ -85,7 +87,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -186,6 +188,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 	case "cache":
 		title = "Ablation E: engine-level prompt cache (LRU + singleflight + batch dedup; prompts = model calls issued)"
 		rows, err = r.AblationCache(ctx, p)
+	case "pipeline":
+		return printPipeline(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -203,6 +207,24 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 	fmt.Println("  config                cell%   card-diff%   prompts/query")
 	for _, row := range rows {
 		fmt.Printf("  %-20s %6.1f %+11.1f %11.1f\n", row.Config, row.CellMatch, row.CardDiff, row.AvgPrompts)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPipeline(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.PipelineComparison(ctx, p, simllm.GPT3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation F: pipelined streaming executor vs stop-and-go (identical result sets asserted)")
+	for _, bm := range rep.Benchmarks {
+		fmt.Printf("  %s (%d queries, results identical: %v, speedup %.2fx)\n",
+			bm.Name, bm.Configs[0].Queries, bm.ResultsIdentical, bm.Speedup)
+		for _, cfg := range bm.Configs {
+			fmt.Printf("    %-12s %6.1f prompts/query %8.1f s/query simulated\n",
+				cfg.Config, cfg.PromptsPerQuery, cfg.AvgSimLatencyMS/1000)
+		}
 	}
 	fmt.Println()
 	return nil

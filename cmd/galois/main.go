@@ -42,6 +42,7 @@ func run() error {
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
 	cache := flag.Bool("cache", true, "enable the engine-level prompt cache (dedup + reuse of completions)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
+	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor (overlap prompt waves across operators; off = the paper's stop-and-go execution)")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -63,6 +64,7 @@ func run() error {
 	opts.Optimizer.PromptPushdown = *pushdown
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
+	opts.Pipelined = *pipeline
 	engine, err := runner.Engine(runner.Model(profile), opts)
 	if err != nil {
 		return err

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestPipelineComparison is the acceptance gate of the pipelined
+// executor: on the multi-operator benchmark query
+// (scan→fetch→filter per join side, with cross-model verification) it
+// must cut simulated latency at least 2x with bit-identical results and
+// the same number of issued prompts, and on the whole corpus it must
+// never be slower and never change a result.
+func TestPipelineComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.PipelineComparison(context.Background(), simllm.ChatGPT, simllm.GPT3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want multiop + corpus", len(rep.Benchmarks))
+	}
+
+	multi := rep.Benchmarks[0]
+	if !multi.ResultsIdentical {
+		t.Error("multiop: pipelined execution changed the result")
+	}
+	if multi.Speedup < 2 {
+		t.Errorf("multiop: speedup = %.2fx, want >= 2x (stop-and-go %.0f ms vs pipelined %.0f ms)",
+			multi.Speedup, multi.Configs[0].AvgSimLatencyMS, multi.Configs[1].AvgSimLatencyMS)
+	}
+	if multi.Configs[0].PromptsPerQuery != multi.Configs[1].PromptsPerQuery {
+		t.Errorf("multiop: prompt counts diverged: %.1f vs %.1f",
+			multi.Configs[0].PromptsPerQuery, multi.Configs[1].PromptsPerQuery)
+	}
+	t.Logf("multiop: %.0f prompts/query, %.1f s -> %.1f s (%.2fx)",
+		multi.Configs[0].PromptsPerQuery,
+		multi.Configs[0].AvgSimLatencyMS/1000, multi.Configs[1].AvgSimLatencyMS/1000, multi.Speedup)
+
+	corpus := rep.Benchmarks[1]
+	if !corpus.ResultsIdentical {
+		t.Error("corpus: pipelined execution changed a result")
+	}
+	if corpus.Speedup < 1 {
+		t.Errorf("corpus: pipelining slowed the corpus down: %.2fx", corpus.Speedup)
+	}
+	t.Logf("corpus: %d queries, %.1f s -> %.1f s per query (%.2fx)",
+		corpus.Configs[0].Queries,
+		corpus.Configs[0].AvgSimLatencyMS/1000, corpus.Configs[1].AvgSimLatencyMS/1000, corpus.Speedup)
+}

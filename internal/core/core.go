@@ -45,6 +45,18 @@ type Options struct {
 	// BatchWorkers bounds concurrent prompt execution in batched
 	// operators.
 	BatchWorkers int
+	// Pipelined turns on the streaming executor: a query-level prompt
+	// scheduler owns one bounded worker pool shared by every operator of
+	// the query, the LLM operators submit prompts as upstream tuples
+	// arrive (an attribute fetch starts while the key scan is still
+	// iterating "more results" pages, the verifier runs concurrently with
+	// the primary fetch), a satisfied LIMIT stops upstream prompt issue,
+	// and simulated latency is the scheduler's makespan — the larger of
+	// the critical dependency path and the aggregate work spread over the
+	// worker budget — instead of summed per-operator waves. Results are
+	// identical to stop-and-go execution. Default on (DefaultOptions);
+	// off reproduces the paper's stop-and-go behavior.
+	Pipelined bool
 	// CacheEnabled turns on the engine-level prompt cache: completions
 	// are reused across operators and across every query of this engine,
 	// concurrent identical prompts collapse into one model call, and
@@ -74,6 +86,7 @@ func DefaultOptions() Options {
 		MaxScanIterations: 12,
 		BatchWorkers:      llm.DefaultBatchWorkers,
 		DefaultSource:     "LLM",
+		Pipelined:         true,
 		CacheEnabled:      true,
 	}
 }
@@ -237,13 +250,29 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 		Verifier:          verifier,
 		VerifyTolerance:   e.opts.VerifyTolerance,
 	}
+	var sched *llm.Scheduler
+	if e.opts.Pipelined {
+		sched = llm.NewScheduler(ctx, e.cache, e.opts.BatchWorkers)
+		pctx.Scheduler = sched
+	}
 	rel, err := physical.Run(pctx, op)
+	if sched != nil {
+		// A satisfied LIMIT (or an error) can leave abandoned futures
+		// still talking to the model; their prompts were issued, so
+		// settle them before reading any counters.
+		sched.Quiesce()
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan)}
 	if verifyRecorder != nil {
 		rep.Stats.Add(verifyRecorder.Stats())
+	}
+	if sched != nil {
+		// Pipelined prompts carry no per-call latency on the recorders;
+		// the query's simulated wall-clock is the scheduler's makespan.
+		rep.Stats.SimulatedLatency += sched.Makespan()
 	}
 	return rel, rep, nil
 }

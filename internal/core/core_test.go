@@ -155,6 +155,60 @@ func TestQueryCacheAcrossQueries(t *testing.T) {
 	}
 }
 
+// TestPipelinedMatchesStopAndGo: the default pipelined executor must
+// return the same relation as stop-and-go execution with the same issued
+// prompts, at lower simulated latency, on a multi-operator query.
+func TestPipelinedMatchesStopAndGo(t *testing.T) {
+	const q = "SELECT name, capital FROM country WHERE continent = 'Europe'"
+	ctx := context.Background()
+
+	run := func(pipelined bool) (*schema.Relation, *Report) {
+		w := world.Build()
+		opts := DefaultOptions()
+		opts.CacheEnabled = false // both modes pay for every prompt
+		opts.Pipelined = pipelined
+		e := New(simllm.New(simllm.GPT3, w, 1), opts)
+		if err := e.BindLLMTable(w.Table("country").Def); err != nil {
+			t.Fatal(err)
+		}
+		rel, rep, err := e.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel, rep
+	}
+
+	wantRel, wantRep := run(false)
+	gotRel, gotRep := run(true)
+	if gotRel.String() != wantRel.String() {
+		t.Errorf("pipelined result diverged:\n%s\nvs\n%s", gotRel.String(), wantRel.String())
+	}
+	if gotRep.Stats.Prompts != wantRep.Stats.Prompts {
+		t.Errorf("prompts = %d pipelined vs %d stop-and-go", gotRep.Stats.Prompts, wantRep.Stats.Prompts)
+	}
+	if gotRep.Stats.SimulatedLatency == 0 || gotRep.Stats.SimulatedLatency > wantRep.Stats.SimulatedLatency {
+		t.Errorf("pipelined latency %v must be positive and at most stop-and-go %v",
+			gotRep.Stats.SimulatedLatency, wantRep.Stats.SimulatedLatency)
+	}
+}
+
+// TestPipelinedLimitQuery: a LIMIT query under the pipelined executor
+// terminates early, settles abandoned in-flight prompts before the
+// report is built, and still returns the right rows.
+func TestPipelinedLimitQuery(t *testing.T) {
+	e, _ := testEngine(t, simllm.GPT3)
+	rel, rep, err := e.Query(context.Background(), "SELECT name, capital FROM country LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 {
+		t.Errorf("LIMIT 2 returned %d rows", rel.Cardinality())
+	}
+	if rep.Stats.Prompts+rep.Stats.CacheHits == 0 {
+		t.Error("limit query must still account its prompts")
+	}
+}
+
 // TestQueryCacheDisabled: CacheEnabled=false restores pay-per-prompt
 // behavior — the second identical query costs the same as the first.
 func TestQueryCacheDisabled(t *testing.T) {

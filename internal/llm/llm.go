@@ -45,9 +45,13 @@ type Stats struct {
 	// in play.
 	CacheMisses int
 	// SimulatedLatency is the wall-clock the prompts would have cost on a
-	// real API, assuming the batching the recorder observed. Batched
-	// prompts (issued through CompleteBatch) overlap; sequential prompts
-	// add up; cached prompts cost nothing.
+	// real API, assuming the execution the recorder observed. Stop-and-go
+	// execution sums per-operator batch waves (prompts inside one
+	// CompleteBatch overlap; sequential prompts add up). The pipelined
+	// executor instead reports the Scheduler's makespan — the larger of
+	// the longest cross-operator dependency chain and the aggregate work
+	// spread over the shared worker budget. Cached prompts cost nothing
+	// in both models.
 	SimulatedLatency time.Duration
 }
 
@@ -128,6 +132,19 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats = Stats{}
+}
+
+// recordOverlapped accounts one prompt issued through the pipelined
+// scheduler: the prompt and its tokens accrue, but no latency — the
+// scheduler owns wall-clock accounting (critical path vs worker area),
+// and the query's makespan is merged into Stats at the end.
+func (r *Recorder) recordOverlapped(prompt, out string) {
+	pt, ct := CountTokens(prompt), CountTokens(out)
+	r.mu.Lock()
+	r.stats.Prompts++
+	r.stats.PromptTokens += pt
+	r.stats.CompletionTokens += ct
+	r.mu.Unlock()
 }
 
 // recordCache accounts prompts answered by (hits) or issued past (misses)

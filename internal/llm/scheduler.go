@@ -1,0 +1,227 @@
+package llm
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// VTime is a point on the simulated-latency axis of one query execution:
+// the wall-clock instant (relative to query start) at which a prompt's
+// answer would be available on a real API. Operators thread these
+// timestamps through the tuple stream so a downstream prompt's start is
+// anchored to the completion of the upstream prompt that produced its
+// input — the dependency chains the critical-path latency model is built
+// from.
+type VTime = time.Duration
+
+// Future is one prompt in flight on a Scheduler. Wait blocks until the
+// completion is available and returns it together with the prompt's
+// virtual completion time.
+type Future struct {
+	done chan struct{}
+	out  string
+	vt   VTime
+	err  error
+}
+
+// Wait blocks until the prompt completes (the scheduler always resolves a
+// future, including on error or cancellation).
+func (f *Future) Wait() (string, VTime, error) {
+	<-f.done
+	return f.out, f.vt, f.err
+}
+
+// Scheduler is the query-level prompt scheduler of the pipelined
+// streaming executor: a single bounded worker pool shared by every
+// operator of one query (replacing per-batch fan-out), accepting prompts
+// as upstream tuples arrive and resolving them out-of-band so independent
+// prompt chains overlap.
+//
+// The worker budget is per model endpoint: a worker slot stands for one
+// concurrent connection to one API, and different models (the primary
+// and its verifier, say) are different APIs with independent rate
+// limits, so calls to one never queue behind calls to the other. Stop-
+// and-go execution is unaffected by this distinction — its batches are
+// single-endpoint and sequential by construction.
+//
+// Latency is accounted with a critical-path model instead of summed
+// per-operator waves. Each submitted prompt carries a ready time (the
+// virtual completion time of the prompts it depends on) and finishes at
+// ready + promptLatency. The simulated wall-clock of the whole query is
+//
+//	Makespan = max(longest dependency chain, per-endpoint work / workers)
+//
+// — the classic makespan lower bound of list scheduling: no schedule
+// beats the critical path, and no schedule beats an endpoint's total
+// work spread over its connection budget. With the cache disabled (the
+// benchmark configurations) both terms are pure functions of the prompt
+// set and its dependencies, so the reported latency is deterministic
+// regardless of the real interleaving of the pool's goroutines. Prompts
+// answered by the cache cost nothing on either axis, exactly like the
+// stop-and-go accounting; which of two concurrent identical prompts
+// becomes the singleflight leader (and so carries the latency) depends
+// on arrival order, making cached-mode latency approximate.
+type Scheduler struct {
+	ctx     context.Context
+	cache   *Cache
+	workers int
+
+	inflight sync.WaitGroup // submitted futures not yet resolved
+
+	mu   sync.Mutex
+	sems map[string]chan struct{} // per-endpoint connection slots
+	busy map[string]time.Duration // per-endpoint issued-prompt work
+	span VTime                    // latest dependency-chain completion
+}
+
+// NewScheduler builds a scheduler for one query execution. workers
+// bounds, per model endpoint, both the real concurrency of the pool and
+// the connection budget of the latency model (0 or negative means
+// DefaultBatchWorkers). cache may be nil.
+func NewScheduler(ctx context.Context, cache *Cache, workers int) *Scheduler {
+	if workers < 1 {
+		workers = DefaultBatchWorkers
+	}
+	return &Scheduler{
+		ctx:     ctx,
+		cache:   cache,
+		workers: workers,
+		sems:    map[string]chan struct{}{},
+		busy:    map[string]time.Duration{},
+	}
+}
+
+// endpoint returns the connection-slot semaphore of one model endpoint.
+func (s *Scheduler) endpoint(model string) chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sem, ok := s.sems[model]
+	if !ok {
+		sem = make(chan struct{}, s.workers)
+		s.sems[model] = sem
+	}
+	return sem
+}
+
+// Workers reports the worker budget.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Submit enqueues one prompt whose dependencies complete at ready and
+// returns immediately; the pool resolves the future when a worker slot
+// frees up. When client is a *Recorder, tokens and prompt/cache counts
+// are recorded on it, but no latency — wall-clock lives in Makespan.
+func (s *Scheduler) Submit(client Client, prompt string, ready VTime) *Future {
+	f := &Future{done: make(chan struct{})}
+	sem := s.endpoint(client.Name())
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer close(f.done)
+		select {
+		case sem <- struct{}{}:
+		case <-s.ctx.Done():
+			f.err = s.ctx.Err()
+			return
+		}
+		defer func() { <-sem }()
+		f.out, f.vt, f.err = s.complete(client, prompt, ready)
+	}()
+	return f
+}
+
+// Do is Submit + Wait: issue one prompt and block for its answer. Used by
+// inherently sequential chains (the key scan's "more results" loop).
+func (s *Scheduler) Do(client Client, prompt string, ready VTime) (string, VTime, error) {
+	return s.Submit(client, prompt, ready).Wait()
+}
+
+func (s *Scheduler) complete(client Client, prompt string, ready VTime) (string, VTime, error) {
+	// Unwrap the recorder: the scheduler does its own accounting so the
+	// recorder's per-call summed latency stays out of the pipelined model.
+	rec, _ := client.(*Recorder)
+	raw := client
+	if rec != nil {
+		raw = rec.inner
+	}
+
+	var out string
+	issued := true
+	var err error
+	if s.cache != nil {
+		out, issued, err = s.cache.Fetch(s.ctx, client.Name(), prompt, func() (string, error) {
+			return raw.Complete(s.ctx, prompt)
+		})
+	} else {
+		out, err = raw.Complete(s.ctx, prompt)
+	}
+	if err != nil {
+		return "", 0, err
+	}
+
+	var lat time.Duration
+	if issued {
+		lat = promptLatency(CountTokens(prompt), CountTokens(out))
+	}
+	if rec != nil {
+		if issued {
+			rec.recordOverlapped(prompt, out)
+		}
+		if s.cache != nil {
+			if issued {
+				rec.recordCache(0, 1)
+			} else {
+				rec.recordCache(1, 0)
+			}
+		}
+	}
+
+	end := ready + lat
+	s.mu.Lock()
+	s.busy[client.Name()] += lat
+	if end > s.span {
+		s.span = end
+	}
+	s.mu.Unlock()
+	return out, end, nil
+}
+
+// Quiesce blocks until every submitted future has resolved. Early
+// termination (a satisfied LIMIT) can abandon futures that are still
+// talking to the model; their prompts were issued and must be accounted,
+// so callers quiesce before reading final stats or the makespan.
+func (s *Scheduler) Quiesce() { s.inflight.Wait() }
+
+// CriticalPath returns the longest dependency chain scheduled so far.
+func (s *Scheduler) CriticalPath() VTime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.span
+}
+
+// AggregateWork returns the summed latency of every issued prompt,
+// across all endpoints.
+func (s *Scheduler) AggregateWork() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total time.Duration
+	for _, b := range s.busy {
+		total += b
+	}
+	return total
+}
+
+// Makespan returns the simulated wall-clock of the query: the larger of
+// the critical path and the busiest endpoint's work spread over its
+// connection budget.
+func (s *Scheduler) Makespan() VTime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.span
+	for _, b := range s.busy {
+		if area := b / time.Duration(s.workers); area > out {
+			out = area
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoLLM answers every prompt with a fixed completion.
+type echoLLM struct {
+	name   string
+	answer string
+}
+
+func (e *echoLLM) Name() string { return e.name }
+func (e *echoLLM) Complete(ctx context.Context, p string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return e.answer, nil
+}
+
+// latOf mirrors the scheduler's per-prompt cost for test expectations.
+func latOf(prompt, out string) time.Duration {
+	return promptLatency(CountTokens(prompt), CountTokens(out))
+}
+
+func TestSchedulerChainLatency(t *testing.T) {
+	client := &echoLLM{name: "m", answer: "one two three"}
+	s := NewScheduler(context.Background(), nil, 4)
+
+	// A three-prompt dependency chain: each prompt is ready when the
+	// previous one completes.
+	var vt VTime
+	prompts := []string{"p one", "p one two", "p one two three"}
+	var want VTime
+	for _, p := range prompts {
+		out, end, err := s.Do(client, p, vt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != "one two three" {
+			t.Fatalf("out = %q", out)
+		}
+		want += latOf(p, out)
+		if end != want {
+			t.Fatalf("chain end = %v, want %v", end, want)
+		}
+		vt = end
+	}
+	if got := s.CriticalPath(); got != want {
+		t.Errorf("critical path = %v, want %v", got, want)
+	}
+	// Three prompts on four workers: the chain dominates the area bound.
+	if got := s.Makespan(); got != want {
+		t.Errorf("makespan = %v, want chain %v", got, want)
+	}
+}
+
+func TestSchedulerAreaBoundDominates(t *testing.T) {
+	client := &echoLLM{name: "m", answer: "a b c d e"}
+	s := NewScheduler(context.Background(), nil, 2)
+
+	// 8 independent prompts (all ready at 0) on 2 workers: the critical
+	// path is one prompt, the area bound is 4 prompts.
+	const n = 8
+	futs := make([]*Future, n)
+	for i := range futs {
+		futs[i] = s.Submit(client, "independent prompt", 0)
+	}
+	one := latOf("independent prompt", "a b c d e")
+	for _, f := range futs {
+		_, end, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != one {
+			t.Fatalf("independent prompt ends at %v, want %v", end, one)
+		}
+	}
+	if got := s.CriticalPath(); got != one {
+		t.Errorf("critical path = %v, want %v", got, one)
+	}
+	if got, want := s.Makespan(), time.Duration(n)*one/2; got != want {
+		t.Errorf("makespan = %v, want area bound %v", got, want)
+	}
+}
+
+// TestSchedulerPerEndpointBudget: two model endpoints have independent
+// connection budgets, so a verifier's prompts never queue behind the
+// primary model's — the makespan is the busier endpoint's area, not the
+// sum.
+func TestSchedulerPerEndpointBudget(t *testing.T) {
+	primary := &echoLLM{name: "primary", answer: "a b c"}
+	verifier := &echoLLM{name: "verifier", answer: "a b c"}
+	s := NewScheduler(context.Background(), nil, 2)
+
+	const n = 6
+	var futs []*Future
+	for i := 0; i < n; i++ {
+		futs = append(futs, s.Submit(primary, "independent prompt", 0))
+		futs = append(futs, s.Submit(verifier, "independent prompt", 0))
+	}
+	for _, f := range futs {
+		if _, _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := latOf("independent prompt", "a b c")
+	want := time.Duration(n) * one / 2 // each endpoint's own area
+	if got := s.Makespan(); got != want {
+		t.Errorf("makespan = %v, want per-endpoint area %v (summed would be %v)", got, want, 2*want)
+	}
+	if got := s.AggregateWork(); got != 2*time.Duration(n)*one {
+		t.Errorf("aggregate work = %v, want %v", got, 2*time.Duration(n)*one)
+	}
+}
+
+func TestSchedulerCacheHitsCostNothing(t *testing.T) {
+	rec := NewRecorder(&echoLLM{name: "m", answer: "x"})
+	cache := NewCache(8)
+	s := NewScheduler(context.Background(), cache, 2)
+
+	if _, _, err := s.Do(rec, "same prompt", 0); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Makespan()
+	if first == 0 {
+		t.Fatal("issued prompt must cost latency")
+	}
+	// The identical prompt again, even anchored later on the chain, adds
+	// neither span nor area.
+	_, end, err := s.Do(rec, "same prompt", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != first {
+		t.Errorf("cache hit must complete at its ready time: %v, want %v", end, first)
+	}
+	if got := s.Makespan(); got != first {
+		t.Errorf("makespan grew on a cache hit: %v vs %v", got, first)
+	}
+	st := rec.Stats()
+	if st.Prompts != 1 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 1 prompt, 1 hit, 1 miss", st)
+	}
+	if st.SimulatedLatency != 0 {
+		t.Errorf("recorder must carry no latency in pipelined mode, got %v", st.SimulatedLatency)
+	}
+}
+
+func TestSchedulerSingleflightCollapsesConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	client := &countingLLM{onCall: func() {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	}}
+	s := NewScheduler(context.Background(), NewCache(8), 4)
+	var futs []*Future
+	for i := 0; i < 6; i++ {
+		futs = append(futs, s.Submit(client, "dup", 0))
+	}
+	for _, f := range futs {
+		if _, _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("6 concurrent identical prompts issued %d model calls, want 1", calls)
+	}
+}
+
+type countingLLM struct{ onCall func() }
+
+func (c *countingLLM) Name() string { return "counting" }
+func (c *countingLLM) Complete(ctx context.Context, p string) (string, error) {
+	c.onCall()
+	return "ok", nil
+}
+
+// blockingLLM blocks until its context is canceled.
+type blockingLLM struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingLLM) Name() string { return "blocking" }
+func (b *blockingLLM) Complete(ctx context.Context, p string) (string, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return "", ctx.Err()
+}
+
+func TestSchedulerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	client := &blockingLLM{started: make(chan struct{})}
+	s := NewScheduler(ctx, nil, 2)
+
+	// Saturate both workers plus the queue, then cancel: every future —
+	// in-flight and never-dispatched — must resolve with the cancellation.
+	var futs []*Future
+	for i := 0; i < 5; i++ {
+		futs = append(futs, s.Submit(client, fmt.Sprintf("p%d", i), 0))
+	}
+	<-client.started
+	cancel()
+	for i, f := range futs {
+		done := make(chan struct{})
+		var err error
+		go func() {
+			_, _, err = f.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("future %d did not resolve after cancellation", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("future %d err = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestSchedulerErrorPropagates(t *testing.T) {
+	client := &failingLLM{}
+	s := NewScheduler(context.Background(), nil, 2)
+	if _, _, err := s.Do(client, "boom", 0); err == nil || !strings.Contains(err.Error(), "model failure") {
+		t.Errorf("err = %v, want model failure", err)
+	}
+}
+
+type failingLLM struct{}
+
+func (f *failingLLM) Name() string { return "failing" }
+func (f *failingLLM) Complete(ctx context.Context, p string) (string, error) {
+	return "", errors.New("model failure")
+}
+
+func TestSchedulerDefaultWorkers(t *testing.T) {
+	s := NewScheduler(context.Background(), nil, 0)
+	if s.Workers() != DefaultBatchWorkers {
+		t.Errorf("workers = %d, want %d", s.Workers(), DefaultBatchWorkers)
+	}
+}

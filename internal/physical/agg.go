@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/expr"
+	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/schema"
 	"repro/internal/sql/ast"
@@ -185,6 +186,7 @@ type hashAggOp struct {
 
 	results []schema.Tuple
 	cursor  int
+	vt      llm.VTime // every group is available once the whole input is
 }
 
 func newHashAgg(node *logical.Aggregate, input Operator) (*hashAggOp, error) {
@@ -220,11 +222,12 @@ func (a *hashAggOp) Open(c *Context) error {
 	if err := a.input.Open(c); err != nil {
 		return err
 	}
-	rows, err := drain(a.input)
+	rows, vt, err := drainVT(a.input)
 	a.input.Close()
 	if err != nil {
 		return err
 	}
+	a.vt = vt
 
 	type group struct {
 		key  schema.Tuple
@@ -307,12 +310,17 @@ func (a *hashAggOp) Open(c *Context) error {
 func (a *hashAggOp) Close() error { return nil }
 
 func (a *hashAggOp) Next() (schema.Tuple, error) {
+	t, _, err := a.NextVT()
+	return t, err
+}
+
+func (a *hashAggOp) NextVT() (schema.Tuple, llm.VTime, error) {
 	if a.cursor >= len(a.results) {
-		return nil, io.EOF
+		return nil, 0, io.EOF
 	}
 	t := a.results[a.cursor]
 	a.cursor++
-	return t, nil
+	return t, a.vt, nil
 }
 
 // sortOp materializes and orders the input.
@@ -324,6 +332,7 @@ type sortOp struct {
 
 	rows   []schema.Tuple
 	cursor int
+	vt     llm.VTime // the sorted run exists once the whole input does
 }
 
 func newSort(node *logical.Sort, input Operator) (*sortOp, error) {
@@ -345,11 +354,12 @@ func (s *sortOp) Open(c *Context) error {
 	if err := s.input.Open(c); err != nil {
 		return err
 	}
-	rows, err := drain(s.input)
+	rows, vt, err := drainVT(s.input)
 	s.input.Close()
 	if err != nil {
 		return err
 	}
+	s.vt = vt
 
 	// Precompute sort keys once per row.
 	keys := make([][]value.Value, len(rows))
@@ -417,10 +427,15 @@ func compareForSort(a, b value.Value) int {
 func (s *sortOp) Close() error { return nil }
 
 func (s *sortOp) Next() (schema.Tuple, error) {
+	t, _, err := s.NextVT()
+	return t, err
+}
+
+func (s *sortOp) NextVT() (schema.Tuple, llm.VTime, error) {
 	if s.cursor >= len(s.rows) {
-		return nil, io.EOF
+		return nil, 0, io.EOF
 	}
 	t := s.rows[s.cursor]
 	s.cursor++
-	return t, nil
+	return t, s.vt, nil
 }

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"repro/internal/expr"
+	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/schema"
 	"repro/internal/sql/ast"
@@ -25,6 +26,8 @@ type hashJoinOp struct {
 	leftRow schema.Tuple
 	matched bool
 	done    bool
+	buildVT llm.VTime // the hash table exists once the right side drained
+	leftVT  llm.VTime // virtual time of the current left row
 }
 
 func (j *hashJoinOp) Schema() *schema.Schema { return j.out }
@@ -33,11 +36,12 @@ func (j *hashJoinOp) Open(c *Context) error {
 	if err := j.right.Open(c); err != nil {
 		return err
 	}
-	rows, err := drain(j.right)
+	rows, buildVT, err := drainVT(j.right)
 	j.right.Close()
 	if err != nil {
 		return err
 	}
+	j.buildVT = buildVT
 	j.table = make(map[string][]schema.Tuple, len(rows))
 	for _, r := range rows {
 		k, err := joinKey(j.rightKeys, r)
@@ -57,6 +61,25 @@ func (j *hashJoinOp) Open(c *Context) error {
 func (j *hashJoinOp) Close() error { return j.left.Close() }
 
 func (j *hashJoinOp) Next() (schema.Tuple, error) {
+	t, _, err := j.NextVT()
+	return t, err
+}
+
+// NextVT stamps each output row with the later of the build side's
+// high-water mark and the current left row's availability.
+func (j *hashJoinOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	t, err := j.nextRow()
+	if err != nil {
+		return nil, 0, err
+	}
+	vt := j.buildVT
+	if j.leftVT > vt {
+		vt = j.leftVT
+	}
+	return t, vt, nil
+}
+
+func (j *hashJoinOp) nextRow() (schema.Tuple, error) {
 	for {
 		// Emit pending matches.
 		for j.cursor < len(j.current) {
@@ -85,11 +108,12 @@ func (j *hashJoinOp) Next() (schema.Tuple, error) {
 			return row, nil
 		}
 		// Advance the left input.
-		t, err := j.left.Next()
+		t, vt, err := nextVT(j.left)
 		if err != nil {
 			return nil, err
 		}
 		j.leftRow = t
+		j.leftVT = vt
 		j.matched = false
 		j.cursor = 0
 		k, err := joinKey(j.leftKeys, t)
@@ -128,6 +152,8 @@ type nlJoinOp struct {
 	leftRow   schema.Tuple
 	cursor    int
 	matched   bool
+	buildVT   llm.VTime
+	leftVT    llm.VTime
 }
 
 func (j *nlJoinOp) Schema() *schema.Schema { return j.out }
@@ -136,12 +162,13 @@ func (j *nlJoinOp) Open(c *Context) error {
 	if err := j.right.Open(c); err != nil {
 		return err
 	}
-	rows, err := drain(j.right)
+	rows, buildVT, err := drainVT(j.right)
 	j.right.Close()
 	if err != nil {
 		return err
 	}
 	j.rightRows = rows
+	j.buildVT = buildVT
 	j.leftRow, j.cursor = nil, 0
 	return j.left.Open(c)
 }
@@ -149,6 +176,23 @@ func (j *nlJoinOp) Open(c *Context) error {
 func (j *nlJoinOp) Close() error { return j.left.Close() }
 
 func (j *nlJoinOp) Next() (schema.Tuple, error) {
+	t, _, err := j.NextVT()
+	return t, err
+}
+
+func (j *nlJoinOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	t, err := j.nextRow()
+	if err != nil {
+		return nil, 0, err
+	}
+	vt := j.buildVT
+	if j.leftVT > vt {
+		vt = j.leftVT
+	}
+	return t, vt, nil
+}
+
+func (j *nlJoinOp) nextRow() (schema.Tuple, error) {
 	for {
 		if j.leftRow != nil {
 			for j.cursor < len(j.rightRows) {
@@ -177,11 +221,12 @@ func (j *nlJoinOp) Next() (schema.Tuple, error) {
 			}
 			j.leftRow = nil
 		}
-		t, err := j.left.Next()
+		t, vt, err := nextVT(j.left)
 		if err != nil {
 			return nil, err
 		}
 		j.leftRow = t
+		j.leftVT = vt
 		j.cursor = 0
 		j.matched = false
 	}

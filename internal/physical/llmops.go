@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/clean"
+	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/prompt"
 	"repro/internal/schema"
@@ -17,12 +18,20 @@ import (
 // relation: one list prompt, then "more results" prompts carrying the
 // already-seen keys, until no new keys arrive or the iteration cap is hit
 // (Section 4's two critical steps: iteration and termination threshold).
+//
+// The page chain is inherently sequential — each prompt excludes the keys
+// of every previous page — but in pipelined mode the keys of a page flow
+// downstream as soon as the page lands, so attribute fetches and filters
+// start while the scan is still iterating.
 type llmKeyScanOp struct {
 	scan *logical.Scan
 	out  *schema.Schema
 
+	// stop-and-go state
 	rows   []schema.Tuple
 	cursor int
+	// pipelined state
+	pipe *pipe
 }
 
 func (s *llmKeyScanOp) Schema() *schema.Schema { return s.out }
@@ -36,63 +45,138 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 		return err
 	}
 	keyKind := s.out.Columns[0].Type
-
-	var keys []string
-	seen := map[string]bool{}
 	maxIter := c.MaxScanIterations
 	if maxIter <= 0 {
 		maxIter = 12
 	}
+
+	if c.Pipelined() {
+		s.openPipelined(c, conds, keyKind, maxIter)
+		return nil
+	}
+
+	var keys []string
+	seen := map[string]bool{}
 	for iter := 0; iter < maxIter; iter++ {
 		p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
 		resp, err := c.Complete(p)
 		if err != nil {
 			return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
 		}
-		trimmed := strings.TrimSpace(resp)
-		if strings.EqualFold(trimmed, prompt.DoneMarker) || strings.EqualFold(trimmed, prompt.UnknownMarker) {
-			break
-		}
-		added := 0
-		for _, item := range clean.SplitList(resp) {
-			k := c.Cleaner.Key(item)
-			if k == "" {
-				continue
-			}
-			lower := strings.ToLower(k)
-			if seen[lower] {
-				continue
-			}
-			seen[lower] = true
-			keys = append(keys, k)
-			added++
-		}
-		if added == 0 {
+		added, done := scanPage(resp, c.Cleaner, seen, &keys)
+		if done || added == 0 {
 			break
 		}
 	}
 
 	s.rows = s.rows[:0]
 	for _, k := range keys {
-		v, err := value.ParseAs(keyKind, k)
-		if err != nil || v.IsNull() {
-			continue // enforce the key's type constraint
+		if t, ok := keyTuple(keyKind, k); ok {
+			s.rows = append(s.rows, t)
 		}
-		s.rows = append(s.rows, schema.Tuple{v})
 	}
 	s.cursor = 0
 	return nil
 }
 
-func (s *llmKeyScanOp) Close() error { return nil }
+// openPipelined streams the scan: a producer runs the sequential page
+// chain on the query scheduler and emits each page's new keys downstream
+// stamped with the page's virtual completion time.
+func (s *llmKeyScanOp) openPipelined(c *Context, conds []prompt.Condition, keyKind value.Kind, maxIter int) {
+	s.pipe = newPipe(c.pipeBuffer())
+	s.pipe.run(func() error {
+		var keys []string
+		seen := map[string]bool{}
+		var vt llm.VTime
+		for iter := 0; iter < maxIter; iter++ {
+			if s.pipe.stopped() {
+				return nil
+			}
+			p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
+			resp, pageVT, err := c.Scheduler.Do(c.Client, p, vt)
+			if err != nil {
+				return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
+			}
+			vt = pageVT
+			prev := len(keys)
+			added, done := scanPage(resp, c.Cleaner, seen, &keys)
+			for _, k := range keys[prev:] {
+				if t, ok := keyTuple(keyKind, k); ok {
+					if !s.pipe.send(pipeRow{row: t, vt: vt}) {
+						return nil
+					}
+				}
+			}
+			if done || added == 0 {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// scanPage parses one list-prompt response, appending keys not seen on
+// earlier pages to *keys. done reports a Done/Unknown termination marker.
+func scanPage(resp string, cleaner *clean.Cleaner, seen map[string]bool, keys *[]string) (added int, done bool) {
+	trimmed := strings.TrimSpace(resp)
+	if strings.EqualFold(trimmed, prompt.DoneMarker) || strings.EqualFold(trimmed, prompt.UnknownMarker) {
+		return 0, true
+	}
+	for _, item := range clean.SplitList(resp) {
+		k := cleaner.Key(item)
+		if k == "" {
+			continue
+		}
+		lower := strings.ToLower(k)
+		if seen[lower] {
+			continue
+		}
+		seen[lower] = true
+		*keys = append(*keys, k)
+		added++
+	}
+	return added, false
+}
+
+// keyTuple converts one cleaned key into a single-column tuple, enforcing
+// the key's type constraint.
+func keyTuple(kind value.Kind, k string) (schema.Tuple, bool) {
+	v, err := value.ParseAs(kind, k)
+	if err != nil || v.IsNull() {
+		return nil, false
+	}
+	return schema.Tuple{v}, true
+}
+
+func (s *llmKeyScanOp) Close() error {
+	if s.pipe != nil {
+		s.pipe.close()
+	}
+	return nil
+}
 
 func (s *llmKeyScanOp) Next() (schema.Tuple, error) {
+	t, _, err := s.NextVT()
+	return t, err
+}
+
+func (s *llmKeyScanOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	if s.pipe != nil {
+		r, ok, err := s.pipe.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, io.EOF
+		}
+		return r.row, r.vt, nil
+	}
 	if s.cursor >= len(s.rows) {
-		return nil, io.EOF
+		return nil, 0, io.EOF
 	}
 	t := s.rows[s.cursor]
 	s.cursor++
-	return t, nil
+	return t, 0, nil
 }
 
 // pushedConditions converts a pushed-down predicate into prompt
@@ -121,15 +205,24 @@ func pushedConditions(e ast.Expr) ([]prompt.Condition, error) {
 	return out, nil
 }
 
-// llmFetchAttrOp retrieves one attribute per input tuple with a batched
-// prompt per key, appending the cleaned value as a new column.
+// llmFetchAttrOp retrieves one attribute per input tuple, appending the
+// cleaned value as a new column. Stop-and-go issues one batched prompt
+// wave per operator; pipelined mode submits the per-key prompt (and its
+// cross-model verification, concurrently) the moment the input tuple
+// arrives, and awaits answers in input order so results are identical.
 type llmFetchAttrOp struct {
 	node  *logical.FetchAttr
 	input Operator
 	out   *schema.Schema
 
+	kind value.Kind
+
+	// stop-and-go state
 	rows   []schema.Tuple
 	cursor int
+	// pipelined state
+	pipe *pipe
+	pc   *Context
 }
 
 func (f *llmFetchAttrOp) Schema() *schema.Schema { return f.out }
@@ -141,13 +234,19 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 	if err := f.input.Open(c); err != nil {
 		return err
 	}
+	f.kind = f.out.Columns[f.out.Len()-1].Type
+
+	if c.Pipelined() {
+		f.openPipelined(c)
+		return nil
+	}
+
 	rows, err := drain(f.input)
 	f.input.Close()
 	if err != nil {
 		return err
 	}
 
-	kind := f.out.Columns[f.out.Len()-1].Type
 	prompts := make([]string, len(rows))
 	for i, row := range rows {
 		key := row[f.node.KeyCol].String()
@@ -160,7 +259,7 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 
 	values := make([]value.Value, len(rows))
 	for i := range rows {
-		values[i] = c.Cleaner.Cell(answers[i], kind)
+		values[i] = c.Cleaner.Cell(answers[i], f.kind)
 	}
 
 	// Cross-model verification (Section 6): ask a second model the same
@@ -170,15 +269,12 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 		if err != nil {
 			return fmt.Errorf("physical: verifying %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
 		}
-		tol := c.VerifyTolerance
-		if tol <= 0 {
-			tol = 0.1
-		}
+		tol := verifyTolerance(c)
 		for i := range values {
 			if values[i].IsNull() {
 				continue
 			}
-			other := c.Cleaner.Cell(verdicts[i], kind)
+			other := c.Cleaner.Cell(verdicts[i], f.kind)
 			if !valuesAgree(values[i], other, tol) {
 				values[i] = value.Null()
 			}
@@ -191,6 +287,44 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 	}
 	f.cursor = 0
 	return nil
+}
+
+// openPipelined streams the fetch: the producer submits the attribute
+// prompt — and, with a verifier configured, the verification prompt
+// concurrently — as each input tuple arrives, anchored at the tuple's
+// virtual time.
+func (f *llmFetchAttrOp) openPipelined(c *Context) {
+	f.pc = c
+	f.pipe = newPipe(c.pipeBuffer())
+	input := f.input
+	f.pipe.run(func() error {
+		defer input.Close()
+		for {
+			row, vt, err := nextVT(input)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			key := row[f.node.KeyCol].String()
+			p := c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
+			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, p, vt)}
+			if c.Verifier != nil {
+				r.verify = c.Scheduler.Submit(c.Verifier, p, vt)
+			}
+			if !f.pipe.send(r) {
+				return nil
+			}
+		}
+	})
+}
+
+func verifyTolerance(c *Context) float64 {
+	if c.VerifyTolerance > 0 {
+		return c.VerifyTolerance
+	}
+	return 0.1
 }
 
 // valuesAgree compares two independently produced answers: numerics within
@@ -218,15 +352,56 @@ func valuesAgree(a, b value.Value, tol float64) bool {
 	return strings.EqualFold(strings.TrimSpace(a.String()), strings.TrimSpace(b.String()))
 }
 
-func (f *llmFetchAttrOp) Close() error { return nil }
+func (f *llmFetchAttrOp) Close() error {
+	if f.pipe != nil {
+		f.pipe.close() // the producer closes the input on exit
+	}
+	return nil
+}
 
 func (f *llmFetchAttrOp) Next() (schema.Tuple, error) {
-	if f.cursor >= len(f.rows) {
-		return nil, io.EOF
+	t, _, err := f.NextVT()
+	return t, err
+}
+
+func (f *llmFetchAttrOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	if f.pipe == nil {
+		if f.cursor >= len(f.rows) {
+			return nil, 0, io.EOF
+		}
+		t := f.rows[f.cursor]
+		f.cursor++
+		return t, 0, nil
 	}
-	t := f.rows[f.cursor]
-	f.cursor++
-	return t, nil
+
+	r, ok, err := f.pipe.next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, io.EOF
+	}
+	answer, vt, err := r.main.Wait()
+	if err != nil {
+		return nil, 0, fmt.Errorf("physical: fetching %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
+	}
+	v := f.pc.Cleaner.Cell(answer, f.kind)
+	if r.verify != nil {
+		verdict, verifyVT, err := r.verify.Wait()
+		if err != nil {
+			return nil, 0, fmt.Errorf("physical: verifying %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
+		}
+		if verifyVT > vt {
+			vt = verifyVT
+		}
+		if !v.IsNull() {
+			other := f.pc.Cleaner.Cell(verdict, f.kind)
+			if !valuesAgree(v, other, verifyTolerance(f.pc)) {
+				v = value.Null()
+			}
+		}
+	}
+	return append(r.row.Clone(), v), vt, nil
 }
 
 // llmFilterOp keeps tuples for which the per-key boolean prompt answers
@@ -235,8 +410,11 @@ type llmFilterOp struct {
 	node  *logical.LLMFilter
 	input Operator
 
+	// stop-and-go state
 	rows   []schema.Tuple
 	cursor int
+	// pipelined state
+	pipe *pipe
 }
 
 func (f *llmFilterOp) Schema() *schema.Schema { return f.node.Schema() }
@@ -248,20 +426,29 @@ func (f *llmFilterOp) Open(c *Context) error {
 	if err := f.input.Open(c); err != nil {
 		return err
 	}
+
+	ref := f.node.Cond.Left.(*ast.ColumnRef)
+	lit := f.node.Cond.Right.(*ast.Literal)
+	opPhrase := prompt.OpPhrase(f.node.Cond.Op)
+	filterPrompt := func(row schema.Tuple) string {
+		key := row[f.node.KeyCol].String()
+		return c.Prompts.Filter(f.node.Table.Name, key, ref.Name, opPhrase, lit.Val.String())
+	}
+
+	if c.Pipelined() {
+		f.openPipelined(c, filterPrompt)
+		return nil
+	}
+
 	rows, err := drain(f.input)
 	f.input.Close()
 	if err != nil {
 		return err
 	}
 
-	ref := f.node.Cond.Left.(*ast.ColumnRef)
-	lit := f.node.Cond.Right.(*ast.Literal)
-	opPhrase := prompt.OpPhrase(f.node.Cond.Op)
-
 	prompts := make([]string, len(rows))
 	for i, row := range rows {
-		key := row[f.node.KeyCol].String()
-		prompts[i] = c.Prompts.Filter(f.node.Table.Name, key, ref.Name, opPhrase, lit.Val.String())
+		prompts[i] = filterPrompt(row)
 	}
 	answers, err := c.CompleteBatch(c.Client, prompts)
 	if err != nil {
@@ -278,18 +465,71 @@ func (f *llmFilterOp) Open(c *Context) error {
 	return nil
 }
 
+// openPipelined streams the filter: the boolean prompt for each tuple is
+// submitted as the tuple arrives; Next awaits verdicts in input order and
+// keeps the yes rows.
+func (f *llmFilterOp) openPipelined(c *Context, filterPrompt func(schema.Tuple) string) {
+	f.pipe = newPipe(c.pipeBuffer())
+	input := f.input
+	f.pipe.run(func() error {
+		defer input.Close()
+		for {
+			row, vt, err := nextVT(input)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, filterPrompt(row), vt)}
+			if !f.pipe.send(r) {
+				return nil
+			}
+		}
+	})
+}
+
 func isYes(s string) bool {
 	s = strings.ToLower(strings.TrimSpace(s))
 	return strings.HasPrefix(s, "yes") || strings.HasPrefix(s, "true")
 }
 
-func (f *llmFilterOp) Close() error { return nil }
+func (f *llmFilterOp) Close() error {
+	if f.pipe != nil {
+		f.pipe.close() // the producer closes the input on exit
+	}
+	return nil
+}
 
 func (f *llmFilterOp) Next() (schema.Tuple, error) {
-	if f.cursor >= len(f.rows) {
-		return nil, io.EOF
+	t, _, err := f.NextVT()
+	return t, err
+}
+
+func (f *llmFilterOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	if f.pipe == nil {
+		if f.cursor >= len(f.rows) {
+			return nil, 0, io.EOF
+		}
+		t := f.rows[f.cursor]
+		f.cursor++
+		return t, 0, nil
 	}
-	t := f.rows[f.cursor]
-	f.cursor++
-	return t, nil
+
+	for {
+		r, ok, err := f.pipe.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, io.EOF
+		}
+		answer, vt, err := r.main.Wait()
+		if err != nil {
+			return nil, 0, fmt.Errorf("physical: LLM filter %s: %w", f.node.Cond.String(), err)
+		}
+		if isYes(answer) {
+			return r.row, vt, nil
+		}
+	}
 }

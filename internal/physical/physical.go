@@ -34,8 +34,21 @@ type Context struct {
 	// MaxScanIterations caps the "return more results" loop per leaf
 	// (Section 4's termination threshold).
 	MaxScanIterations int
-	// BatchWorkers bounds the concurrency of batched prompt execution.
+	// BatchWorkers bounds the concurrency of batched prompt execution. In
+	// pipelined mode the Scheduler's worker budget takes its place.
 	BatchWorkers int
+	// Scheduler, when non-nil, turns on the pipelined streaming executor:
+	// the LLM operators submit prompts to this query-level shared worker
+	// pool as upstream tuples arrive — instead of draining their input and
+	// issuing one blocking batch — and latency is accounted with the
+	// scheduler's critical-path model rather than summed per-operator
+	// waves. Nil runs the stop-and-go execution the paper describes.
+	Scheduler *llm.Scheduler
+	// PipelineBuffer bounds how many tuples a streaming LLM operator may
+	// run ahead of its consumer (0 means DefaultPipelineBuffer). Smaller
+	// buffers make LIMIT-driven early termination cut upstream prompt
+	// issue sooner; larger ones decouple stages more.
+	PipelineBuffer int
 	// Verifier, when non-nil, is a second model that double-checks every
 	// fetched attribute value (Section 6, "Knowledge of the Unknown":
 	// "verify generated query answers by another model"). Cells the
@@ -63,12 +76,67 @@ func (c *Context) CompleteBatch(client llm.Client, prompts []string) ([]string, 
 	return llm.CompleteBatchCached(c.Ctx, client, c.Cache, prompts, workers)
 }
 
+// Pipelined reports whether this query runs the streaming executor.
+func (c *Context) Pipelined() bool { return c.Scheduler != nil }
+
+// DefaultPipelineBuffer is the fallback bound on how far a streaming LLM
+// operator runs ahead of its consumer.
+const DefaultPipelineBuffer = 16
+
+func (c *Context) pipeBuffer() int {
+	if c.PipelineBuffer > 0 {
+		return c.PipelineBuffer
+	}
+	return DefaultPipelineBuffer
+}
+
 // Operator is one physical operator.
 type Operator interface {
 	Schema() *schema.Schema
 	Open(*Context) error
 	Next() (schema.Tuple, error) // io.EOF at end of stream
 	Close() error
+}
+
+// vtOperator is implemented by operators that report, next to each tuple,
+// the virtual time at which the tuple became available on the simulated-
+// latency axis — the completion time of the prompt chain that produced it.
+// The pipelined LLM operators use it as the ready time of downstream
+// prompts; prompt-free operators forward their input's timestamps.
+type vtOperator interface {
+	NextVT() (schema.Tuple, llm.VTime, error)
+}
+
+// nextVT pulls one tuple with its virtual timestamp. Operators unaware of
+// virtual time report zero: their tuples are available immediately.
+func nextVT(op Operator) (schema.Tuple, llm.VTime, error) {
+	if s, ok := op.(vtOperator); ok {
+		return s.NextVT()
+	}
+	t, err := op.Next()
+	return t, 0, err
+}
+
+// drainVT materializes an operator's remaining stream together with the
+// high-water virtual time across the consumed tuples — the availability
+// time of anything derived from the whole input (a hash table, a sorted
+// run, an aggregate).
+func drainVT(op Operator) ([]schema.Tuple, llm.VTime, error) {
+	var rows []schema.Tuple
+	var vt llm.VTime
+	for {
+		t, tvt, err := nextVT(op)
+		if err == io.EOF {
+			return rows, vt, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if tvt > vt {
+			vt = tvt
+		}
+		rows = append(rows, t)
+	}
 }
 
 // Run drains an operator into a materialized relation.
@@ -133,17 +201,22 @@ func (f *filterOp) Open(c *Context) error  { return f.input.Open(c) }
 func (f *filterOp) Close() error           { return f.input.Close() }
 
 func (f *filterOp) Next() (schema.Tuple, error) {
+	t, _, err := f.NextVT()
+	return t, err
+}
+
+func (f *filterOp) NextVT() (schema.Tuple, llm.VTime, error) {
 	for {
-		t, err := f.input.Next()
+		t, vt, err := nextVT(f.input)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ok, err := expr.EvalBool(f.cond, t)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if ok {
-			return t, nil
+			return t, vt, nil
 		}
 	}
 }
@@ -160,19 +233,24 @@ func (p *projectOp) Open(c *Context) error  { return p.input.Open(c) }
 func (p *projectOp) Close() error           { return p.input.Close() }
 
 func (p *projectOp) Next() (schema.Tuple, error) {
-	t, err := p.input.Next()
+	t, _, err := p.NextVT()
+	return t, err
+}
+
+func (p *projectOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	t, vt, err := nextVT(p.input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := make(schema.Tuple, len(p.funcs))
 	for i, f := range p.funcs {
 		v, err := f(t)
 		if err != nil {
-			return nil, fmt.Errorf("physical: projecting column %d: %w", i, err)
+			return nil, 0, fmt.Errorf("physical: projecting column %d: %w", i, err)
 		}
 		out[i] = v
 	}
-	return out, nil
+	return out, vt, nil
 }
 
 // stripOp keeps the first k columns.
@@ -187,11 +265,16 @@ func (s *stripOp) Open(c *Context) error  { return s.input.Open(c) }
 func (s *stripOp) Close() error           { return s.input.Close() }
 
 func (s *stripOp) Next() (schema.Tuple, error) {
-	t, err := s.input.Next()
+	t, _, err := s.NextVT()
+	return t, err
+}
+
+func (s *stripOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	t, vt, err := nextVT(s.input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return t[:s.keep], nil
+	return t[:s.keep], vt, nil
 }
 
 // limitOp emits at most n tuples after skipping offset.
@@ -213,27 +296,37 @@ func (l *limitOp) Open(c *Context) error {
 func (l *limitOp) Close() error { return l.input.Close() }
 
 func (l *limitOp) Next() (schema.Tuple, error) {
+	t, _, err := l.NextVT()
+	return t, err
+}
+
+func (l *limitOp) NextVT() (schema.Tuple, llm.VTime, error) {
+	// A satisfied limit — including LIMIT 0 — ends the stream without
+	// pulling (or skipping offset rows of) the input, so upstream
+	// operators never run, and in pipelined mode their producers are told
+	// to stop issuing prompts as soon as the tree is closed.
+	if l.n >= 0 && l.emitted >= l.n {
+		return nil, 0, io.EOF
+	}
 	for l.skipped < l.offset {
-		if _, err := l.input.Next(); err != nil {
-			return nil, err
+		if _, _, err := nextVT(l.input); err != nil {
+			return nil, 0, err
 		}
 		l.skipped++
 	}
-	if l.n >= 0 && l.emitted >= l.n {
-		return nil, io.EOF
-	}
-	t, err := l.input.Next()
+	t, vt, err := nextVT(l.input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	l.emitted++
-	return t, nil
+	return t, vt, nil
 }
 
 // distinctOp drops duplicates over the first keyCols columns.
 type distinctOp struct {
 	input   Operator
 	keyCols int
+	idx     []int
 	seen    map[string]bool
 }
 
@@ -241,27 +334,32 @@ func (d *distinctOp) Schema() *schema.Schema { return d.input.Schema() }
 
 func (d *distinctOp) Open(c *Context) error {
 	d.seen = map[string]bool{}
+	d.idx = make([]int, d.keyCols)
+	for i := range d.idx {
+		d.idx[i] = i
+	}
 	return d.input.Open(c)
 }
 
 func (d *distinctOp) Close() error { return d.input.Close() }
 
 func (d *distinctOp) Next() (schema.Tuple, error) {
-	idx := make([]int, d.keyCols)
-	for i := range idx {
-		idx[i] = i
-	}
+	t, _, err := d.NextVT()
+	return t, err
+}
+
+func (d *distinctOp) NextVT() (schema.Tuple, llm.VTime, error) {
 	for {
-		t, err := d.input.Next()
+		t, vt, err := nextVT(d.input)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		k := t.Key(idx)
+		k := t.Key(d.idx)
 		if d.seen[k] {
 			continue
 		}
 		d.seen[k] = true
-		return t, nil
+		return t, vt, nil
 	}
 }
 

@@ -287,6 +287,45 @@ func TestDistinctOp(t *testing.T) {
 	}
 }
 
+// pullCountingOp counts how often its input stream is pulled.
+type pullCountingOp struct {
+	inner Operator
+	pulls int
+}
+
+func (p *pullCountingOp) Schema() *schema.Schema { return p.inner.Schema() }
+func (p *pullCountingOp) Open(c *Context) error  { return p.inner.Open(c) }
+func (p *pullCountingOp) Close() error           { return p.inner.Close() }
+func (p *pullCountingOp) Next() (schema.Tuple, error) {
+	p.pulls++
+	return p.inner.Next()
+}
+
+// TestLimitZeroNeverPullsInput: LIMIT 0 must return io.EOF without
+// pulling — or skipping OFFSET rows of — its input.
+func TestLimitZeroNeverPullsInput(t *testing.T) {
+	probe := &pullCountingOp{inner: NewMemScan(peopleDef().Schema, peopleRows())}
+	op := &limitOp{input: probe, n: 0, offset: 2}
+	rel, err := Run(&Context{Ctx: context.Background()}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", rel.Cardinality())
+	}
+	if probe.pulls != 0 {
+		t.Errorf("LIMIT 0 pulled its input %d times, want 0", probe.pulls)
+	}
+}
+
+// TestLimitZeroSQL: the end-to-end LIMIT 0 path through the compiler.
+func TestLimitZeroSQL(t *testing.T) {
+	rel := runSQL(t, "SELECT name FROM people LIMIT 0")
+	if rel.Cardinality() != 0 {
+		t.Errorf("LIMIT 0 = %d rows", rel.Cardinality())
+	}
+}
+
 func TestOrderByNullsLast(t *testing.T) {
 	rel := runSQL(t, "SELECT c.name, p.name FROM cities c LEFT JOIN people p ON p.city = c.name ORDER BY p.name")
 	last := rel.Rows[rel.Cardinality()-1]

@@ -1,0 +1,99 @@
+// Pipelined streaming execution of the LLM operators: instead of
+// draining their input and issuing one blocking batch (stop-and-go), the
+// operators run a bounded producer that submits prompts to the query's
+// shared llm.Scheduler as upstream tuples arrive and hands the in-flight
+// futures downstream through a channel. Answers are awaited in input
+// order, so results are bit-identical to the stop-and-go execution while
+// prompt waves of different operators overlap: an attribute fetch starts
+// while the key scan is still iterating "more results" pages, and the
+// verifier double-checks cells concurrently with the primary fetch.
+//
+// The channel is bounded (Context.PipelineBuffer) and producers watch a
+// done signal, so closing the operator tree — a satisfied LIMIT, an
+// error, normal completion — stops upstream prompt issue promptly.
+package physical
+
+import (
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/schema"
+)
+
+// pipeRow is one tuple in flight between a streaming producer and its
+// operator's Next: the tuple, the virtual time its upstream chain
+// completed, and the futures extending the chain.
+type pipeRow struct {
+	row    schema.Tuple
+	vt     llm.VTime
+	main   *llm.Future // fetch or filter prompt; nil for key-scan rows
+	verify *llm.Future // cross-model verification; nil without a verifier
+}
+
+// pipe is the shared producer/consumer plumbing of the streaming LLM
+// operators: a bounded channel of in-flight rows, a done signal that
+// stops the producer (LIMIT early termination, Close), and the
+// producer's exit error, surfaced to the consumer after the stream
+// drains.
+type pipe struct {
+	out  chan pipeRow
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+	err  error // written by the producer before out closes
+}
+
+func newPipe(buffer int) *pipe {
+	return &pipe{out: make(chan pipeRow, buffer), done: make(chan struct{})}
+}
+
+// run starts produce in the background. The producer owns its upstream
+// iteration; its error reaches the consumer through next.
+func (p *pipe) run(produce func() error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.err = produce()
+		close(p.out)
+	}()
+}
+
+// send delivers one row downstream, giving up when the consumer has
+// terminated; it reports whether the producer should keep going.
+func (p *pipe) send(r pipeRow) bool {
+	select {
+	case p.out <- r:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// stopped reports whether the consumer has terminated the stream; the
+// producer polls it between prompts so a closed tree stops issuing new
+// work even when the channel still has room.
+func (p *pipe) stopped() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// next yields the following in-flight row. ok=false means the stream
+// ended: err carries the producer's failure, nil for clean EOF.
+func (p *pipe) next() (r pipeRow, ok bool, err error) {
+	r, ok = <-p.out
+	if !ok {
+		return pipeRow{}, false, p.err
+	}
+	return r, true, nil
+}
+
+// close tells the producer to stop and waits for it to exit, so Close
+// returns with no goroutine still touching the operator or its input.
+func (p *pipe) close() {
+	p.stop.Do(func() { close(p.done) })
+	p.wg.Wait()
+}

@@ -1,0 +1,297 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clean"
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/prompt"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// pipelinedCtx builds a Context running the streaming executor with its
+// own query-level scheduler.
+func pipelinedCtx(ctx context.Context, client llm.Client, workers, buffer int) *Context {
+	b := prompt.NewBuilder()
+	b.IncludePreamble = false
+	return &Context{
+		Ctx:               ctx,
+		Client:            client,
+		Prompts:           b,
+		Cleaner:           clean.New(clean.DefaultOptions()),
+		MaxScanIterations: 5,
+		BatchWorkers:      workers,
+		Scheduler:         llm.NewScheduler(ctx, nil, workers),
+		PipelineBuffer:    buffer,
+	}
+}
+
+// townClient scripts a three-town world: the scan finds Alpha, Beta and
+// Gamma; the filter keeps the two big ones; the fetch answers their
+// populations.
+func townClient() *scriptedLLM {
+	return (&scriptedLLM{}).
+		on("Do not repeat", "Done").
+		on("List the names of all towns", "Alpha\nBeta\nGamma").
+		on("Has town Alpha population more than 1000000", "yes").
+		on("Has town Beta population more than 1000000", "yes").
+		on("Has town Gamma population more than 1000000", "no").
+		on("population of the town Alpha", "1.2 million").
+		on("population of the town Beta", "2,300,000")
+}
+
+// townTree builds scan → LLM filter (population > 1M) → fetch population:
+// the multi-operator prompt chain the pipelined executor overlaps.
+func townTree(t *testing.T) Operator {
+	t.Helper()
+	def := townDef()
+	scan := logical.NewScan(def, "t", "LLM")
+	cond := &ast.Binary{
+		Op:    ">",
+		Left:  &ast.ColumnRef{Table: "t", Name: "population"},
+		Right: &ast.Literal{Val: value.Int(1000000)},
+	}
+	filter := &logical.LLMFilter{Input: scan, Table: def, Binding: "t", Cond: cond, KeyCol: 0}
+	fa, err := logical.NewFetchAttr(filter, def, "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanOp := &llmKeyScanOp{scan: scan, out: scan.Schema()}
+	filterOp := &llmFilterOp{node: filter, input: scanOp}
+	return &llmFetchAttrOp{node: fa, input: filterOp, out: fa.Schema()}
+}
+
+// TestPipelinedMatchesStopAndGo: the streaming executor must produce
+// bit-identical results with the same prompts as stop-and-go execution,
+// at strictly lower simulated latency (the waves overlap).
+func TestPipelinedMatchesStopAndGo(t *testing.T) {
+	// Stop-and-go reference.
+	legacyRec := llm.NewRecorder(townClient())
+	legacyVerify := llm.NewRecorder(townClient())
+	legacyCtx := llmCtx(&scriptedLLM{})
+	legacyCtx.Client = legacyRec
+	legacyCtx.Verifier = legacyVerify
+	want, err := Run(legacyCtx, townTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyLat := legacyRec.Stats().SimulatedLatency + legacyVerify.Stats().SimulatedLatency
+	legacyPrompts := legacyRec.Stats().Prompts + legacyVerify.Stats().Prompts
+
+	// Pipelined run.
+	pipeRec := llm.NewRecorder(townClient())
+	pipeVerify := llm.NewRecorder(townClient())
+	pctx := pipelinedCtx(context.Background(), pipeRec, 2, 4)
+	pctx.Verifier = pipeVerify
+	got, err := Run(pctx, townTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.String() != want.String() {
+		t.Errorf("pipelined result diverged:\nstop-and-go:\n%s\npipelined:\n%s", want.String(), got.String())
+	}
+	if got.Cardinality() != 2 {
+		t.Errorf("rows = %d, want 2:\n%s", got.Cardinality(), got.String())
+	}
+	pipePrompts := pipeRec.Stats().Prompts + pipeVerify.Stats().Prompts
+	if pipePrompts != legacyPrompts {
+		t.Errorf("pipelined issued %d prompts, stop-and-go %d", pipePrompts, legacyPrompts)
+	}
+	if pipeRec.Stats().SimulatedLatency != 0 || pipeVerify.Stats().SimulatedLatency != 0 {
+		t.Error("pipelined recorders must not accumulate per-call latency")
+	}
+	makespan := pctx.Scheduler.Makespan()
+	if makespan == 0 || makespan >= legacyLat {
+		t.Errorf("pipelined makespan %v must be positive and below stop-and-go %v", makespan, legacyLat)
+	}
+}
+
+// TestPipelinedVTimePropagation: downstream prompts are anchored to
+// their upstream chain, so the critical path spans scan → filter → fetch
+// and is longer than any single prompt.
+func TestPipelinedVTimePropagation(t *testing.T) {
+	pctx := pipelinedCtx(context.Background(), townClient(), 8, 4)
+	if _, err := Run(pctx, townTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	// 8 workers: with every prompt independent the span would be one
+	// prompt latency; the staged chain forces list page → filter → fetch
+	// in sequence, so the span must cover at least three per-prompt bases.
+	span := pctx.Scheduler.CriticalPath()
+	if span < 3*420*time.Millisecond {
+		t.Errorf("critical path %v too short for a 3-deep prompt chain", span)
+	}
+	if span > pctx.Scheduler.AggregateWork() {
+		t.Errorf("critical path %v cannot exceed aggregate work %v", span, pctx.Scheduler.AggregateWork())
+	}
+}
+
+// pagingLLM invents a fresh town on every list page, forever.
+type pagingLLM struct {
+	mu    sync.Mutex
+	pages int
+}
+
+func (d *pagingLLM) Name() string { return "paging" }
+func (d *pagingLLM) Complete(ctx context.Context, p string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pages++
+	return fmt.Sprintf("Town%d", d.pages), nil
+}
+
+func (d *pagingLLM) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+// TestPipelinedLimitStopsUpstream: once a downstream LIMIT is satisfied,
+// closing the tree must stop the key scan from issuing further
+// "more results" iterations (bounded by the pipeline buffer).
+func TestPipelinedLimitStopsUpstream(t *testing.T) {
+	client := &pagingLLM{}
+	pctx := pipelinedCtx(context.Background(), client, 2, 2)
+	pctx.MaxScanIterations = 50
+
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	op := &limitOp{input: &llmKeyScanOp{scan: scan, out: scan.Schema()}, n: 3, offset: 0}
+	rel, err := Run(pctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 3 {
+		t.Fatalf("rows = %d, want 3", rel.Cardinality())
+	}
+	// 3 consumed + buffer 2 + one blocked send + one in flight: far below
+	// the 50-iteration cap a stop-and-go scan would burn.
+	if n := client.count(); n > 10 {
+		t.Errorf("LIMIT 3 with buffer 2 issued %d scan pages, early termination failed", n)
+	}
+}
+
+// stallLLM signals the first call, then blocks until the context dies.
+type stallLLM struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (s *stallLLM) Name() string { return "stall" }
+func (s *stallLLM) Complete(ctx context.Context, p string) (string, error) {
+	s.once.Do(func() { close(s.started) })
+	<-ctx.Done()
+	return "", ctx.Err()
+}
+
+// TestPipelinedCancellation: canceling the query context aborts in-flight
+// pipelined prompts promptly and surfaces the cancellation.
+func TestPipelinedCancellation(t *testing.T) {
+	client := &stallLLM{started: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pctx := pipelinedCtx(ctx, client, 2, 4)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Run(pctx, townTree(t))
+		errCh <- err
+	}()
+	<-client.started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipelined query did not abort after cancellation")
+	}
+}
+
+// TestBatchCancellation: the stop-and-go batch path must abort a prompt
+// wave mid-flight on context cancellation too.
+func TestBatchCancellation(t *testing.T) {
+	client := &stallLLM{started: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	c := llmCtx(&scriptedLLM{})
+	c.Ctx = ctx
+	c.Client = client
+
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta", "Gamma", "Delta")}
+	fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Run(c, op)
+		errCh <- err
+	}()
+	<-client.started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batched fetch did not abort after cancellation")
+	}
+}
+
+// TestPipelinedFetchVerify: cross-model verification runs in pipelined
+// mode with the same NULL-on-disagreement semantics as stop-and-go.
+func TestPipelinedFetchVerify(t *testing.T) {
+	client := (&scriptedLLM{}).
+		on("population of the town Alpha", "100").
+		on("population of the town Beta", "200")
+	verifier := (&scriptedLLM{}).
+		on("population of the town Alpha", "105").
+		on("population of the town Beta", "900")
+	scan := logical.NewScan(townDef(), "t", "LLM")
+	keyOp := &memScan{out: scan.Schema(), rel: keysRelation("Alpha", "Beta")}
+	fa, err := logical.NewFetchAttr(scan, townDef(), "t", "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &llmFetchAttrOp{node: fa, input: keyOp, out: fa.Schema()}
+	pctx := pipelinedCtx(context.Background(), client, 2, 4)
+	pctx.Verifier = verifier
+	rel, err := Run(pctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][1].AsInt() != 100 {
+		t.Errorf("agreeing value must survive: %v", rel.Rows[0][1])
+	}
+	if !rel.Rows[1][1].IsNull() {
+		t.Errorf("contradicted value must become NULL: %v", rel.Rows[1][1])
+	}
+}
+
+// TestPipelinedErrorPropagates: a producer-side model failure surfaces
+// through Next with the operator's error context.
+func TestPipelinedErrorPropagates(t *testing.T) {
+	client := townClient()
+	client.failOn = "population of the town Beta"
+	pctx := pipelinedCtx(context.Background(), client, 2, 4)
+	if _, err := Run(pctx, townTree(t)); err == nil {
+		t.Error("pipelined model failure must propagate")
+	}
+}
