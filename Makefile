@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer fuzz cover
 
 check: vet build race
 
@@ -22,3 +22,18 @@ bench:
 # Regenerates the committed BENCH_pipeline.json artifact (deterministic).
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipelineComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_optimizer.json artifact (deterministic).
+bench-optimizer:
+	$(GO) test -run '^$$' -bench BenchmarkOptimizerComparison -benchtime=1x .
+
+# Short fuzz smoke of the SQL parser and the simulated model's prompt
+# parser (same runs CI does).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/sql/parser
+	$(GO) test -run '^$$' -fuzz FuzzParseResponse -fuzztime 30s ./internal/simllm
+
+# Per-package coverage summary.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

@@ -271,6 +271,43 @@ func BenchmarkPipelineComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizerComparison measures cost-based plan selection
+// against the fixed rewrite heuristics — the whole corpus per arm plus
+// the multi-predicate suite — and writes the machine-readable
+// BENCH_optimizer.json artifact (prompts/query per configuration,
+// per-query savings, estimate accuracy). The report is deterministic, so
+// the committed artifact is reproducible:
+//
+//	go test -run '^$' -bench BenchmarkOptimizerComparison -benchtime=1x .
+func BenchmarkOptimizerComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.OptimizerReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.OptimizerComparison(ctx, simllm.ChatGPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Corpus[0].PromptsPerQuery, "fixed_prompts/query")
+	b.ReportMetric(rep.Corpus[1].PromptsPerQuery, "costbased_prompts/query")
+	b.ReportMetric(rep.Estimates.MaxRatio, "estimate_max_ratio")
+	best := 0.0
+	for _, q := range rep.MultiPredicate {
+		if q.SavingsPercent > best {
+			best = q.SavingsPercent
+		}
+	}
+	b.ReportMetric(best, "best_multipred_savings_%")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteOptimizerArtifact("BENCH_optimizer.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGaloisQuery measures one representative end-to-end query on the
 // simulated ChatGPT (micro-benchmark of the full pipeline).
 func BenchmarkGaloisQuery(b *testing.B) {

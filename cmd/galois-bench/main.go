@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -39,7 +40,8 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer")
+	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
 	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
@@ -60,6 +62,10 @@ func run() error {
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
 	opts.Pipelined = *pipeline
+
+	if *explain != "" {
+		return printExplain(ctx, runner, profile, *explain)
+	}
 
 	specific := *table != 0 || *figure != 0 || *latency || *ablation != ""
 
@@ -87,7 +93,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -190,6 +196,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		rows, err = r.AblationCache(ctx, p)
 	case "pipeline":
 		return printPipeline(ctx, r, p)
+	case "optimizer":
+		return printOptimizer(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -227,6 +235,42 @@ func printPipeline(ctx context.Context, r *bench.Runner, p simllm.Profile) error
 		}
 	}
 	fmt.Println()
+	return nil
+}
+
+func printOptimizer(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.OptimizerComparison(ctx, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation G: cost-based plan selection vs fixed rewrite heuristics")
+	fmt.Println("  config                prompts/query   cell%")
+	for _, arm := range rep.Corpus {
+		fmt.Printf("  %-20s %13.1f %7.1f\n", arm.Config, arm.PromptsPerQuery, arm.CellMatch)
+	}
+	fmt.Println("  multi-predicate suite (fixed → cost-based prompts):")
+	for _, q := range rep.MultiPredicate {
+		fmt.Printf("    %-22s %4d → %4d  (%+.1f%% saved)\n", q.Name, q.FixedPrompts, q.CostBasedPrompts, q.SavingsPercent)
+	}
+	fmt.Printf("  estimate accuracy over the corpus: mean ratio %.2f, max ratio %.2f (must stay ≤ 2)\n\n",
+		rep.Estimates.MeanRatio, rep.Estimates.MaxRatio)
+	return nil
+}
+
+func printExplain(ctx context.Context, r *bench.Runner, p simllm.Profile, sql string) error {
+	opts := bench.CostBasedOptions()
+	engine, err := r.Engine(r.Model(p), opts)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "EXPLAIN") {
+		sql = "EXPLAIN ANALYZE " + sql
+	}
+	rel, _, err := engine.Query(ctx, sql)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rel.String())
 	return nil
 }
 

@@ -43,6 +43,7 @@ func run() error {
 	cache := flag.Bool("cache", true, "enable the engine-level prompt cache (dedup + reuse of completions)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor (overlap prompt waves across operators; off = the paper's stop-and-go execution)")
+	costbased := flag.Bool("costbased", true, "enable cost-based plan selection (enumerate candidate plans, pick the one with the fewest estimated prompts; off = the paper's fixed rewrite heuristics)")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -62,6 +63,7 @@ func run() error {
 	}
 	opts := core.DefaultOptions()
 	opts.Optimizer.PromptPushdown = *pushdown
+	opts.Optimizer.CostBased = *costbased
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
 	opts.Pipelined = *pipeline
@@ -70,16 +72,15 @@ func run() error {
 		return err
 	}
 
-	if *explain {
-		plan, err := engine.Explain(sql)
-		if err != nil {
-			return err
-		}
-		fmt.Print(plan)
-		return nil
+	ctx := context.Background()
+	isExplain := strings.HasPrefix(strings.ToUpper(sql), "EXPLAIN")
+	if *explain && !isExplain {
+		// Print the chosen plan with its cost estimates instead of
+		// executing; EXPLAIN ANALYZE (typed out) executes and annotates.
+		sql = "EXPLAIN " + sql
+		isExplain = true
 	}
 
-	ctx := context.Background()
 	rel, rep, err := engine.Query(ctx, sql)
 	if err != nil {
 		return err
@@ -89,9 +90,13 @@ func run() error {
 	fmt.Printf("(%d rows)\n", rel.Cardinality())
 	if *stats {
 		fmt.Printf("\nplan:\n%s\nllm usage: %s\n", rep.Plan, rep.Stats.String())
+		if rep.Estimate != nil {
+			fmt.Printf("planner:   %s\n", rep.Estimate.String())
+		}
 	}
 
-	if *truth {
+	// A plan rendering has no ground-truth relation to compare against.
+	if *truth && !isExplain {
 		td, err := runner.GroundTruth(ctx, sql)
 		if err != nil {
 			return fmt.Errorf("ground truth: %w", err)

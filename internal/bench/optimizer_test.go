@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestOptimizerComparison gates the cost-based optimizer's acceptance
+// criteria: on the corpus the chosen plans never issue more prompts than
+// the fixed heuristics, at least one multi-predicate query saves ≥10%,
+// and EXPLAIN's estimated prompt counts stay within 2x of actuals.
+func TestOptimizerComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.OptimizerComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Errorf("acceptance criteria violated:\n%v\nmulti-predicate suite: %+v", err, rep.MultiPredicate)
+	}
+}
+
+// TestExplainAnalyzeThroughEngine exercises the SQL front end: EXPLAIN
+// returns the annotated plan without executing, EXPLAIN ANALYZE executes
+// and annotates actual counters.
+func TestExplainAnalyzeThroughEngine(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := r.Engine(r.Model(simllm.ChatGPT), CostBasedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rel, rep, err := engine.Query(ctx, "EXPLAIN SELECT name FROM city WHERE population > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Prompts != 0 {
+		t.Errorf("EXPLAIN must not execute, issued %d prompts", rep.Stats.Prompts)
+	}
+	text := rel.String()
+	for _, want := range []string{"LLMKeyScan", "est rows", "estimated: prompts="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, text)
+		}
+	}
+
+	rel, rep, err = engine.Query(ctx, "EXPLAIN ANALYZE SELECT name FROM city WHERE population > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Prompts == 0 {
+		t.Error("EXPLAIN ANALYZE must execute the query")
+	}
+	text = rel.String()
+	for _, want := range []string{"actual rows=", "actual:    prompts="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simllm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden plan files under testdata/plans")
+
+// goldenPlanCases are the representative queries whose EXPLAIN output is
+// snapshotted: every optimizer rewrite or cost-model change shows up as
+// a reviewable diff under testdata/plans.
+var goldenPlanCases = []struct {
+	name      string
+	sql       string
+	costBased bool
+	pushdown  bool
+}{
+	{name: "projection", sql: `SELECT name, capital FROM country`},
+	{name: "selection-llm-filter", sql: `SELECT name FROM city WHERE population > 5000000`},
+	{name: "selection-equality", sql: `SELECT name FROM country WHERE continent = 'Europe'`},
+	{name: "selection-complex-pred", sql: `SELECT name FROM city WHERE population + 1 > 1000000`},
+	{name: "aggregate-count", sql: `SELECT COUNT(*) FROM country`},
+	{name: "aggregate-group-by", sql: `SELECT continent, COUNT(*) FROM country GROUP BY continent`},
+	{name: "figure3-join", sql: `SELECT c.name, p.name FROM city c, mayor p WHERE c.mayor = p.name AND c.population > 1000000 AND p.age < 40`},
+	{name: "hybrid-join", sql: `SELECT co.name, e.salary FROM LLM.country co, DB.employees e WHERE co.code = e.countryCode`},
+	{name: "order-limit", sql: `SELECT name FROM mountain ORDER BY height DESC LIMIT 3`},
+	{name: "distinct", sql: `SELECT DISTINCT country FROM city`},
+	{name: "pushdown-merged", sql: `SELECT name FROM city WHERE population > 1000000`, pushdown: true},
+	{name: "pushdown-key-pred-stays", sql: `SELECT population FROM city WHERE name = 'Tokyo'`, pushdown: true},
+	{name: "costbased-proj-overlap", sql: `SELECT name, population, elevation FROM city WHERE population > 1000000 AND elevation > 500`, costBased: true},
+	{name: "costbased-filter-order", sql: `SELECT name FROM country WHERE population > 10000000 AND continent = 'Europe'`, costBased: true},
+	{name: "costbased-join", sql: `SELECT c.name, c.population, p.age FROM city c, mayor p WHERE c.mayor = p.name AND c.population > 1000000 AND p.age < 40`, costBased: true},
+	{name: "costbased-explain-analyze-shape", sql: `SELECT name, gdp FROM country WHERE gdp > 500 AND continent = 'Europe'`, costBased: true},
+}
+
+// TestGoldenPlans snapshots EXPLAIN output (plans plus cost estimates
+// against default statistics — no execution, so the text is a pure
+// function of the optimizer and cost model). Refresh with:
+//
+//	go test ./internal/bench -run TestGoldenPlans -update
+func TestGoldenPlans(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	engineFor := func(costBased, pushdown bool) (*core.Engine, error) {
+		opts := PaperOptions()
+		opts.Optimizer.CostBased = costBased
+		opts.Optimizer.PromptPushdown = pushdown
+		return r.Engine(r.Model(simllm.ChatGPT), opts)
+	}
+
+	for _, tc := range goldenPlanCases {
+		t.Run(tc.name, func(t *testing.T) {
+			engine, err := engineFor(tc.costBased, tc.pushdown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, _, err := engine.Query(ctx, "EXPLAIN "+tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			b.WriteString("-- " + tc.sql + "\n")
+			for _, row := range rel.Rows {
+				b.WriteString(row[0].String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			path := filepath.Join("testdata", "plans", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -29,7 +29,9 @@ import (
 	"repro/internal/physical"
 	"repro/internal/prompt"
 	"repro/internal/schema"
+	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
+	"repro/internal/value"
 )
 
 // Options configure an Engine.
@@ -102,6 +104,10 @@ type Engine struct {
 	// shared stateful tier between the executor and the model, persistent
 	// across queries.
 	cache *llm.Cache
+	// stats feed the cost-based optimizer: table cardinalities, page
+	// sizes and predicate selectivities, starting from defaults and
+	// refined from the per-operator counters of every executed query.
+	stats *optimizer.Statistics
 }
 
 // New builds an engine over the given LLM client.
@@ -120,11 +126,22 @@ func New(client llm.Client, opts Options) *Engine {
 		llmDefs: map[string]*schema.TableDef{},
 		opts:    opts,
 		builder: prompt.NewBuilder(),
+		stats:   optimizer.NewStatistics(),
 	}
 	if opts.CacheEnabled {
 		e.cache = llm.NewCache(opts.CacheSize)
 	}
 	return e
+}
+
+// Statistics exposes the planner's statistics store (never nil).
+func (e *Engine) Statistics() *optimizer.Statistics { return e.stats }
+
+// PrimeTableKeys seeds the planner's cardinality estimate for one table
+// — the engine's ANALYZE equivalent for operators who know their data's
+// scale before the first query runs.
+func (e *Engine) PrimeTableKeys(table string, keys int) {
+	e.stats.SetTableKeys(table, keys)
 }
 
 // CacheStats reports the engine-lifetime prompt-cache counters (zero
@@ -187,17 +204,37 @@ func (e *Engine) ResolveTable(name, explicit string) (*schema.TableDef, string, 
 }
 
 // Plan parses, plans and optimizes a query, returning the lowered logical
-// plan (what EXPLAIN shows).
+// plan (what EXPLAIN shows). Under a cost-based configuration this is the
+// cheapest enumerated candidate.
 func (e *Engine) Plan(sql string) (logical.Node, error) {
 	sel, err := parser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := logical.Build(sel, e)
-	if err != nil {
-		return nil, err
+	plan, _, err := e.planSelect(sel)
+	return plan, err
+}
+
+// planSelect builds and optimizes the plan for one SELECT, returning the
+// planner's cost prediction alongside it. With CostBased on, candidates
+// are enumerated and the cheapest wins; otherwise the fixed heuristics
+// apply and the estimate prices the resulting single plan.
+func (e *Engine) planSelect(sel *ast.Select) (logical.Node, *optimizer.PlanCost, error) {
+	factory := func() (logical.Node, error) { return logical.Build(sel, e) }
+	params := optimizer.CostParams{Workers: e.opts.BatchWorkers, Verifier: e.opts.Verifier != nil}
+	if e.opts.Optimizer.CostBased {
+		plan, cost, _, err := optimizer.ChooseBest(factory, e.opts.Optimizer, e.stats, params)
+		return plan, cost, err
 	}
-	return optimizer.Optimize(plan, e.opts.Optimizer)
+	plan, err := factory()
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err = optimizer.Optimize(plan, e.opts.Optimizer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, optimizer.Estimate(plan, e.stats, params), nil
 }
 
 // Explain renders the optimized plan as an indented tree.
@@ -213,16 +250,69 @@ func (e *Engine) Explain(sql string) (string, error) {
 type Report struct {
 	Stats llm.Stats
 	Plan  string
+	// Estimate is the planner's cost prediction for the executed plan.
+	Estimate *optimizer.PlanCost
+	// Metrics hold the per-operator actual prompt/row counters (nil for
+	// pure EXPLAIN, which does not execute).
+	Metrics *physical.Metrics
 }
 
 // Query executes sql and returns the result relation plus an execution
-// report (prompt counts, simulated latency, the plan used).
+// report (prompt counts, simulated latency, the plan used). EXPLAIN and
+// EXPLAIN ANALYZE statements return the annotated plan as a one-column
+// relation instead of query results.
 func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Report, error) {
-	plan, err := e.Plan(sql)
+	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	switch s := stmt.(type) {
+	case *ast.Explain:
+		return e.runExplain(ctx, s)
+	case *ast.Select:
+		plan, cost, err := e.planSelect(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, rep, err := e.execute(ctx, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Estimate = cost
+		e.observe(plan, rep.Metrics)
+		return rel, rep, nil
+	default:
+		return nil, nil, fmt.Errorf("core: only SELECT and EXPLAIN statements can be executed")
+	}
+}
 
+// runExplain plans (and for ANALYZE also executes) the inner SELECT and
+// renders the annotated plan tree as a one-column relation.
+func (e *Engine) runExplain(ctx context.Context, ex *ast.Explain) (*schema.Relation, *Report, error) {
+	plan, cost, err := e.planSelect(ex.Stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Plan: logical.Explain(plan), Estimate: cost}
+	if ex.Analyze {
+		_, execRep, err := e.execute(ctx, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Stats = execRep.Stats
+		rep.Metrics = execRep.Metrics
+		e.observe(plan, execRep.Metrics)
+	}
+	text := ExplainText(plan, cost, rep.Metrics, rep.Stats, ex.Analyze)
+	rel := schema.NewRelation(schema.New(schema.Column{Name: "QUERY PLAN", Type: value.KindString}))
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rel.Append(schema.Tuple{value.Text(line)})
+	}
+	return rel, rep, nil
+}
+
+// execute compiles and runs one lowered plan.
+func (e *Engine) execute(ctx context.Context, plan logical.Node) (*schema.Relation, *Report, error) {
 	var env *physical.Env
 	if e.db != nil {
 		env = &physical.Env{Data: e.db.Relation}
@@ -239,6 +329,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 		verifyRecorder = llm.NewRecorder(e.opts.Verifier)
 		verifier = verifyRecorder
 	}
+	metrics := physical.NewMetrics()
 	pctx := &physical.Context{
 		Ctx:               ctx,
 		Client:            recorder,
@@ -247,6 +338,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 		Cleaner:           clean.New(e.opts.Clean),
 		MaxScanIterations: e.opts.MaxScanIterations,
 		BatchWorkers:      e.opts.BatchWorkers,
+		Metrics:           metrics,
 		Verifier:          verifier,
 		VerifyTolerance:   e.opts.VerifyTolerance,
 	}
@@ -265,7 +357,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan)}
+	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan), Metrics: metrics}
 	if verifyRecorder != nil {
 		rep.Stats.Add(verifyRecorder.Stats())
 	}
@@ -275,4 +367,52 @@ func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Repo
 		rep.Stats.SimulatedLatency += sched.Makespan()
 	}
 	return rel, rep, nil
+}
+
+// observe feeds the executed plan's per-operator counters back into the
+// planner's statistics, so later queries plan against what this engine
+// actually saw (cardinalities, page sizes, selectivities). Plans with a
+// LIMIT are excluded: under one, operators may not see their full input
+// (the pipelined close-cascade stops producers mid-stream, and consumed
+// row counts depend on the execution strategy), so their counters
+// describe the truncated run rather than the data and would corrupt the
+// estimates.
+func (e *Engine) observe(plan logical.Node, m *physical.Metrics) {
+	if m == nil || hasLimit(plan) {
+		return
+	}
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		switch node := n.(type) {
+		case *logical.Scan:
+			if node.Source == "LLM" && node.PushedFilter == nil {
+				if nm, ok := m.Get(node); ok && nm.Prompts > 0 {
+					e.stats.ObserveScan(node.Table.Name, nm.RowsOut, nm.Prompts)
+				}
+			}
+		case *logical.LLMFilter:
+			if nm, ok := m.Get(node); ok && nm.RowsIn > 0 {
+				ref := node.Cond.Left.(*ast.ColumnRef)
+				lit := node.Cond.Right.(*ast.Literal)
+				e.stats.ObserveFilter(node.Table.Name, ref.Name, node.Cond.Op, lit.Val.String(), nm.RowsIn, nm.RowsOut)
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(plan)
+}
+
+// hasLimit reports whether the plan contains a Limit node.
+func hasLimit(n logical.Node) bool {
+	if _, ok := n.(*logical.Limit); ok {
+		return true
+	}
+	for _, c := range n.Children() {
+		if hasLimit(c) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+)
+
+// ExplainText renders a plan tree with the planner's per-operator
+// estimates and — in analyze mode — the actual counters of one
+// execution, followed by a summary of estimated vs actual totals. This
+// is the payload of EXPLAIN / EXPLAIN ANALYZE and of the CLIs' -explain
+// flags.
+func ExplainText(plan logical.Node, cost *optimizer.PlanCost, m *physical.Metrics, stats llm.Stats, analyzed bool) string {
+	var b strings.Builder
+	explainNode(&b, plan, 0, cost, m, analyzed)
+	if cost != nil {
+		fmt.Fprintf(&b, "estimated: prompts=%.1f latency=%s", cost.Prompts, cost.Latency.Round(time.Millisecond))
+		if cost.Candidates > 1 {
+			fmt.Fprintf(&b, " (cost-based, %d candidates, choice: %s)", cost.Candidates, cost.Choice)
+		}
+		b.WriteByte('\n')
+	}
+	if analyzed {
+		fmt.Fprintf(&b, "actual:    prompts=%d latency=%s cache_hits=%d (simulated)\n",
+			stats.Prompts, stats.SimulatedLatency.Round(time.Millisecond), stats.CacheHits)
+	}
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n logical.Node, depth int, cost *optimizer.PlanCost, m *physical.Metrics, analyzed bool) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Describe())
+	if cost != nil {
+		if est, ok := cost.Nodes[n]; ok {
+			if est.Prompts > 0 {
+				fmt.Fprintf(b, "  (est rows=%.1f prompts=%.1f)", est.Rows, est.Prompts)
+			} else {
+				fmt.Fprintf(b, "  (est rows=%.1f)", est.Rows)
+			}
+		}
+	}
+	if analyzed {
+		if nm, ok := m.Get(n); ok {
+			fmt.Fprintf(b, " [actual rows=%d prompts=%d]", nm.RowsOut, nm.Prompts)
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		explainNode(b, c, depth+1, cost, m, analyzed)
+	}
+}

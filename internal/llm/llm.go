@@ -88,6 +88,13 @@ func promptLatency(promptTokens, completionTokens int) time.Duration {
 		time.Duration(promptTokens)*perTokenLatency/10
 }
 
+// EstimateLatency exposes the simulated-latency model of one prompt to
+// planners: the cost-based optimizer prices candidate plans with the same
+// per-prompt latency the recorders charge at execution time.
+func EstimateLatency(promptTokens, completionTokens int) time.Duration {
+	return promptLatency(promptTokens, completionTokens)
+}
+
 // Recorder wraps a Client and accumulates Stats. It is safe for
 // concurrent use. Batches issued through CompleteBatch record the maximum
 // latency of the batch (prompts overlap); direct Complete calls add up.

@@ -1,0 +1,316 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/sql/ast"
+)
+
+// Typical prompt/completion token sizes per prompt kind, matching what
+// prompt.Builder generates against the benchmark schema. They only feed
+// the latency axis of the cost model; prompt counts are exact functions
+// of the estimated cardinalities.
+const (
+	listPromptTokens, listAnswerTokens     = 60, 40
+	attrPromptTokens, attrAnswerTokens     = 30, 4
+	filterPromptTokens, filterAnswerTokens = 30, 1
+)
+
+// CostParams fix the execution environment the estimate assumes.
+type CostParams struct {
+	// Workers is the per-endpoint prompt concurrency budget.
+	Workers int
+	// Verifier doubles every attribute fetch with a second-model prompt
+	// (on its own endpoint, so it adds work but overlaps in time).
+	Verifier bool
+}
+
+// NodeEstimate is the planner's prediction for one operator.
+type NodeEstimate struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Prompts is the estimated number of prompts this operator itself
+	// issues (including verification prompts).
+	Prompts float64
+	// Start is when the operator's first output row becomes available
+	// on the simulated-latency axis — streaming operators overlap with
+	// their consumers from here on.
+	Start time.Duration
+	// Done is when the last output row becomes available (the
+	// critical-path component of the makespan).
+	Done time.Duration
+}
+
+// PlanCost is the full cost prediction for one candidate plan.
+type PlanCost struct {
+	// Prompts is the estimated total number of prompts the plan issues.
+	Prompts float64
+	// Latency is the estimated makespan: the larger of the critical
+	// dependency path and the busiest endpoint's work spread over its
+	// worker budget.
+	Latency time.Duration
+	// Candidates is the number of plans the cost-based optimizer
+	// compared (1 when the plan was estimated without enumeration).
+	Candidates int
+	// Choice describes the knobs of the chosen candidate ("paper" for
+	// the fixed-heuristic shape).
+	Choice string
+	// Nodes holds the per-operator estimates for EXPLAIN annotation.
+	Nodes map[logical.Node]NodeEstimate
+}
+
+// estimator walks one plan accumulating totals.
+type estimator struct {
+	st       *Statistics
+	p        CostParams
+	bindings map[string]scanInfo // lower(binding) → table info
+	out      *PlanCost
+	work     time.Duration // primary-endpoint prompt work
+	verWork  time.Duration // verifier-endpoint prompt work
+}
+
+// Estimate predicts the prompt count and makespan of a lowered plan
+// using the given statistics. It never fails: unresolvable expressions
+// fall back to generic selectivities.
+func Estimate(n logical.Node, st *Statistics, p CostParams) *PlanCost {
+	if p.Workers <= 0 {
+		p.Workers = llm.DefaultBatchWorkers
+	}
+	e := &estimator{
+		st:       st,
+		p:        p,
+		bindings: map[string]scanInfo{},
+		out:      &PlanCost{Candidates: 1, Choice: "estimate", Nodes: map[logical.Node]NodeEstimate{}},
+	}
+	var collect func(logical.Node)
+	collect = func(n logical.Node) {
+		if s, ok := n.(*logical.Scan); ok {
+			e.bindings[strings.ToLower(s.Binding)] = scanInfo{def: s.Table, source: s.Source}
+		}
+		for _, c := range n.Children() {
+			collect(c)
+		}
+	}
+	collect(n)
+
+	root := e.node(n)
+	e.out.Latency = root.Done
+	if area := e.work / time.Duration(p.Workers); area > e.out.Latency {
+		e.out.Latency = area
+	}
+	if area := e.verWork / time.Duration(p.Workers); area > e.out.Latency {
+		e.out.Latency = area
+	}
+	return e.out
+}
+
+// waves is the batched-latency estimate of issuing n prompts of the given
+// unit latency over the worker budget.
+func (e *estimator) waves(n float64, unit time.Duration) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	w := n / float64(e.p.Workers)
+	if f := float64(int(w)); f < w {
+		w = f + 1
+	}
+	return time.Duration(w) * unit
+}
+
+// tableOf resolves the base table a column reference belongs to. Like
+// bindingOf, an unqualified name matching columns of several tables is
+// ambiguous and resolves to "" (generic selectivity) — never to
+// whichever binding map iteration happened to visit first.
+func (e *estimator) tableOf(ref *ast.ColumnRef) string {
+	if ref.Table != "" {
+		if info, ok := e.bindings[strings.ToLower(ref.Table)]; ok {
+			return info.def.Name
+		}
+		return ref.Table
+	}
+	found := ""
+	for _, info := range e.bindings {
+		for _, c := range info.def.Schema.Columns {
+			if strings.EqualFold(c.Name, ref.Name) {
+				if found != "" && !strings.EqualFold(found, info.def.Name) {
+					return "" // ambiguous across tables
+				}
+				found = info.def.Name
+			}
+		}
+	}
+	return found
+}
+
+// conjunctSelectivity estimates one conjunct, resolving its column to a
+// table when possible.
+func (e *estimator) conjunctSelectivity(c ast.Expr) float64 {
+	if attr, op, lit, ok := simpleConjunct(c); ok {
+		table := ""
+		if bin, isBin := c.(*ast.Binary); isBin {
+			if ref, isRef := bin.Left.(*ast.ColumnRef); isRef {
+				table = e.tableOf(ref)
+			} else if ref, isRef := bin.Right.(*ast.ColumnRef); isRef {
+				table = e.tableOf(ref)
+			}
+		}
+		return e.st.Selectivity(table, attr, op, lit)
+	}
+	return 0.5
+}
+
+func (e *estimator) record(n logical.Node, est NodeEstimate) NodeEstimate {
+	e.out.Nodes[n] = est
+	e.out.Prompts += est.Prompts
+	return est
+}
+
+var (
+	listLat   = llm.EstimateLatency(listPromptTokens, listAnswerTokens)
+	attrLat   = llm.EstimateLatency(attrPromptTokens, attrAnswerTokens)
+	filterLat = llm.EstimateLatency(filterPromptTokens, filterAnswerTokens)
+)
+
+// promptStage models one streaming per-tuple prompt operator: the first
+// output row lands one prompt latency after the first input row, the
+// last no earlier than one prompt latency after the last input row and
+// no earlier than the stage's own waves from its first input (whichever
+// dominates — dependency chain vs stage throughput).
+func promptStage(in NodeEstimate, unit time.Duration, waves time.Duration) (start, done time.Duration) {
+	start = in.Start + unit
+	done = in.Done + unit
+	if t := in.Start + waves; t > done {
+		done = t
+	}
+	return start, done
+}
+
+func (e *estimator) node(n logical.Node) NodeEstimate {
+	switch node := n.(type) {
+	case *logical.Scan:
+		if node.Source != "LLM" {
+			rows := e.st.Table(node.Table.Name).Keys
+			return e.record(n, NodeEstimate{Rows: rows})
+		}
+		ts := e.st.Table(node.Table.Name)
+		rows := ts.Keys
+		if node.PushedFilter != nil {
+			for _, c := range SplitConjuncts(node.PushedFilter) {
+				rows *= e.conjunctSelectivity(c)
+			}
+		}
+		pages := ts.ScanPrompts(rows)
+		// The page chain is sequential: each "more results" prompt
+		// excludes everything already seen. The first page's keys stream
+		// downstream while later pages are still being fetched.
+		done := time.Duration(pages) * listLat
+		e.work += done
+		return e.record(n, NodeEstimate{Rows: rows, Prompts: pages, Start: listLat, Done: done})
+
+	case *logical.FetchAttr:
+		in := e.node(node.Input)
+		prompts := in.Rows
+		start, done := promptStage(in, attrLat, e.waves(in.Rows, attrLat))
+		e.work += time.Duration(in.Rows * float64(attrLat))
+		if e.p.Verifier {
+			prompts *= 2
+			e.verWork += time.Duration(in.Rows * float64(attrLat))
+		}
+		return e.record(n, NodeEstimate{Rows: in.Rows, Prompts: prompts, Start: start, Done: done})
+
+	case *logical.LLMFilter:
+		in := e.node(node.Input)
+		sel := e.conjunctSelectivity(node.Cond)
+		start, done := promptStage(in, filterLat, e.waves(in.Rows, filterLat))
+		e.work += time.Duration(in.Rows * float64(filterLat))
+		return e.record(n, NodeEstimate{Rows: in.Rows * sel, Prompts: in.Rows, Start: start, Done: done})
+
+	case *logical.Filter:
+		in := e.node(node.Input)
+		rows := in.Rows
+		for _, c := range SplitConjuncts(node.Cond) {
+			rows *= e.conjunctSelectivity(c)
+		}
+		return e.record(n, NodeEstimate{Rows: rows, Start: in.Start, Done: in.Done})
+
+	case *logical.Join:
+		l := e.node(node.Left)
+		r := e.node(node.Right)
+		// Hash join: the right side is the build side and must drain
+		// completely before the first probe row can emerge, while left
+		// rows stream through as they arrive. This is what makes join
+		// input order matter on the latency axis: putting the slower
+		// side on the probe (left) overlaps its production with
+		// downstream prompt work.
+		start := r.Done
+		if l.Start > start {
+			start = l.Start
+		}
+		done := r.Done
+		if l.Done > done {
+			done = l.Done
+		}
+		var rows float64
+		if node.On == nil {
+			rows = l.Rows * r.Rows
+		} else {
+			// Equi-joins in this engine follow key references, so the
+			// smaller (usually filtered) side bounds the output.
+			rows = l.Rows
+			if r.Rows < rows {
+				rows = r.Rows
+			}
+		}
+		return e.record(n, NodeEstimate{Rows: rows, Start: start, Done: done})
+
+	case *logical.Aggregate:
+		in := e.node(node.Input)
+		rows := 1.0
+		if len(node.GroupBy) > 0 {
+			// Grouping compresses; assume a third of the input forms
+			// distinct groups.
+			rows = in.Rows / 3
+			if rows < 1 {
+				rows = 1
+			}
+		}
+		// Blocking: nothing flows until the whole input has been seen.
+		return e.record(n, NodeEstimate{Rows: rows, Start: in.Done, Done: in.Done})
+
+	case *logical.Sort:
+		in := e.node(node.Input)
+		return e.record(n, NodeEstimate{Rows: in.Rows, Start: in.Done, Done: in.Done})
+
+	case *logical.Distinct:
+		in := e.node(node.Input)
+		return e.record(n, NodeEstimate{Rows: in.Rows * 0.8, Start: in.Start, Done: in.Done})
+
+	case *logical.Limit:
+		in := e.node(node.Input)
+		rows := in.Rows
+		if node.N >= 0 && float64(node.N) < rows {
+			rows = float64(node.N)
+		}
+		return e.record(n, NodeEstimate{Rows: rows, Start: in.Start, Done: in.Done})
+
+	default:
+		// Project, StripProject and anything prompt-free with one
+		// input: cardinality and timing pass through.
+		children := n.Children()
+		if len(children) == 1 {
+			in := e.node(children[0])
+			return e.record(n, NodeEstimate{Rows: in.Rows, Start: in.Start, Done: in.Done})
+		}
+		return e.record(n, NodeEstimate{})
+	}
+}
+
+// String renders the headline numbers.
+func (c *PlanCost) String() string {
+	return fmt.Sprintf("prompts=%.1f latency=%s candidates=%d",
+		c.Prompts, c.Latency.Round(time.Millisecond), c.Candidates)
+}

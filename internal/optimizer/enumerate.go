@@ -1,0 +1,191 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/logical"
+)
+
+// maxCandidateBits caps the enumeration: every bit doubles the candidate
+// count, so 6 bits bound the search at 64 plans.
+const maxCandidateBits = 6
+
+// ChoiceSummary records one enumerated candidate for EXPLAIN.
+type ChoiceSummary struct {
+	Label   string
+	Prompts float64
+	Latency time.Duration
+	Chosen  bool
+}
+
+// choicePoint is one binary decision of the candidate space.
+type choicePoint struct {
+	kind string // "fetch", "swap", "nopush"
+	key  string // conjunct key, or join index rendered
+	join int
+}
+
+// ChooseBest enumerates candidate plans and returns the one with the
+// lowest estimated cost (fewest prompts, then shortest makespan; ties
+// keep the fixed-heuristic shape). factory must return a fresh logical
+// plan on every call — Optimize annotates plans in place, so candidates
+// cannot share nodes.
+//
+// The candidate space is spanned by:
+//   - per eligible conjunct: per-key boolean prompt (LLMFilter) vs
+//     fetch-then-filter;
+//   - per join: input order (inner/cross joins only);
+//   - per pushable conjunct (only when base.PromptPushdown is on):
+//     merged into the retrieval prompt vs staged;
+//   - filter chains are always reordered most-selective-first using st.
+func ChooseBest(factory func() (logical.Node, error), base Options, st *Statistics, p CostParams) (logical.Node, *PlanCost, []ChoiceSummary, error) {
+	if st == nil {
+		st = NewStatistics()
+	}
+
+	// Probe pass: the fixed-heuristic plan reveals the decision points.
+	probeOpts := base
+	probeOpts.Stats = nil
+	probeOpts.DisableLLMFilter = nil
+	probeOpts.PromptPushdownSkip = nil
+	probeOpts.SwapJoins = nil
+	probe, err := factory()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	probe, err = Optimize(probe, probeOpts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var filterKeys []string
+	var pushedKeys []string
+	joins := 0
+	seen := map[string]bool{}
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		switch node := n.(type) {
+		case *logical.LLMFilter:
+			k := conjKey(node.Cond)
+			if !seen[k] {
+				seen[k] = true
+				filterKeys = append(filterKeys, k)
+			}
+		case *logical.Join:
+			joins++
+		case *logical.Scan:
+			if node.PushedFilter != nil {
+				for _, c := range SplitConjuncts(node.PushedFilter) {
+					k := conjKey(c)
+					if !seen["push:"+k] {
+						seen["push:"+k] = true
+						pushedKeys = append(pushedKeys, k)
+					}
+				}
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(probe)
+	sort.Strings(filterKeys)
+	sort.Strings(pushedKeys)
+
+	// Assemble the decision points under the bit budget: filter-mode
+	// choices matter most (they change prompt counts directly), then
+	// pushdown, then join order (latency only).
+	var points []choicePoint
+	for _, k := range filterKeys {
+		points = append(points, choicePoint{kind: "fetch", key: k})
+	}
+	if base.PromptPushdown {
+		for _, k := range pushedKeys {
+			points = append(points, choicePoint{kind: "nopush", key: k})
+		}
+	}
+	for j := 0; j < joins; j++ {
+		points = append(points, choicePoint{kind: "swap", join: j})
+	}
+	if len(points) > maxCandidateBits {
+		points = points[:maxCandidateBits]
+	}
+
+	type scored struct {
+		plan  logical.Node
+		cost  *PlanCost
+		label string
+	}
+	var best *scored
+	var summaries []ChoiceSummary
+	bestIdx := -1
+
+	for mask := 0; mask < 1<<len(points); mask++ {
+		opts := base
+		opts.Stats = st
+		opts.DisableLLMFilter = map[string]bool{}
+		opts.PromptPushdownSkip = map[string]bool{}
+		opts.SwapJoins = map[int]bool{}
+		var parts []string
+		for i, pt := range points {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			switch pt.kind {
+			case "fetch":
+				opts.DisableLLMFilter[pt.key] = true
+				parts = append(parts, "fetch{"+pt.key+"}")
+			case "nopush":
+				opts.PromptPushdownSkip[pt.key] = true
+				parts = append(parts, "stage{"+pt.key+"}")
+			case "swap":
+				opts.SwapJoins[pt.join] = true
+				parts = append(parts, fmt.Sprintf("swap{%d}", pt.join))
+			}
+		}
+		label := "paper"
+		if len(parts) > 0 {
+			label = strings.Join(parts, " ")
+		}
+
+		plan, err := factory()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		plan, err = Optimize(plan, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cost := Estimate(plan, st, p)
+		summaries = append(summaries, ChoiceSummary{Label: label, Prompts: cost.Prompts, Latency: cost.Latency})
+
+		if best == nil || less(cost, best.cost) {
+			best = &scored{plan: plan, cost: cost, label: label}
+			bestIdx = len(summaries) - 1
+		}
+	}
+	if best == nil { // no candidates — cannot happen, mask 0 always runs
+		return nil, nil, nil, fmt.Errorf("optimizer: no candidate plans")
+	}
+	summaries[bestIdx].Chosen = true
+	best.cost.Candidates = len(summaries)
+	best.cost.Choice = best.label
+	return best.plan, best.cost, summaries, nil
+}
+
+// less orders candidate costs: prompts dominate (they are the money and
+// the wall-clock), the estimated makespan breaks ties. Strict comparison
+// keeps the first (paper-shaped) candidate on full ties.
+func less(a, b *PlanCost) bool {
+	const eps = 1e-9
+	if a.Prompts < b.Prompts-eps {
+		return true
+	}
+	if a.Prompts > b.Prompts+eps {
+		return false
+	}
+	return a.Latency < b.Latency
+}

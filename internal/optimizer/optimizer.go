@@ -10,6 +10,7 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/logical"
@@ -30,7 +31,35 @@ type Options struct {
 	// prompt ("get names of cities with > 1M population"), removing the
 	// per-key prompts entirely. Off by default; Ablation A flips it.
 	PromptPushdown bool
+	// CostBased enables cost-based plan selection: instead of applying
+	// the rewrites above unconditionally, the engine enumerates candidate
+	// plans (per-conjunct LLM-filter vs fetch-then-filter, per-conjunct
+	// prompt pushdown, join input order, filter order by selectivity) and
+	// picks the one whose estimated prompt count — then estimated
+	// makespan — is lowest. Consumed by ChooseBest, not by Optimize.
+	CostBased bool
+	// Stats supply cardinalities and selectivities. When non-nil,
+	// Optimize additionally reorders chains of per-key boolean filters
+	// most-selective-first (cheapest prompts-per-surviving-tuple order).
+	Stats *Statistics
+
+	// Per-candidate knobs set by the enumerator; zero values reproduce
+	// the fixed heuristics.
+
+	// DisableLLMFilter lists conjuncts (normalized, lower-cased rendered
+	// text) lowered as fetch-then-filter instead of a per-key boolean
+	// prompt.
+	DisableLLMFilter map[string]bool
+	// PromptPushdownSkip lists conjuncts kept out of the retrieval
+	// prompt even when PromptPushdown is on.
+	PromptPushdownSkip map[string]bool
+	// SwapJoins lists preorder join indices whose inputs are exchanged
+	// (inner/cross joins only).
+	SwapJoins map[int]bool
 }
+
+// conjKey normalizes a conjunct for the per-conjunct option maps.
+func conjKey(e ast.Expr) string { return strings.ToLower(e.String()) }
 
 // Defaults returns the paper-faithful configuration.
 func Defaults() Options {
@@ -51,6 +80,10 @@ func Optimize(n logical.Node, opts Options) (logical.Node, error) {
 	if opts.PushdownPredicates {
 		n = o.push(n, nil)
 	}
+	if len(opts.SwapJoins) > 0 {
+		joinIdx := 0
+		n = swapJoins(n, opts.SwapJoins, &joinIdx)
+	}
 	n, err := o.lower(n)
 	if err != nil {
 		return nil, err
@@ -58,7 +91,80 @@ func Optimize(n logical.Node, opts Options) (logical.Node, error) {
 	if opts.PromptPushdown {
 		n = o.promptPushdown(n)
 	}
+	if opts.Stats != nil {
+		n = orderLLMFilters(n, opts.Stats)
+	}
 	return n, nil
+}
+
+// swapJoins exchanges the inputs of the joins whose preorder index is in
+// the set. Left outer joins do not commute and are skipped (but still
+// counted, so indices stay stable across candidates).
+func swapJoins(n logical.Node, swap map[int]bool, idx *int) logical.Node {
+	if j, ok := n.(*logical.Join); ok {
+		i := *idx
+		*idx++
+		left := swapJoins(j.Left, swap, idx)
+		right := swapJoins(j.Right, swap, idx)
+		if swap[i] && j.Type != ast.JoinLeft {
+			left, right = right, left
+		}
+		return logical.NewJoin(left, right, j.Type, j.On)
+	}
+	children := n.Children()
+	if len(children) == 1 {
+		if rebuilt, err := rebuildUnary(n, swapJoins(children[0], swap, idx)); err == nil {
+			return rebuilt
+		}
+	}
+	return n
+}
+
+// orderLLMFilters sorts every maximal chain of consecutive LLMFilter
+// nodes most-selective-first: with one boolean prompt per surviving
+// tuple, running the filter that discards the most tuples first
+// minimizes the prompts the rest of the chain issues.
+func orderLLMFilters(n logical.Node, st *Statistics) logical.Node {
+	if _, ok := n.(*logical.LLMFilter); ok {
+		var chain []*logical.LLMFilter
+		cur := n
+		for {
+			lf, isLF := cur.(*logical.LLMFilter)
+			if !isLF {
+				break
+			}
+			chain = append(chain, lf)
+			cur = lf.Input
+		}
+		input := orderLLMFilters(cur, st)
+		// chain[0] is the outermost (last to run); rebuild with the
+		// most selective filter innermost (first to run).
+		sort.SliceStable(chain, func(i, j int) bool {
+			si := st.Selectivity(chain[i].Table.Name, chain[i].Cond.Left.(*ast.ColumnRef).Name, chain[i].Cond.Op, chain[i].Cond.Right.(*ast.Literal).Val.String())
+			sj := st.Selectivity(chain[j].Table.Name, chain[j].Cond.Left.(*ast.ColumnRef).Name, chain[j].Cond.Op, chain[j].Cond.Right.(*ast.Literal).Val.String())
+			// Descending: the outermost slot gets the least selective
+			// filter, so the innermost runs first.
+			return si > sj
+		})
+		out := input
+		for i := len(chain) - 1; i >= 0; i-- {
+			lf := chain[i]
+			out = &logical.LLMFilter{Input: out, Table: lf.Table, Binding: lf.Binding, Cond: lf.Cond, KeyCol: lf.KeyCol}
+		}
+		return out
+	}
+	switch node := n.(type) {
+	case *logical.Join:
+		return logical.NewJoin(orderLLMFilters(node.Left, st), orderLLMFilters(node.Right, st), node.Type, node.On)
+	default:
+		children := n.Children()
+		if len(children) == 1 {
+			if rebuilt, err := rebuildUnary(n, orderLLMFilters(children[0], st)); err == nil {
+				return rebuilt
+			}
+		}
+		return n
+	}
 }
 
 type optimizer struct {
@@ -280,7 +386,7 @@ func (o *optimizer) lower(n logical.Node) (logical.Node, error) {
 		var rest []ast.Expr
 		for _, c := range SplitConjuncts(node.Cond) {
 			if o.opts.UseLLMFilter {
-				if bin, binding, ok := o.asLLMFilterPred(c, input); ok {
+				if bin, binding, ok := o.asLLMFilterPred(c, input); ok && !o.opts.DisableLLMFilter[conjKey(bin)] {
 					_ = binding
 					llmFilters = append(llmFilters, bin)
 					continue
@@ -515,7 +621,7 @@ func (o *optimizer) promptPushdown(n logical.Node) logical.Node {
 	switch node := n.(type) {
 	case *logical.LLMFilter:
 		input := o.promptPushdown(node.Input)
-		if scan, ok := input.(*logical.Scan); ok && scan.Source == "LLM" {
+		if scan, ok := input.(*logical.Scan); ok && scan.Source == "LLM" && !o.opts.PromptPushdownSkip[conjKey(node.Cond)] {
 			if scan.PushedFilter == nil {
 				scan.PushedFilter = node.Cond
 			} else {
@@ -528,7 +634,7 @@ func (o *optimizer) promptPushdown(n logical.Node) logical.Node {
 	case *logical.Filter:
 		input := o.promptPushdown(node.Input)
 		if scan, ok := input.(*logical.Scan); ok && scan.Source == "LLM" {
-			if simple, _, ok := o.asSimplePred(node.Cond); ok {
+			if simple, _, ok := o.asSimplePred(node.Cond); ok && !o.opts.PromptPushdownSkip[conjKey(simple)] {
 				if scan.PushedFilter == nil {
 					scan.PushedFilter = simple
 				} else {
@@ -574,6 +680,13 @@ func (o *optimizer) asSimplePred(c ast.Expr) (*ast.Binary, string, bool) {
 	}
 	binding, ok := o.bindingOf(ref)
 	if !ok {
+		return nil, "", false
+	}
+	// Never merge a predicate on the key attribute into the retrieval
+	// prompt: the keys are already materialized, so a traditional filter
+	// is free, while a merged condition degrades the scan's accuracy —
+	// and every later attribute fetch depends on those keys being right.
+	if info, known := o.bindings[binding]; known && strings.EqualFold(ref.Name, info.def.KeyColumn) {
 		return nil, "", false
 	}
 	return bin, binding, true

@@ -316,3 +316,128 @@ func TestDedupFetchAttr(t *testing.T) {
 		t.Errorf("duplicate fetch nodes:\n%s", explain)
 	}
 }
+
+// TestPromptPushdownSkipsKeyPredicate is the regression test for the
+// eligibility fix: a predicate on the key attribute must never merge
+// into the retrieval prompt. The keys are already materialized, so the
+// traditional filter is free — pushing would trade accuracy (the merged
+// prompt answers with a penalty) for zero prompt savings, and every
+// later attribute fetch depends on exactly those keys.
+func TestPromptPushdownSkipsKeyPredicate(t *testing.T) {
+	opts := Defaults()
+	opts.PromptPushdown = true
+	plan := optimize(t, "SELECT population FROM city WHERE name = 'Tokyo'", opts)
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "[pushed:") {
+		t.Errorf("key predicate must not merge into the scan prompt:\n%s", explain)
+	}
+	if !strings.Contains(explain, "Filter name = 'Tokyo'") {
+		t.Errorf("key predicate must stay a traditional filter:\n%s", explain)
+	}
+
+	// Mixed case: the non-key conjunct may push, the key conjunct stays.
+	plan = optimize(t, "SELECT name FROM city WHERE population > 1000000 AND name != 'Tokyo'", opts)
+	explain = logical.Explain(plan)
+	if !strings.Contains(explain, "[pushed: population > 1000000]") {
+		t.Errorf("non-key conjunct should still push:\n%s", explain)
+	}
+	if strings.Contains(explain, "pushed: name") || strings.Contains(explain, "AND name") {
+		t.Errorf("key conjunct leaked into the scan prompt:\n%s", explain)
+	}
+}
+
+// TestCostBasedChoosesFetchWhenAttrProjected pins the headline win of
+// plan enumeration: when a filtered attribute is also projected, the
+// fixed heuristics pay a per-key boolean prompt AND a later fetch, while
+// fetch-then-filter subsumes the filter for free.
+func TestCostBasedChoosesFetchWhenAttrProjected(t *testing.T) {
+	sql := "SELECT name, population FROM city WHERE population > 1000000"
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (logical.Node, error) { return logical.Build(sel, resolver{}) }
+	plan, cost, choices, err := ChooseBest(factory, Defaults(), NewStatistics(), CostParams{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain := logical.Explain(plan)
+	if strings.Contains(explain, "LLMFilter") {
+		t.Errorf("projected attribute should be fetched, not prompt-filtered:\n%s", explain)
+	}
+	if !strings.Contains(explain, "LLMFetchAttr city.population") {
+		t.Errorf("fetch missing:\n%s", explain)
+	}
+	if len(choices) < 2 {
+		t.Errorf("expected at least 2 candidates, got %d", len(choices))
+	}
+	// The chosen plan must be at least as cheap as the paper-shaped one.
+	for _, ch := range choices {
+		if ch.Label == "paper" && cost.Prompts > ch.Prompts {
+			t.Errorf("chosen plan (%f prompts) beats paper (%f)", cost.Prompts, ch.Prompts)
+		}
+	}
+}
+
+// TestOrderLLMFiltersMostSelectiveFirst checks the statistics-driven
+// filter ordering: the filter discarding more tuples runs first.
+func TestOrderLLMFiltersMostSelectiveFirst(t *testing.T) {
+	st := NewStatistics()
+	// Observed: the population predicate passes almost everything, the
+	// country predicate almost nothing.
+	st.ObserveFilter("city", "population", ">", "1000000", 100, 90)
+	st.ObserveFilter("city", "country", "=", "Italy", 100, 5)
+
+	opts := Defaults()
+	opts.Stats = st
+	plan := optimize(t, "SELECT name FROM city WHERE population > 1000000 AND country = 'Italy'", opts)
+	explain := logical.Explain(plan)
+	popIdx := strings.Index(explain, "LLMFilter population")
+	countryIdx := strings.Index(explain, "LLMFilter country")
+	if popIdx < 0 || countryIdx < 0 {
+		t.Fatalf("expected two LLM filters:\n%s", explain)
+	}
+	// Deeper in the tree (= later in the explain text) runs first; the
+	// selective country filter must be innermost.
+	if countryIdx < popIdx {
+		t.Errorf("most selective filter should run first (innermost):\n%s", explain)
+	}
+}
+
+// TestJoinOrderChangesEstimatedLatency pins that the cost model is
+// order-sensitive for joins (the build side blocks the first probe row),
+// so join-swap candidates are genuinely differentiated rather than
+// permanent ties that the paper-shaped candidate always wins.
+func TestJoinOrderChangesEstimatedLatency(t *testing.T) {
+	// p.age is projected, so a fetch runs above the join: its start is
+	// anchored at the build side's completion, which is what the swap
+	// changes.
+	sql := "SELECT c.name, p.age FROM city c, mayor p WHERE c.mayor = p.name AND c.population > 1000000"
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (logical.Node, error) { return logical.Build(sel, resolver{}) }
+	_, _, choices, err := ChooseBest(factory, Defaults(), NewStatistics(), CostParams{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paper, swapped *ChoiceSummary
+	for i := range choices {
+		switch choices[i].Label {
+		case "paper":
+			paper = &choices[i]
+		case "swap{0}":
+			swapped = &choices[i]
+		}
+	}
+	if paper == nil || swapped == nil {
+		t.Fatalf("expected paper and swap{0} candidates, got %+v", choices)
+	}
+	if paper.Prompts != swapped.Prompts {
+		t.Errorf("join order must not change prompt counts: %f vs %f", paper.Prompts, swapped.Prompts)
+	}
+	if paper.Latency == swapped.Latency {
+		t.Errorf("join order should change the estimated makespan (build side blocks probing); both sides estimate %s", paper.Latency)
+	}
+}

@@ -1,0 +1,226 @@
+package optimizer
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/sql/ast"
+)
+
+// Default statistics. Prompts are the dominant cost, so the defaults only
+// need to rank plans sensibly before any observation has refined them:
+// equality predicates are assumed selective, inequalities permissive,
+// range comparisons in between.
+const (
+	// DefaultTableKeys is the assumed key cardinality of a relation the
+	// planner has never scanned (and that was never primed via ANALYZE).
+	DefaultTableKeys = 24
+	// DefaultPageSize is the assumed number of keys one list prompt
+	// returns before the "more results" iteration must continue.
+	DefaultPageSize = 12
+)
+
+// defaultSelectivity maps a comparison operator to the fraction of tuples
+// assumed to pass when nothing has been observed about the predicate.
+func defaultSelectivity(op string) float64 {
+	switch op {
+	case "=":
+		return 0.2
+	case "!=":
+		return 0.8
+	default: // < <= > >=
+		return 0.45
+	}
+}
+
+// TableStats describes one base relation as the planner sees it.
+type TableStats struct {
+	// Keys is the estimated number of keys an LLM key scan materializes.
+	Keys float64
+	// PageSize is the estimated number of keys per list page; the scan
+	// issues ceil(Keys/PageSize)+1 prompts (the +1 is the terminal
+	// "no more results" page).
+	PageSize float64
+}
+
+// ScanPrompts estimates the number of list prompts a key scan over rows
+// tuples issues.
+func (t TableStats) ScanPrompts(rows float64) float64 {
+	page := t.PageSize
+	if page <= 0 {
+		page = DefaultPageSize
+	}
+	if rows <= 0 {
+		return 1
+	}
+	pages := rows / page
+	if p := float64(int(pages)); p < pages {
+		pages = p + 1
+	}
+	return pages + 1
+}
+
+// selObs is one running selectivity estimate.
+type selObs struct {
+	sum   float64
+	count float64
+}
+
+// Statistics hold what the cost model knows about the data behind the
+// schema: per-table key cardinalities and page sizes, plus predicate
+// selectivities. All values start from generic defaults and are refined
+// by Observe* calls after each executed query (the prompt counters of
+// prior runs), or primed explicitly via SetTableKeys — the engine's
+// ANALYZE equivalent. Safe for concurrent use.
+type Statistics struct {
+	mu     sync.Mutex
+	tables map[string]TableStats
+	sels   map[string]selObs
+}
+
+// NewStatistics returns an empty statistics store (all defaults).
+func NewStatistics() *Statistics {
+	return &Statistics{tables: map[string]TableStats{}, sels: map[string]selObs{}}
+}
+
+// SetTableKeys primes the key cardinality of one table, like ANALYZE
+// against a ground-truth store.
+func (s *Statistics) SetTableKeys(table string, keys int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tables[strings.ToLower(table)]
+	t.Keys = float64(keys)
+	if t.PageSize == 0 {
+		t.PageSize = DefaultPageSize
+	}
+	s.tables[strings.ToLower(table)] = t
+}
+
+// Table returns the stats of one table, falling back to defaults.
+func (s *Statistics) Table(table string) TableStats {
+	if s == nil {
+		return TableStats{Keys: DefaultTableKeys, PageSize: DefaultPageSize}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[strings.ToLower(table)]
+	if !ok || t.Keys <= 0 {
+		t.Keys = DefaultTableKeys
+	}
+	if t.PageSize <= 0 {
+		t.PageSize = DefaultPageSize
+	}
+	return t
+}
+
+// selKey builds the lookup keys for one predicate: the exact literal form
+// and the (table, attr, op) family.
+func selKey(table, attr, op, lit string) (exact, family string) {
+	family = strings.ToLower(table) + "|" + strings.ToLower(attr) + "|" + op
+	return family + "|" + strings.ToLower(lit), family
+}
+
+// Selectivity estimates the fraction of a table's tuples passing
+// `attr op lit`, preferring an exact prior observation, then the
+// attribute/operator family, then the operator default.
+func (s *Statistics) Selectivity(table, attr, op, lit string) float64 {
+	if s == nil {
+		return defaultSelectivity(op)
+	}
+	exact, family := selKey(table, attr, op, lit)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.sels[exact]; ok && o.count > 0 {
+		return o.sum / o.count
+	}
+	if o, ok := s.sels[family]; ok && o.count > 0 {
+		return o.sum / o.count
+	}
+	return defaultSelectivity(op)
+}
+
+// SelectivityOf estimates the selectivity of an arbitrary conjunct over
+// the named table: column-op-literal forms consult the store, anything
+// else gets a generic 0.5.
+func (s *Statistics) SelectivityOf(table string, e ast.Expr) float64 {
+	if attr, op, lit, ok := simpleConjunct(e); ok {
+		return s.Selectivity(table, attr, op, lit)
+	}
+	return 0.5
+}
+
+// ObserveScan feeds back one executed key scan: the number of keys it
+// materialized and the number of list prompts it issued.
+func (s *Statistics) ObserveScan(table string, keys, pages int) {
+	if s == nil || keys < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := strings.ToLower(table)
+	t := s.tables[name]
+	if t.Keys <= 0 {
+		t.Keys = float64(keys)
+	} else {
+		// Exponential moving average: adapt, but do not thrash on one
+		// filtered scan.
+		t.Keys = 0.5*t.Keys + 0.5*float64(keys)
+	}
+	if pages > 1 && keys > 0 {
+		obs := float64(keys) / float64(pages-1)
+		if t.PageSize <= 0 {
+			t.PageSize = obs
+		} else {
+			t.PageSize = 0.5*t.PageSize + 0.5*obs
+		}
+	}
+	s.tables[name] = t
+}
+
+// ObserveFilter feeds back one executed predicate: in tuples entered, out
+// passed. Both the exact-literal key and the attribute/operator family
+// accumulate.
+func (s *Statistics) ObserveFilter(table, attr, op, lit string, in, out int) {
+	if s == nil || in <= 0 || out < 0 {
+		return
+	}
+	sel := float64(out) / float64(in)
+	exact, family := selKey(table, attr, op, lit)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range []string{exact, family} {
+		o := s.sels[k]
+		o.sum += sel
+		o.count++
+		s.sels[k] = o
+	}
+}
+
+// simpleConjunct deconstructs a column-op-literal comparison (either
+// orientation), returning the normalized attribute, operator and literal
+// text.
+func simpleConjunct(e ast.Expr) (attr, op, lit string, ok bool) {
+	bin, isBin := e.(*ast.Binary)
+	if !isBin {
+		return "", "", "", false
+	}
+	switch bin.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return "", "", "", false
+	}
+	if ref, okL := bin.Left.(*ast.ColumnRef); okL {
+		if l, okR := bin.Right.(*ast.Literal); okR {
+			return ref.Name, bin.Op, l.Val.String(), true
+		}
+	}
+	if ref, okR := bin.Right.(*ast.ColumnRef); okR {
+		if l, okL := bin.Left.(*ast.Literal); okL {
+			return ref.Name, mirrorOp(bin.Op), l.Val.String(), true
+		}
+	}
+	return "", "", "", false
+}

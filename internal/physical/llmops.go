@@ -59,6 +59,7 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 	seen := map[string]bool{}
 	for iter := 0; iter < maxIter; iter++ {
 		p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
+		c.Metrics.Add(s.scan, 1, 0, 0)
 		resp, err := c.Complete(p)
 		if err != nil {
 			return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
@@ -75,6 +76,7 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 			s.rows = append(s.rows, t)
 		}
 	}
+	c.Metrics.Add(s.scan, 0, 0, len(s.rows))
 	s.cursor = 0
 	return nil
 }
@@ -93,6 +95,7 @@ func (s *llmKeyScanOp) openPipelined(c *Context, conds []prompt.Condition, keyKi
 				return nil
 			}
 			p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
+			c.Metrics.Add(s.scan, 1, 0, 0)
 			resp, pageVT, err := c.Scheduler.Do(c.Client, p, vt)
 			if err != nil {
 				return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
@@ -102,6 +105,7 @@ func (s *llmKeyScanOp) openPipelined(c *Context, conds []prompt.Condition, keyKi
 			added, done := scanPage(resp, c.Cleaner, seen, &keys)
 			for _, k := range keys[prev:] {
 				if t, ok := keyTuple(keyKind, k); ok {
+					c.Metrics.Add(s.scan, 0, 0, 1)
 					if !s.pipe.send(pipeRow{row: t, vt: vt}) {
 						return nil
 					}
@@ -252,6 +256,11 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 		key := row[f.node.KeyCol].String()
 		prompts[i] = c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
 	}
+	fetchPrompts := len(rows)
+	if c.Verifier != nil {
+		fetchPrompts *= 2
+	}
+	c.Metrics.Add(f.node, fetchPrompts, len(rows), len(rows))
 	answers, err := c.CompleteBatch(c.Client, prompts)
 	if err != nil {
 		return fmt.Errorf("physical: fetching %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
@@ -309,10 +318,13 @@ func (f *llmFetchAttrOp) openPipelined(c *Context) {
 			}
 			key := row[f.node.KeyCol].String()
 			p := c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
+			prompts := 1
 			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, p, vt)}
 			if c.Verifier != nil {
+				prompts = 2
 				r.verify = c.Scheduler.Submit(c.Verifier, p, vt)
 			}
+			c.Metrics.Add(f.node, prompts, 1, 1)
 			if !f.pipe.send(r) {
 				return nil
 			}
@@ -415,6 +427,7 @@ type llmFilterOp struct {
 	cursor int
 	// pipelined state
 	pipe *pipe
+	pc   *Context
 }
 
 func (f *llmFilterOp) Schema() *schema.Schema { return f.node.Schema() }
@@ -461,6 +474,7 @@ func (f *llmFilterOp) Open(c *Context) error {
 			f.rows = append(f.rows, row)
 		}
 	}
+	c.Metrics.Add(f.node, len(rows), len(rows), len(f.rows))
 	f.cursor = 0
 	return nil
 }
@@ -469,6 +483,7 @@ func (f *llmFilterOp) Open(c *Context) error {
 // submitted as the tuple arrives; Next awaits verdicts in input order and
 // keeps the yes rows.
 func (f *llmFilterOp) openPipelined(c *Context, filterPrompt func(schema.Tuple) string) {
+	f.pc = c
 	f.pipe = newPipe(c.pipeBuffer())
 	input := f.input
 	f.pipe.run(func() error {
@@ -481,6 +496,7 @@ func (f *llmFilterOp) openPipelined(c *Context, filterPrompt func(schema.Tuple) 
 			if err != nil {
 				return err
 			}
+			c.Metrics.Add(f.node, 1, 1, 0)
 			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, filterPrompt(row), vt)}
 			if !f.pipe.send(r) {
 				return nil
@@ -529,6 +545,7 @@ func (f *llmFilterOp) NextVT() (schema.Tuple, llm.VTime, error) {
 			return nil, 0, fmt.Errorf("physical: LLM filter %s: %w", f.node.Cond.String(), err)
 		}
 		if isYes(answer) {
+			f.pc.Metrics.Add(f.node, 0, 0, 1)
 			return r.row, vt, nil
 		}
 	}

@@ -49,6 +49,10 @@ type Context struct {
 	// buffers make LIMIT-driven early termination cut upstream prompt
 	// issue sooner; larger ones decouple stages more.
 	PipelineBuffer int
+	// Metrics, when non-nil, collects per-operator actual prompt and row
+	// counts, keyed by logical plan node — the "actual" side of EXPLAIN
+	// ANALYZE and the feedback signal for the optimizer's statistics.
+	Metrics *Metrics
 	// Verifier, when non-nil, is a second model that double-checks every
 	// fetched attribute value (Section 6, "Knowledge of the Unknown":
 	// "verify generated query answers by another model"). Cells the

@@ -1,0 +1,48 @@
+package simllm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// fuzzModel builds one simulated model per process; the world is
+// deterministic, so every fuzz execution sees the same knowledge base.
+var fuzzModel = sync.OnceValue(func() *Model {
+	return New(ChatGPT, world.Build(), 1)
+})
+
+// FuzzParseResponse throws arbitrary prompt text at the simulated
+// model's response generator. dispatch parses the canonical prompt
+// wording with hand-rolled string surgery (anchors, operator phrases,
+// exclusion lists), which is exactly the kind of code fuzzing breaks:
+// it must never panic or hang, whatever the prompt looks like.
+//
+// Seed corpus: testdata/fuzz/FuzzParseResponse plus the f.Add calls
+// below. Run with:
+// go test -run '^$' -fuzz FuzzParseResponse -fuzztime 30s ./internal/simllm
+func FuzzParseResponse(f *testing.F) {
+	seeds := []string{
+		"List the names of all cities. One name per line. Say Done when there are no more results.",
+		"List the names of cities with population more than 1000000. Exclude: Tokyo; Delhi. One name per line.",
+		"More results. List the names of all countries. Exclude: France; Japan.",
+		"What is the population of the city Tokyo? Answer with the value only.",
+		"Has the city Tokyo population more than 1000000? Answer yes or no.",
+		"Has the country France independence year less than 1800? Answer yes or no.",
+		"Q: What are the names of all countries?",
+		"Q: How many cities have more than a million people? Let's reason step by step.",
+		"What is the name of the mountain ?",
+		"List the  of . Exclude: ;;;. One  per line.",
+		"Has the  ? yes",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	m := fuzzModel()
+	f.Fuzz(func(t *testing.T, prompt string) {
+		// The response itself is unspecified for garbage prompts; the
+		// contract is only that generating it never panics.
+		_ = m.dispatch(prompt)
+	})
+}

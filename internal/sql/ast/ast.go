@@ -462,6 +462,24 @@ type Insert struct {
 
 func (i *Insert) stmtNode() {}
 
+// Explain is EXPLAIN [ANALYZE] SELECT ...: show the optimizer's chosen
+// plan with its cost estimates; ANALYZE additionally executes the query
+// and annotates the plan with actual per-operator prompt and row counts.
+type Explain struct {
+	Analyze bool
+	Stmt    *Select
+}
+
+func (e *Explain) stmtNode() {}
+
+// String renders the statement back to SQL.
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
+
 // Walk visits e and every sub-expression in depth-first order. The visitor
 // returns false to prune the subtree.
 func Walk(e Expr, visit func(Expr) bool) {

@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/sql/ast"
+)
+
+// FuzzParse throws arbitrary text at the SQL parser. The parser must
+// never panic; when it accepts an input, rendering the statement back to
+// SQL must also be panic-free (String is what the prompt generator and
+// EXPLAIN rely on).
+//
+// Seed corpus: testdata/fuzz/FuzzParse plus the f.Add calls below.
+// Run with: go test -run '^$' -fuzz FuzzParse -fuzztime 30s ./internal/sql/parser
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT name FROM country WHERE independence_year > 1950",
+		"SELECT c.name, m.birth_date FROM city c, mayor m WHERE c.mayor = m.name AND m.election_year = 2019",
+		"SELECT continent, COUNT(*) FROM country GROUP BY continent HAVING COUNT(*) > 3 ORDER BY continent DESC LIMIT 5 OFFSET 1",
+		"SELECT DISTINCT name FROM city WHERE population BETWEEN 1000000 AND 5000000",
+		"SELECT * FROM LLM.country co JOIN DB.employees e ON co.code = e.countryCode",
+		"EXPLAIN ANALYZE SELECT name FROM city WHERE population > 1000000 AND elevation > 500",
+		"SELECT CASE WHEN population > 1000000 THEN 'big' ELSE 'small' END FROM city",
+		"SELECT name FROM singer WHERE genre IN ('Pop', 'Rock') AND name NOT LIKE 'A%'",
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT)",
+		"INSERT INTO t (id, name) VALUES (1, 'x'), (2, 'y')",
+		"SELECT -1.5e3 + 2 * (3 % 4) AS v",
+		"SELECT name FROM city WHERE name IS NOT NULL; SELECT 1",
+		"SELECT `quoted ident`, \"another one\" FROM t -- comment\n/* block */",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted statements must render back to SQL without panicking.
+		switch s := stmt.(type) {
+		case *ast.Select:
+			_ = s.String()
+		case *ast.Explain:
+			_ = s.String()
+		}
+		// A single statement accepted by Parse is a valid script too.
+		if _, err := ParseScript(src); err != nil {
+			t.Errorf("Parse accepted %q but ParseScript rejected it: %v", src, err)
+		}
+	})
+}

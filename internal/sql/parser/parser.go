@@ -157,13 +157,30 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 	switch {
 	case p.atKeyword("SELECT"):
 		return p.parseSelect()
+	case p.atKeyword("EXPLAIN"):
+		return p.parseExplain()
 	case p.atKeyword("CREATE"):
 		return p.parseCreateTable()
 	case p.atKeyword("INSERT"):
 		return p.parseInsert()
 	default:
-		return nil, p.errorf("expected SELECT, CREATE or INSERT, got %q", p.cur().Literal)
+		return nil, p.errorf("expected SELECT, EXPLAIN, CREATE or INSERT, got %q", p.cur().Literal)
 	}
+}
+
+func (p *Parser) parseExplain() (ast.Statement, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.acceptKeyword("ANALYZE")
+	if !p.atKeyword("SELECT") {
+		return nil, p.errorf("EXPLAIN supports only SELECT statements, got %q", p.cur().Literal)
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Explain{Analyze: analyze, Stmt: sel}, nil
 }
 
 // ---------------------------------------------------------------- SELECT

@@ -72,6 +72,7 @@ var keywords = map[string]bool{
 	"ASC": true, "DESC": true, "TRUE": true, "FALSE": true,
 	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
 	"INSERT": true, "INTO": true, "VALUES": true,
+	"EXPLAIN": true, "ANALYZE": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"UNION": true, "ALL": true, "EXISTS": true, "CASE": true,
 	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
