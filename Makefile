@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency serve fuzz cover
 
 check: vet build race
 
@@ -26,6 +26,16 @@ bench-pipeline:
 # Regenerates the committed BENCH_optimizer.json artifact (deterministic).
 bench-optimizer:
 	$(GO) test -run '^$$' -bench BenchmarkOptimizerComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_concurrency.json artifact
+# (deterministic): serial vs K-way-concurrent corpus on one shared
+# runtime and scheduler.
+bench-concurrency:
+	$(GO) test -run '^$$' -bench BenchmarkConcurrencyComparison -benchtime=1x .
+
+# Run the concurrent SQL server on the simulated world.
+serve:
+	$(GO) run ./cmd/galois-serve
 
 # Short fuzz smoke of the SQL parser and the simulated model's prompt
 # parser (same runs CI does).

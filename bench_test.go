@@ -308,6 +308,38 @@ func BenchmarkOptimizerComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrencyComparison measures the shared-runtime concurrency
+// model: the corpus executed one query at a time versus K=4 queries at a
+// time against one runtime, sharing the engine-global scheduler's
+// per-endpoint worker budget — and writes the machine-readable
+// BENCH_concurrency.json artifact. The aggregate simulated makespan of
+// the concurrent arm must beat K-times-serial by at least 2x while every
+// relation and per-query prompt count stays bit-identical (the report is
+// deterministic, so the committed artifact is reproducible):
+//
+//	go test -run '^$' -bench BenchmarkConcurrencyComparison -benchtime=1x .
+func BenchmarkConcurrencyComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.ConcurrencyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.ConcurrencyComparison(ctx, simllm.ChatGPT, bench.DefaultConcurrency, bench.DefaultServeWorkers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.SpeedupX, "aggregate_speedup_x")
+	b.ReportMetric(rep.Serial.AggregateMakespanMS/1000, "serial_corpus_s")
+	b.ReportMetric(rep.Concurrent.AggregateMakespanMS/1000, "concurrent_corpus_s")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteConcurrencyArtifact("BENCH_concurrency.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGaloisQuery measures one representative end-to-end query on the
 // simulated ChatGPT (micro-benchmark of the full pipeline).
 func BenchmarkGaloisQuery(b *testing.B) {

@@ -40,13 +40,14 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
 	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains when -cache is set")
 	pipeline := flag.Bool("pipeline", false, "run the table/latency/extension experiments with the pipelined streaming executor (default off = the paper's stop-and-go execution)")
+	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
 	flag.Parse()
 
 	runner, err := bench.NewRunner(*seed)
@@ -62,6 +63,9 @@ func run() error {
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
 	opts.Pipelined = *pipeline
+	if *workers > 0 {
+		opts.BatchWorkers = *workers
+	}
 
 	if *explain != "" {
 		return printExplain(ctx, runner, profile, *explain)
@@ -93,7 +97,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -198,6 +202,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printPipeline(ctx, r, p)
 	case "optimizer":
 		return printOptimizer(ctx, r, p)
+	case "concurrency":
+		return printConcurrency(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -254,6 +260,22 @@ func printOptimizer(ctx context.Context, r *bench.Runner, p simllm.Profile) erro
 	}
 	fmt.Printf("  estimate accuracy over the corpus: mean ratio %.2f, max ratio %.2f (must stay ≤ 2)\n\n",
 		rep.Estimates.MeanRatio, rep.Estimates.MaxRatio)
+	return nil
+}
+
+func printConcurrency(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.ConcurrencyComparison(ctx, p, bench.DefaultConcurrency, bench.DefaultServeWorkers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation H: shared-runtime concurrency (one engine-global fair-share scheduler)")
+	fmt.Printf("  corpus of %d queries, per-endpoint worker budget W=%d\n", rep.Serial.Queries, rep.Workers)
+	fmt.Printf("  %-16s aggregate simulated makespan %8.1f s  (%d prompts)\n",
+		rep.Serial.Config, rep.Serial.AggregateMakespanMS/1000, rep.Serial.TotalPrompts)
+	fmt.Printf("  %-16s aggregate simulated makespan %8.1f s  (%d prompts)\n",
+		rep.Concurrent.Config, rep.Concurrent.AggregateMakespanMS/1000, rep.Concurrent.TotalPrompts)
+	fmt.Printf("  speedup %.2fx — results identical: %v, per-query prompts identical: %v\n\n",
+		rep.SpeedupX, rep.ResultsIdentical, rep.PromptsIdentical)
 	return nil
 }
 

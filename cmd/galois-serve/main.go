@@ -1,0 +1,116 @@
+// Command galois-serve runs Galois as a long-lived concurrent SQL
+// service: one shared runtime (model endpoints, prompt cache, optimizer
+// statistics, and the engine-global fair-share prompt scheduler) serving
+// any number of concurrent queries over HTTP, each in its own cheap
+// session.
+//
+// Usage:
+//
+//	galois-serve [-addr :8080] [-model chatgpt] [-seed 1]
+//	             [-max-concurrent 16] [-workers 8] [-cache] [-pipeline]
+//
+// Endpoints:
+//
+//	POST /query            SQL in the request body (or GET /query?q=...);
+//	                       ?plan=1 includes the executed plan. Returns the
+//	                       relation, row count and per-query prompt stats
+//	                       as JSON.
+//	GET  /healthz          liveness probe.
+//	GET  /stats            serving counters, admission-gate state and
+//	                       shared prompt-cache statistics.
+//
+// Concurrency model: all queries share one per-endpoint LLM worker
+// budget (-workers), fair-shared round-robin across in-flight queries by
+// the engine-global scheduler, so a heavy query cannot starve light
+// ones. The -max-concurrent admission gate bounds simultaneously
+// executing queries; excess requests queue and abandon the queue when
+// their client disconnects. SIGINT/SIGTERM drain in-flight queries
+// before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/simllm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "galois-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "chatgpt", "simulated model: flan, tk, gpt3, chatgpt")
+	seed := flag.Int64("seed", 1, "noise seed for the simulated model")
+	maxConcurrent := flag.Int("max-concurrent", 16, "admission gate: max concurrently executing queries (0 = 2x workers)")
+	workers := flag.Int("workers", llm.DefaultBatchWorkers, "shared per-endpoint LLM worker budget, fair-shared across all in-flight queries")
+	cache := flag.Bool("cache", true, "enable the shared prompt cache (dedup + reuse of completions across queries)")
+	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
+	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor on the shared scheduler")
+	costbased := flag.Bool("costbased", true, "enable cost-based plan selection")
+	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "max time to drain in-flight queries on SIGINT/SIGTERM")
+	flag.Parse()
+
+	profile, ok := simllm.ProfileByName(*model)
+	if !ok {
+		return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
+	}
+
+	runner, err := bench.NewRunner(*seed)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.Optimizer.PromptPushdown = *pushdown
+	opts.Optimizer.CostBased = *costbased
+	opts.CacheEnabled = *cache
+	opts.CacheSize = *cacheSize
+	opts.Pipelined = *pipeline
+	opts.BatchWorkers = *workers
+	rt, err := runner.Runtime(runner.Model(profile), opts)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(rt, *maxConcurrent)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("galois-serve: %s (%s) listening on %s — workers=%d max-concurrent=%d pipeline=%v cache=%v",
+		profile.DisplayName, profile.Params, *addr, *workers, *maxConcurrent, *pipeline, *cache)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("galois-serve: draining in-flight queries (grace %s)", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("galois-serve: bye")
+	return nil
+}

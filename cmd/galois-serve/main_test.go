@@ -1,0 +1,387 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/simllm"
+)
+
+// testRuntime builds the benchmark world's runtime for serving tests.
+func testRuntime(t *testing.T, opts core.Options) (*bench.Runner, *core.Runtime) {
+	t.Helper()
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := r.Runtime(r.Model(simllm.ChatGPT), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rt
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, sql string) (*http.Response, queryResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, qr
+}
+
+// TestServeConcurrentQueries: concurrent HTTP queries against one shared
+// runtime each return exactly the relation a direct serial session run
+// produces.
+func TestServeConcurrentQueries(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	_, rt := testRuntime(t, opts)
+	ts := httptest.NewServer(newServer(rt, 8))
+	defer ts.Close()
+
+	queries := []string{
+		`SELECT name FROM country WHERE continent = 'Europe'`,
+		`SELECT name, population FROM city WHERE population > 1000000`,
+		`SELECT name FROM mayor WHERE election_year = 2019`,
+		`SELECT name FROM mountain WHERE height > 5000`,
+	}
+	// Serial baselines on an identical but separate runtime.
+	_, baseRT := testRuntime(t, opts)
+	want := map[string][][]string{}
+	for _, q := range queries {
+		rel, _, err := baseRT.NewSession().Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := [][]string{}
+		for _, row := range rel.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			rows = append(rows, cells)
+		}
+		want[q] = rows
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				resp, qr := postQuery(t, ts, q)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%q: status %d", q, resp.StatusCode)
+					return
+				}
+				if fmt.Sprint(qr.Rows) != fmt.Sprint(want[q]) {
+					t.Errorf("%q rows diverged from serial run:\n%v\nwant:\n%v", q, qr.Rows, want[q])
+				}
+				if qr.Stats.Prompts == 0 {
+					t.Errorf("%q reported zero prompts", q)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+}
+
+// slowLLM delays every completion so queries overlap long enough for the
+// admission gate to be observable.
+type slowLLM struct {
+	inner llm.Client
+	delay time.Duration
+}
+
+func (s *slowLLM) Name() string { return s.inner.Name() }
+func (s *slowLLM) Complete(ctx context.Context, p string) (string, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	return s.inner.Complete(ctx, p)
+}
+
+// TestServeAdmissionGate: with -max-concurrent=2, twelve parallel
+// requests never have more than two queries executing at once, and all
+// of them are eventually served.
+func TestServeAdmissionGate(t *testing.T) {
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	rt, err := r.Runtime(&slowLLM{inner: r.Model(simllm.ChatGPT), delay: 2 * time.Millisecond}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(rt, 2)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := srv.maxActive.Load(); got > 2 {
+		t.Errorf("admission gate leaked: %d queries executed concurrently, cap 2", got)
+	}
+	if got := srv.queries.Load(); got != 12 {
+		t.Errorf("served %d queries, want 12", got)
+	}
+}
+
+// TestServeErrors: bad SQL is a 400 with a JSON error; a missing
+// statement likewise.
+func TestServeErrors(t *testing.T) {
+	_, rt := testRuntime(t, core.DefaultOptions())
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("SELEC nonsense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad SQL: status %d, want 400", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+		t.Errorf("bad SQL: error body = %+v, %v", er, err)
+	}
+
+	resp2, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("   "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty SQL: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// failingLLM simulates a backend outage: every completion errors.
+type failingLLM struct{}
+
+func (failingLLM) Name() string { return "failing" }
+func (failingLLM) Complete(ctx context.Context, p string) (string, error) {
+	return "", fmt.Errorf("model backend unavailable")
+}
+
+// TestServeBackendFailureIs5xx: a valid query whose execution fails in
+// the model backend is a server error (500), not the client's fault.
+func TestServeBackendFailureIs5xx(t *testing.T) {
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	rt, err := r.Runtime(failingLLM{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("backend failure: status %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestServeFormEncodedQuery: `curl -d "q=SELECT ..."` (a form-encoded q
+// field) and `curl -d "SELECT ..."` (bare SQL under the same content
+// type) both work.
+func TestServeFormEncodedQuery(t *testing.T) {
+	_, rt := testRuntime(t, core.DefaultOptions())
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	const sql = `SELECT name FROM country WHERE continent = 'Europe'`
+	form := url.Values{"q": {sql}}.Encode()
+	resp, err := http.Post(ts.URL+"/query", "application/x-www-form-urlencoded", strings.NewReader(form))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("form-encoded q: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, err := http.Post(ts.URL+"/query", "application/x-www-form-urlencoded", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var qr2 queryResponse
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("bare SQL under form content type: status %d", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&qr2); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(qr.Rows) != fmt.Sprint(qr2.Rows) || qr.RowCount == 0 {
+		t.Errorf("form and raw submissions disagree: %d vs %d rows", qr.RowCount, qr2.RowCount)
+	}
+}
+
+// TestServeHealthzAndStats: the probes respond, and /stats reflects
+// served queries and the shared cache.
+func TestServeHealthzAndStats(t *testing.T) {
+	_, rt := testRuntime(t, core.DefaultOptions())
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	// The same query again rides the shared prompt cache.
+	if resp, qr := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	} else if qr.Stats.CacheHits == 0 {
+		t.Error("repeated query had zero cache hits")
+	}
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st serverStats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesServed != 2 {
+		t.Errorf("queries_served = %d, want 2", st.QueriesServed)
+	}
+	if st.CacheHits == 0 || st.CacheEntries == 0 {
+		t.Errorf("stats cache counters empty: %+v", st)
+	}
+	if st.MaxConcurrent != 4 {
+		t.Errorf("max_concurrent = %d, want 4", st.MaxConcurrent)
+	}
+}
+
+// TestServeQueuedClientDisconnect: a request abandoned while waiting for
+// admission frees its queue spot and does not wedge the gate.
+func TestServeQueuedClientDisconnect(t *testing.T) {
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	release := make(chan struct{})
+	rt, err := r.Runtime(&gatedTestLLM{inner: r.Model(simllm.ChatGPT), release: release}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(rt, 1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the single slot.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
+	}()
+	waitFor(t, func() bool { return srv.active.Load() == 1 })
+
+	// A queued request whose client gives up.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/query?q=SELECT+name+FROM+country", nil)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return srv.waiting.Load() == 1 })
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Error("cancelled queued request returned without error")
+	}
+	waitFor(t, func() bool { return srv.waiting.Load() == 0 })
+
+	// Release the running query; the gate must be fully usable again.
+	close(release)
+	<-done
+	if resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`); resp.StatusCode != http.StatusOK {
+		t.Errorf("gate wedged after queued disconnect: status %d", resp.StatusCode)
+	}
+}
+
+// gatedTestLLM blocks every completion until released.
+type gatedTestLLM struct {
+	inner   llm.Client
+	release chan struct{}
+}
+
+func (g *gatedTestLLM) Name() string { return g.inner.Name() }
+func (g *gatedTestLLM) Complete(ctx context.Context, p string) (string, error) {
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	return g.inner.Complete(ctx, p)
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+)
+
+// server is the concurrent SQL front end over one shared core.Runtime:
+// every request opens a cheap session, executes under the runtime's
+// engine-global fair-share scheduler, and renders the relation as JSON.
+// A bounded admission gate caps how many queries execute at once;
+// requests beyond it queue (and leave the queue when their client
+// disconnects).
+type server struct {
+	rt            *core.Runtime
+	gate          chan struct{}
+	maxConcurrent int
+	mux           *http.ServeMux
+
+	queries   atomic.Int64 // completed (ok or failed) queries
+	active    atomic.Int64 // currently executing (inside the gate)
+	maxActive atomic.Int64 // high-water mark of active
+	waiting   atomic.Int64 // admitted requests waiting for a slot
+}
+
+// newServer wires the routes over the runtime. maxConcurrent bounds
+// simultaneously executing queries (0 or negative means 2× the
+// scheduler's per-endpoint worker budget — enough to keep the pool busy
+// without unbounded overcommit).
+func newServer(rt *core.Runtime, maxConcurrent int) *server {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 2 * rt.Options().BatchWorkers
+	}
+	s := &server{
+		rt:            rt,
+		gate:          make(chan struct{}, maxConcurrent),
+		maxConcurrent: maxConcurrent,
+		mux:           http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryResponse is the JSON rendering of one executed query.
+type queryResponse struct {
+	Columns  []string   `json:"columns"`
+	Types    []string   `json:"types"`
+	Rows     [][]string `json:"rows"`
+	RowCount int        `json:"row_count"`
+	Plan     string     `json:"plan,omitempty"`
+	Stats    queryStats `json:"stats"`
+}
+
+// queryStats is the per-query usage summary.
+type queryStats struct {
+	Prompts            int     `json:"prompts"`
+	PromptTokens       int     `json:"prompt_tokens"`
+	CompletionTokens   int     `json:"completion_tokens"`
+	CacheHits          int     `json:"cache_hits"`
+	CacheMisses        int     `json:"cache_misses"`
+	SimulatedLatencyMS float64 `json:"simulated_latency_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleQuery executes one SQL statement: the `q` form/query parameter,
+// or the raw request body. `?plan=1` includes the executed plan.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql, err := querySQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Admission gate: at most maxConcurrent queries execute at once;
+	// the rest wait here and give up when their client does.
+	ctx := r.Context()
+	s.waiting.Add(1)
+	select {
+	case s.gate <- struct{}{}:
+		s.waiting.Add(-1)
+	case <-ctx.Done():
+		s.waiting.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
+		return
+	}
+	defer func() { <-s.gate }()
+	n := s.active.Add(1)
+	for {
+		high := s.maxActive.Load()
+		if n <= high || s.maxActive.CompareAndSwap(high, n) {
+			break
+		}
+	}
+	defer s.active.Add(-1)
+	defer s.queries.Add(1)
+
+	// Malformed or unexecutable SQL is the client's fault and must not
+	// surface as a server error; check it up front so everything failing
+	// later — planning against the shared bindings, the model backend —
+	// maps to 5xx, which retry policies and monitoring treat correctly.
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch stmt.(type) {
+	case *ast.Select, *ast.Explain:
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("only SELECT and EXPLAIN statements can be served"))
+		return
+	}
+
+	sess := s.rt.NewSession()
+	rel, rep, err := sess.Query(ctx, sql)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+
+	resp := queryResponse{
+		Columns:  make([]string, rel.Schema.Len()),
+		Types:    make([]string, rel.Schema.Len()),
+		Rows:     make([][]string, 0, rel.Cardinality()),
+		RowCount: rel.Cardinality(),
+		Stats: queryStats{
+			Prompts:            rep.Stats.Prompts,
+			PromptTokens:       rep.Stats.PromptTokens,
+			CompletionTokens:   rep.Stats.CompletionTokens,
+			CacheHits:          rep.Stats.CacheHits,
+			CacheMisses:        rep.Stats.CacheMisses,
+			SimulatedLatencyMS: float64(rep.Stats.SimulatedLatency) / float64(time.Millisecond),
+		},
+	}
+	for i, c := range rel.Schema.Columns {
+		resp.Columns[i] = c.QualifiedName()
+		resp.Types[i] = c.Type.String()
+	}
+	for _, row := range rel.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	if wantPlan, _ := strconv.ParseBool(r.URL.Query().Get("plan")); wantPlan {
+		resp.Plan = rep.Plan
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// querySQL extracts the SQL statement from a request: the `q` URL query
+// parameter, the `q` field of a form-encoded body, or the raw request
+// body.
+func querySQL(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); strings.TrimSpace(q) != "" {
+		return strings.TrimSpace(q), nil
+	}
+	if r.Body == nil {
+		return "", fmt.Errorf("missing SQL: pass ?q= or a request body")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("reading request body: %w", err)
+	}
+	// Clients POSTing with curl -d send the form content type whether the
+	// body is `q=<urlencoded SQL>` or the bare statement, so accept both:
+	// a parseable q field wins, anything else is taken as raw SQL.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-www-form-urlencoded") {
+		if vals, err := url.ParseQuery(string(body)); err == nil {
+			if sql := strings.TrimSpace(vals.Get("q")); sql != "" {
+				return sql, nil
+			}
+		}
+	}
+	if sql := strings.TrimSpace(string(body)); sql != "" {
+		return sql, nil
+	}
+	return "", fmt.Errorf("missing SQL: pass ?q= or a request body")
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// serverStats is the /stats JSON: serving counters plus the shared
+// runtime tiers' views.
+type serverStats struct {
+	QueriesServed int64 `json:"queries_served"`
+	Active        int64 `json:"active"`
+	MaxActive     int64 `json:"max_active"`
+	Waiting       int64 `json:"waiting"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	Workers       int   `json:"workers_per_endpoint"`
+	CacheHits     int   `json:"cache_hits"`
+	CacheMisses   int   `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.rt.CacheStats()
+	writeJSON(w, http.StatusOK, serverStats{
+		QueriesServed: s.queries.Load(),
+		Active:        s.active.Load(),
+		MaxActive:     s.maxActive.Load(),
+		Waiting:       s.waiting.Load(),
+		MaxConcurrent: s.maxConcurrent,
+		Workers:       s.rt.Options().BatchWorkers,
+		CacheHits:     cs.Hits,
+		CacheMisses:   cs.Misses,
+		CacheEntries:  cs.Entries,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

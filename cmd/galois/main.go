@@ -44,6 +44,7 @@ func run() error {
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor (overlap prompt waves across operators; off = the paper's stop-and-go execution)")
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection (enumerate candidate plans, pick the one with the fewest estimated prompts; off = the paper's fixed rewrite heuristics)")
+	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -67,6 +68,9 @@ func run() error {
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
 	opts.Pipelined = *pipeline
+	if *workers > 0 {
+		opts.BatchWorkers = *workers
+	}
 	engine, err := runner.Engine(runner.Model(profile), opts)
 	if err != nil {
 		return err

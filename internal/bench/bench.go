@@ -58,14 +58,26 @@ func (r *Runner) Model(p simllm.Profile) *simllm.Model {
 // Engine builds a Galois engine over the model with the LLM-side schema
 // bound and the ground-truth DB attached (for hybrid queries).
 func (r *Runner) Engine(client llm.Client, opts core.Options) (*core.Engine, error) {
-	e := core.New(client, opts)
-	e.AttachDB(r.DB)
+	rt, err := r.Runtime(client, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Engine(), nil
+}
+
+// Runtime builds the shared engine tier over the model with the
+// LLM-side schema bound and the ground-truth DB attached — the fixture
+// for concurrent-session workloads (galois-serve, the concurrency
+// benchmark) where callers open their own sessions.
+func (r *Runner) Runtime(client llm.Client, opts core.Options) (*core.Runtime, error) {
+	rt := core.NewRuntime(client, opts)
+	rt.AttachDB(r.DB)
 	for _, name := range LLMTables {
-		if err := e.BindLLMTable(r.World.Table(name).Def); err != nil {
+		if err := rt.BindLLMTable(r.World.Table(name).Def); err != nil {
 			return nil, err
 		}
 	}
-	return e, nil
+	return rt, nil
 }
 
 // GroundTruth executes a query on the DBMS (result b in Section 5).

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/simllm"
+	"repro/internal/spider"
+)
+
+// DefaultConcurrency is the K of the committed concurrency benchmark:
+// how many corpus queries run at once against one shared runtime.
+const DefaultConcurrency = 4
+
+// DefaultServeWorkers is the per-endpoint worker budget of the
+// concurrency benchmark: the connection budget a serving deployment
+// provisions, shared fairly by all in-flight queries. It is larger than
+// one interactive query's DefaultBatchWorkers because a server sizes its
+// endpoint budget for the fleet, not for one query — and the whole point
+// of the shared scheduler is that concurrent queries soak up the slots
+// any single query would leave idle while it waits on its sequential
+// prompt chains.
+const DefaultServeWorkers = 16
+
+// ConcurrencyArm aggregates one isolation mode over the corpus.
+type ConcurrencyArm struct {
+	Config  string `json:"config"` // "serial" or "concurrent-kN"
+	Queries int    `json:"queries"`
+	// TotalPrompts sums issued model calls across the corpus (cache off:
+	// every prompt is a model call).
+	TotalPrompts int `json:"total_prompts"`
+	// AggregateMakespanMS is the simulated wall-clock to finish the whole
+	// corpus: summed per-query makespans when serial, summed per-batch
+	// aggregate makespans (max critical path vs summed per-endpoint work
+	// over the shared budget) when concurrent.
+	AggregateMakespanMS float64 `json:"aggregate_makespan_ms"`
+}
+
+// ConcurrencyReport is the machine-readable concurrency record
+// (BENCH_concurrency.json): the corpus executed serially versus K-ways
+// concurrently against one shared runtime and scheduler.
+type ConcurrencyReport struct {
+	Model      string         `json:"model"`
+	Workers    int            `json:"workers_per_endpoint"`
+	K          int            `json:"concurrency"`
+	Serial     ConcurrencyArm `json:"serial"`
+	Concurrent ConcurrencyArm `json:"concurrent"`
+	// SpeedupX is serial aggregate makespan over concurrent aggregate
+	// makespan — how much faster the corpus finishes when K queries
+	// share the worker budget instead of running one at a time.
+	SpeedupX float64 `json:"speedup_x"`
+	// ResultsIdentical reports whether every query's relation was
+	// bit-identical between the serial and concurrent runs.
+	ResultsIdentical bool `json:"results_identical"`
+	// PromptsIdentical reports whether every query issued exactly the
+	// same number of prompts in both runs.
+	PromptsIdentical bool `json:"prompts_identical"`
+}
+
+// concurrencyOptions pins the benchmark configuration: pipelined on the
+// shared scheduler, cache off (both arms pay for every prompt, and
+// per-query accounting becomes a pure function of the query), fixed
+// heuristic plans (no cost-based feedback, so plan choice cannot depend
+// on the order concurrent queries observe statistics).
+func concurrencyOptions(workers int) core.Options {
+	opts := PaperOptions()
+	opts.Pipelined = true
+	opts.Optimizer.CostBased = false
+	opts.BatchWorkers = workers
+	return opts
+}
+
+// queryOutcome is one query's record in one arm.
+type queryOutcome struct {
+	rel     string
+	prompts int
+	// makespan is the query-alone simulated wall-clock (serial arm).
+	makespan time.Duration
+	// sched is the query's scheduler accounting (concurrent aggregation).
+	sched *llm.TenantStats
+	err   error
+}
+
+// runQuery executes one corpus query on a fresh session of rt.
+func runQuery(ctx context.Context, rt *core.Runtime, sql string) queryOutcome {
+	rel, rep, err := rt.NewSession().Query(ctx, sql)
+	if err != nil {
+		return queryOutcome{err: fmt.Errorf("%q: %w", sql, err)}
+	}
+	return queryOutcome{
+		rel:      rel.String(),
+		prompts:  rep.Stats.Prompts,
+		makespan: rep.Stats.SimulatedLatency,
+		sched:    rep.Sched,
+	}
+}
+
+// ConcurrencyComparison measures the shared-runtime concurrency model:
+// the corpus executed one query at a time versus K queries at a time
+// against one runtime (one scheduler, one statistics store), with the
+// per-endpoint worker budget fixed at `workers` in both arms.
+//
+// The serial arm's aggregate makespan sums each query's makespan — the
+// larger of its critical path and its work spread over the full budget;
+// a lone query cannot do better. The concurrent arm partitions the
+// corpus into batches of K and sums each batch's aggregate makespan —
+// max(any query's critical path, any endpoint's summed work over the
+// budget), the same list-scheduling bound lifted across queries
+// (llm.AggregateMakespan). With the cache off both are pure functions of
+// the prompt sets, so the report is deterministic and CI can diff it.
+func (r *Runner) ConcurrencyComparison(ctx context.Context, p simllm.Profile, k, workers int) (*ConcurrencyReport, error) {
+	if k < 1 {
+		k = DefaultConcurrency
+	}
+	if workers < 1 {
+		workers = DefaultServeWorkers
+	}
+	var corpus []string
+	for _, q := range spider.Queries() {
+		corpus = append(corpus, q.SQL)
+	}
+
+	// Serial arm: one runtime, one query at a time.
+	serialRT, err := r.Runtime(r.Model(p), concurrencyOptions(workers))
+	if err != nil {
+		return nil, err
+	}
+	serial := make([]queryOutcome, len(corpus))
+	for i, sql := range corpus {
+		serial[i] = runQuery(ctx, serialRT, sql)
+		if serial[i].err != nil {
+			return nil, fmt.Errorf("bench: serial arm: %w", serial[i].err)
+		}
+	}
+
+	// Concurrent arm: a fresh but identically configured runtime, K
+	// queries at a time.
+	concRT, err := r.Runtime(r.Model(p), concurrencyOptions(workers))
+	if err != nil {
+		return nil, err
+	}
+	concurrent := make([]queryOutcome, len(corpus))
+	var concTotal time.Duration
+	for lo := 0; lo < len(corpus); lo += k {
+		hi := lo + k
+		if hi > len(corpus) {
+			hi = len(corpus)
+		}
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				concurrent[i] = runQuery(ctx, concRT, corpus[i])
+			}(i)
+		}
+		wg.Wait()
+		var batch []*llm.TenantStats
+		for i := lo; i < hi; i++ {
+			if concurrent[i].err != nil {
+				return nil, fmt.Errorf("bench: concurrent arm: %w", concurrent[i].err)
+			}
+			batch = append(batch, concurrent[i].sched)
+		}
+		concTotal += llm.AggregateMakespan(workers, batch)
+	}
+
+	rep := &ConcurrencyReport{
+		Model:            p.ID,
+		Workers:          workers,
+		K:                k,
+		ResultsIdentical: true,
+		PromptsIdentical: true,
+	}
+	var serialTotal time.Duration
+	var serialPrompts, concPrompts int
+	for i := range corpus {
+		serialTotal += serial[i].makespan
+		serialPrompts += serial[i].prompts
+		concPrompts += concurrent[i].prompts
+		if serial[i].rel != concurrent[i].rel {
+			rep.ResultsIdentical = false
+		}
+		if serial[i].prompts != concurrent[i].prompts {
+			rep.PromptsIdentical = false
+		}
+	}
+	rep.Serial = ConcurrencyArm{
+		Config:              "serial",
+		Queries:             len(corpus),
+		TotalPrompts:        serialPrompts,
+		AggregateMakespanMS: float64(serialTotal) / float64(time.Millisecond),
+	}
+	rep.Concurrent = ConcurrencyArm{
+		Config:              fmt.Sprintf("concurrent-k%d", k),
+		Queries:             len(corpus),
+		TotalPrompts:        concPrompts,
+		AggregateMakespanMS: float64(concTotal) / float64(time.Millisecond),
+	}
+	if concTotal > 0 {
+		rep.SpeedupX = float64(serialTotal) / float64(concTotal)
+	}
+	return rep, nil
+}
+
+// CheckAcceptance enforces the concurrency acceptance criteria: K
+// concurrent corpus queries must finish in aggregate simulated makespan
+// at least 2x better than K-times-serial (i.e. strictly less than K× a
+// single query's latency, with margin), with bit-identical relations
+// and identical prompt counts per query.
+func (rep *ConcurrencyReport) CheckAcceptance() error {
+	var errs []error
+	if !rep.ResultsIdentical {
+		errs = append(errs, errors.New("concurrent execution changed a result relation"))
+	}
+	if !rep.PromptsIdentical {
+		errs = append(errs, errors.New("concurrent execution changed a per-query prompt count"))
+	}
+	if rep.SpeedupX < 2 {
+		errs = append(errs, fmt.Errorf("aggregate speedup %.2fx under shared scheduler, want >= 2x at k=%d", rep.SpeedupX, rep.K))
+	}
+	return errors.Join(errs...)
+}
+
+// WriteConcurrencyArtifact writes the report as indented JSON — the
+// committed BENCH_concurrency.json tracking the serving trajectory.
+func WriteConcurrencyArtifact(path string, rep *ConcurrencyReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

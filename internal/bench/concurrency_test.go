@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestConcurrencyComparison is the acceptance gate of the shared-runtime
+// concurrency model: K=4 corpus queries sharing one scheduler must
+// finish in aggregate simulated makespan at least 2x better than running
+// one at a time, with every relation and per-query prompt count
+// bit-identical between the two isolation modes. Runs under -race in CI,
+// so it double-checks the runtime's concurrency safety too.
+func TestConcurrencyComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ConcurrencyComparison(context.Background(), simllm.ChatGPT, DefaultConcurrency, DefaultServeWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial.Queries != rep.Concurrent.Queries || rep.Serial.Queries == 0 {
+		t.Errorf("arm sizes diverged: serial %d vs concurrent %d", rep.Serial.Queries, rep.Concurrent.Queries)
+	}
+	if rep.Serial.TotalPrompts != rep.Concurrent.TotalPrompts {
+		t.Errorf("total prompts diverged: serial %d vs concurrent %d", rep.Serial.TotalPrompts, rep.Concurrent.TotalPrompts)
+	}
+	t.Logf("corpus of %d: serial %.1f s -> concurrent-k%d %.1f s (%.2fx, W=%d)",
+		rep.Serial.Queries, rep.Serial.AggregateMakespanMS/1000,
+		rep.K, rep.Concurrent.AggregateMakespanMS/1000, rep.SpeedupX, rep.Workers)
+}
+
+// TestConcurrencyDeterministic pins the artifact's reproducibility: two
+// fresh comparisons must agree byte-for-byte on the aggregates CI diffs.
+func TestConcurrencyDeterministic(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.ConcurrencyComparison(context.Background(), simllm.ChatGPT, DefaultConcurrency, DefaultServeWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ConcurrencyComparison(context.Background(), simllm.ChatGPT, DefaultConcurrency, DefaultServeWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serial.AggregateMakespanMS != b.Serial.AggregateMakespanMS ||
+		a.Concurrent.AggregateMakespanMS != b.Concurrent.AggregateMakespanMS ||
+		a.Serial.TotalPrompts != b.Serial.TotalPrompts {
+		t.Errorf("comparison not deterministic:\nfirst:  %+v / %+v\nsecond: %+v / %+v",
+			a.Serial, a.Concurrent, b.Serial, b.Concurrent)
+	}
+}

@@ -14,27 +14,30 @@
 //     combine the materialized tuples;
 //  4. clean: every LLM answer is normalized and type-checked before it
 //     becomes a cell value.
+//
+// The engine is split into two tiers, mirroring classic DBMS
+// architecture: a shared, concurrency-safe Runtime (model endpoints,
+// table bindings, prompt cache, optimizer statistics, and the
+// engine-global fair-share prompt scheduler) and cheap per-query
+// Sessions on top (Runtime.NewSession). Engine bundles one runtime with
+// one session for the single-caller case; concurrent servers hold one
+// Runtime and open a Session per query.
 package core
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"repro/internal/clean"
 	"repro/internal/llm"
 	"repro/internal/logical"
 	"repro/internal/memdb"
 	"repro/internal/optimizer"
-	"repro/internal/physical"
-	"repro/internal/prompt"
 	"repro/internal/schema"
-	"repro/internal/sql/ast"
-	"repro/internal/sql/parser"
-	"repro/internal/value"
 )
 
-// Options configure an Engine.
+// Options configure a Runtime and the Sessions opened on it. Most fields
+// are session-tier (each session may differ); CacheEnabled/CacheSize and
+// BatchWorkers-as-scheduler-budget are runtime-tier, fixed at NewRuntime.
 type Options struct {
 	// Optimizer selects plan rewrites, including the prompt-pushdown
 	// ablation.
@@ -44,23 +47,27 @@ type Options struct {
 	Clean clean.Options
 	// MaxScanIterations caps the "return more results" loop per leaf.
 	MaxScanIterations int
-	// BatchWorkers bounds concurrent prompt execution in batched
-	// operators.
+	// BatchWorkers bounds concurrent prompt execution: per-operator batch
+	// fan-out in stop-and-go mode (session-tier), and the engine-global
+	// scheduler's per-endpoint worker budget — shared fairly by all
+	// in-flight queries, fixed at NewRuntime — in pipelined mode.
 	BatchWorkers int
-	// Pipelined turns on the streaming executor: a query-level prompt
-	// scheduler owns one bounded worker pool shared by every operator of
-	// the query, the LLM operators submit prompts as upstream tuples
-	// arrive (an attribute fetch starts while the key scan is still
-	// iterating "more results" pages, the verifier runs concurrently with
-	// the primary fetch), a satisfied LIMIT stops upstream prompt issue,
-	// and simulated latency is the scheduler's makespan — the larger of
-	// the critical dependency path and the aggregate work spread over the
-	// worker budget — instead of summed per-operator waves. Results are
-	// identical to stop-and-go execution. Default on (DefaultOptions);
-	// off reproduces the paper's stop-and-go behavior.
+	// Pipelined turns on the streaming executor: each query opens a
+	// tenant on the engine-global prompt scheduler (one bounded worker
+	// pool per model endpoint, alive for the runtime's lifetime,
+	// fair-shared round-robin across in-flight queries), the LLM
+	// operators submit prompts as upstream tuples arrive (an attribute
+	// fetch starts while the key scan is still iterating "more results"
+	// pages, the verifier runs concurrently with the primary fetch), a
+	// satisfied LIMIT stops upstream prompt issue, and simulated latency
+	// is the tenant's makespan — the larger of the critical dependency
+	// path and the aggregate work spread over the worker budget — instead
+	// of summed waves. Results are identical to stop-and-go execution.
+	// Default on (DefaultOptions); off reproduces the paper's stop-and-go
+	// behavior.
 	Pipelined bool
-	// CacheEnabled turns on the engine-level prompt cache: completions
-	// are reused across operators and across every query of this engine,
+	// CacheEnabled turns on the runtime-level prompt cache: completions
+	// are reused across operators and across every query of this runtime,
 	// concurrent identical prompts collapse into one model call, and
 	// duplicate prompts within one batch cost one completion. Default on
 	// (DefaultOptions).
@@ -80,6 +87,21 @@ type Options struct {
 	VerifyTolerance float64
 }
 
+// normalize fills the zero values every tier agrees on; Runtime
+// construction and Session.SetOptions both apply it so a session
+// configured explicitly behaves like one inheriting runtime defaults.
+func (o *Options) normalize() {
+	if o.MaxScanIterations <= 0 {
+		o.MaxScanIterations = 12
+	}
+	if o.BatchWorkers <= 0 {
+		o.BatchWorkers = llm.DefaultBatchWorkers
+	}
+	if o.DefaultSource == "" {
+		o.DefaultSource = "LLM"
+	}
+}
+
 // DefaultOptions is the paper-faithful configuration.
 func DefaultOptions() Options {
 	return Options{
@@ -94,325 +116,63 @@ func DefaultOptions() Options {
 }
 
 // Engine executes SQL over an LLM and (optionally) a relational store.
+// It is the single-caller convenience bundle: one shared Runtime plus
+// one default Session, with every method delegating to the right tier.
+// Servers handling concurrent queries should use the tiers directly —
+// core.NewRuntime once, Runtime.NewSession per query — or simply call
+// Engine.Query concurrently, which opens no per-call state beyond the
+// query's scheduler tenant and is safe.
 type Engine struct {
-	client  llm.Client
-	db      *memdb.DB
-	llmDefs map[string]*schema.TableDef
-	opts    Options
-	builder *prompt.Builder
-	// cache is the engine-level prompt cache (nil when disabled): the
-	// shared stateful tier between the executor and the model, persistent
-	// across queries.
-	cache *llm.Cache
-	// stats feed the cost-based optimizer: table cardinalities, page
-	// sizes and predicate selectivities, starting from defaults and
-	// refined from the per-operator counters of every executed query.
-	stats *optimizer.Statistics
+	rt   *Runtime
+	sess *Session
 }
 
-// New builds an engine over the given LLM client.
+// New builds an engine (a runtime plus a default session) over the given
+// LLM client.
 func New(client llm.Client, opts Options) *Engine {
-	if opts.MaxScanIterations <= 0 {
-		opts.MaxScanIterations = 12
-	}
-	if opts.BatchWorkers <= 0 {
-		opts.BatchWorkers = llm.DefaultBatchWorkers
-	}
-	if opts.DefaultSource == "" {
-		opts.DefaultSource = "LLM"
-	}
-	e := &Engine{
-		client:  client,
-		llmDefs: map[string]*schema.TableDef{},
-		opts:    opts,
-		builder: prompt.NewBuilder(),
-		stats:   optimizer.NewStatistics(),
-	}
-	if opts.CacheEnabled {
-		e.cache = llm.NewCache(opts.CacheSize)
-	}
-	return e
+	return NewRuntime(client, opts).Engine()
 }
+
+// Runtime exposes the engine's shared tier, for callers that open
+// additional concurrent sessions on it.
+func (e *Engine) Runtime() *Runtime { return e.rt }
+
+// Session exposes the engine's default session.
+func (e *Engine) Session() *Session { return e.sess }
 
 // Statistics exposes the planner's statistics store (never nil).
-func (e *Engine) Statistics() *optimizer.Statistics { return e.stats }
+func (e *Engine) Statistics() *optimizer.Statistics { return e.rt.Statistics() }
 
 // PrimeTableKeys seeds the planner's cardinality estimate for one table
 // — the engine's ANALYZE equivalent for operators who know their data's
 // scale before the first query runs.
-func (e *Engine) PrimeTableKeys(table string, keys int) {
-	e.stats.SetTableKeys(table, keys)
-}
+func (e *Engine) PrimeTableKeys(table string, keys int) { e.rt.PrimeTableKeys(table, keys) }
 
 // CacheStats reports the engine-lifetime prompt-cache counters (zero
 // value when the cache is disabled).
-func (e *Engine) CacheStats() llm.CacheStats {
-	if e.cache == nil {
-		return llm.CacheStats{}
-	}
-	return e.cache.Stats()
-}
+func (e *Engine) CacheStats() llm.CacheStats { return e.rt.CacheStats() }
 
 // AttachDB connects a relational store for DB-bound (and hybrid) queries.
-func (e *Engine) AttachDB(db *memdb.DB) { e.db = db }
+func (e *Engine) AttachDB(db *memdb.DB) { e.rt.AttachDB(db) }
 
-// BindLLMTable declares a relation whose tuples live in the LLM. The
-// definition supplies the schema and the single-attribute key the paper
-// assumes (Section 3).
-func (e *Engine) BindLLMTable(def *schema.TableDef) error {
-	if def.KeyIndex() < 0 {
-		return fmt.Errorf("core: table %s: key column %q not in schema", def.Name, def.KeyColumn)
-	}
-	e.llmDefs[strings.ToLower(def.Name)] = def
-	return nil
-}
+// BindLLMTable declares a relation whose tuples live in the LLM.
+func (e *Engine) BindLLMTable(def *schema.TableDef) error { return e.rt.BindLLMTable(def) }
 
-// ResolveTable implements logical.Resolver. Explicit LLM./DB. qualifiers
-// win; otherwise DefaultSource breaks ties between an LLM binding and a
-// DB table of the same name.
+// ResolveTable implements logical.Resolver; see Runtime.ResolveTable.
 func (e *Engine) ResolveTable(name, explicit string) (*schema.TableDef, string, error) {
-	llmDef := e.llmDefs[strings.ToLower(name)]
-	var dbDef *schema.TableDef
-	if e.db != nil {
-		dbDef = e.db.Table(name)
-	}
-	switch explicit {
-	case "LLM":
-		if llmDef == nil {
-			return nil, "", fmt.Errorf("core: no LLM binding for table %s", name)
-		}
-		return llmDef, "LLM", nil
-	case "DB":
-		if dbDef == nil {
-			return nil, "", fmt.Errorf("core: no DB table %s", name)
-		}
-		return dbDef, "DB", nil
-	}
-	switch {
-	case llmDef != nil && dbDef != nil:
-		if e.opts.DefaultSource == "DB" {
-			return dbDef, "DB", nil
-		}
-		return llmDef, "LLM", nil
-	case llmDef != nil:
-		return llmDef, "LLM", nil
-	case dbDef != nil:
-		return dbDef, "DB", nil
-	default:
-		return nil, "", fmt.Errorf("core: unknown table %s", name)
-	}
+	return e.rt.ResolveTable(name, explicit)
 }
 
-// Plan parses, plans and optimizes a query, returning the lowered logical
-// plan (what EXPLAIN shows). Under a cost-based configuration this is the
-// cheapest enumerated candidate.
-func (e *Engine) Plan(sql string) (logical.Node, error) {
-	sel, err := parser.ParseSelect(sql)
-	if err != nil {
-		return nil, err
-	}
-	plan, _, err := e.planSelect(sel)
-	return plan, err
-}
-
-// planSelect builds and optimizes the plan for one SELECT, returning the
-// planner's cost prediction alongside it. With CostBased on, candidates
-// are enumerated and the cheapest wins; otherwise the fixed heuristics
-// apply and the estimate prices the resulting single plan.
-func (e *Engine) planSelect(sel *ast.Select) (logical.Node, *optimizer.PlanCost, error) {
-	factory := func() (logical.Node, error) { return logical.Build(sel, e) }
-	params := optimizer.CostParams{Workers: e.opts.BatchWorkers, Verifier: e.opts.Verifier != nil}
-	if e.opts.Optimizer.CostBased {
-		plan, cost, _, err := optimizer.ChooseBest(factory, e.opts.Optimizer, e.stats, params)
-		return plan, cost, err
-	}
-	plan, err := factory()
-	if err != nil {
-		return nil, nil, err
-	}
-	plan, err = optimizer.Optimize(plan, e.opts.Optimizer)
-	if err != nil {
-		return nil, nil, err
-	}
-	return plan, optimizer.Estimate(plan, e.stats, params), nil
-}
+// Plan parses, plans and optimizes a query, returning the lowered
+// logical plan (what EXPLAIN shows).
+func (e *Engine) Plan(sql string) (logical.Node, error) { return e.sess.Plan(sql) }
 
 // Explain renders the optimized plan as an indented tree.
-func (e *Engine) Explain(sql string) (string, error) {
-	plan, err := e.Plan(sql)
-	if err != nil {
-		return "", err
-	}
-	return logical.Explain(plan), nil
-}
+func (e *Engine) Explain(sql string) (string, error) { return e.sess.Explain(sql) }
 
-// Report summarizes one query execution.
-type Report struct {
-	Stats llm.Stats
-	Plan  string
-	// Estimate is the planner's cost prediction for the executed plan.
-	Estimate *optimizer.PlanCost
-	// Metrics hold the per-operator actual prompt/row counters (nil for
-	// pure EXPLAIN, which does not execute).
-	Metrics *physical.Metrics
-}
-
-// Query executes sql and returns the result relation plus an execution
-// report (prompt counts, simulated latency, the plan used). EXPLAIN and
-// EXPLAIN ANALYZE statements return the annotated plan as a one-column
-// relation instead of query results.
+// Query executes sql on the default session and returns the result
+// relation plus an execution report. Safe for concurrent calls: each
+// call plans and executes independently on the shared runtime.
 func (e *Engine) Query(ctx context.Context, sql string) (*schema.Relation, *Report, error) {
-	stmt, err := parser.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	switch s := stmt.(type) {
-	case *ast.Explain:
-		return e.runExplain(ctx, s)
-	case *ast.Select:
-		plan, cost, err := e.planSelect(s)
-		if err != nil {
-			return nil, nil, err
-		}
-		rel, rep, err := e.execute(ctx, plan)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Estimate = cost
-		e.observe(plan, rep.Metrics)
-		return rel, rep, nil
-	default:
-		return nil, nil, fmt.Errorf("core: only SELECT and EXPLAIN statements can be executed")
-	}
-}
-
-// runExplain plans (and for ANALYZE also executes) the inner SELECT and
-// renders the annotated plan tree as a one-column relation.
-func (e *Engine) runExplain(ctx context.Context, ex *ast.Explain) (*schema.Relation, *Report, error) {
-	plan, cost, err := e.planSelect(ex.Stmt)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep := &Report{Plan: logical.Explain(plan), Estimate: cost}
-	if ex.Analyze {
-		_, execRep, err := e.execute(ctx, plan)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Stats = execRep.Stats
-		rep.Metrics = execRep.Metrics
-		e.observe(plan, execRep.Metrics)
-	}
-	text := ExplainText(plan, cost, rep.Metrics, rep.Stats, ex.Analyze)
-	rel := schema.NewRelation(schema.New(schema.Column{Name: "QUERY PLAN", Type: value.KindString}))
-	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		rel.Append(schema.Tuple{value.Text(line)})
-	}
-	return rel, rep, nil
-}
-
-// execute compiles and runs one lowered plan.
-func (e *Engine) execute(ctx context.Context, plan logical.Node) (*schema.Relation, *Report, error) {
-	var env *physical.Env
-	if e.db != nil {
-		env = &physical.Env{Data: e.db.Relation}
-	}
-	op, err := physical.Compile(plan, env)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	recorder := llm.NewRecorder(e.client)
-	var verifyRecorder *llm.Recorder
-	var verifier llm.Client
-	if e.opts.Verifier != nil {
-		verifyRecorder = llm.NewRecorder(e.opts.Verifier)
-		verifier = verifyRecorder
-	}
-	metrics := physical.NewMetrics()
-	pctx := &physical.Context{
-		Ctx:               ctx,
-		Client:            recorder,
-		Cache:             e.cache,
-		Prompts:           e.builder,
-		Cleaner:           clean.New(e.opts.Clean),
-		MaxScanIterations: e.opts.MaxScanIterations,
-		BatchWorkers:      e.opts.BatchWorkers,
-		Metrics:           metrics,
-		Verifier:          verifier,
-		VerifyTolerance:   e.opts.VerifyTolerance,
-	}
-	var sched *llm.Scheduler
-	if e.opts.Pipelined {
-		sched = llm.NewScheduler(ctx, e.cache, e.opts.BatchWorkers)
-		pctx.Scheduler = sched
-	}
-	rel, err := physical.Run(pctx, op)
-	if sched != nil {
-		// A satisfied LIMIT (or an error) can leave abandoned futures
-		// still talking to the model; their prompts were issued, so
-		// settle them before reading any counters.
-		sched.Quiesce()
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan), Metrics: metrics}
-	if verifyRecorder != nil {
-		rep.Stats.Add(verifyRecorder.Stats())
-	}
-	if sched != nil {
-		// Pipelined prompts carry no per-call latency on the recorders;
-		// the query's simulated wall-clock is the scheduler's makespan.
-		rep.Stats.SimulatedLatency += sched.Makespan()
-	}
-	return rel, rep, nil
-}
-
-// observe feeds the executed plan's per-operator counters back into the
-// planner's statistics, so later queries plan against what this engine
-// actually saw (cardinalities, page sizes, selectivities). Plans with a
-// LIMIT are excluded: under one, operators may not see their full input
-// (the pipelined close-cascade stops producers mid-stream, and consumed
-// row counts depend on the execution strategy), so their counters
-// describe the truncated run rather than the data and would corrupt the
-// estimates.
-func (e *Engine) observe(plan logical.Node, m *physical.Metrics) {
-	if m == nil || hasLimit(plan) {
-		return
-	}
-	var walk func(logical.Node)
-	walk = func(n logical.Node) {
-		switch node := n.(type) {
-		case *logical.Scan:
-			if node.Source == "LLM" && node.PushedFilter == nil {
-				if nm, ok := m.Get(node); ok && nm.Prompts > 0 {
-					e.stats.ObserveScan(node.Table.Name, nm.RowsOut, nm.Prompts)
-				}
-			}
-		case *logical.LLMFilter:
-			if nm, ok := m.Get(node); ok && nm.RowsIn > 0 {
-				ref := node.Cond.Left.(*ast.ColumnRef)
-				lit := node.Cond.Right.(*ast.Literal)
-				e.stats.ObserveFilter(node.Table.Name, ref.Name, node.Cond.Op, lit.Val.String(), nm.RowsIn, nm.RowsOut)
-			}
-		}
-		for _, c := range n.Children() {
-			walk(c)
-		}
-	}
-	walk(plan)
-}
-
-// hasLimit reports whether the plan contains a Limit node.
-func hasLimit(n logical.Node) bool {
-	if _, ok := n.(*logical.Limit); ok {
-		return true
-	}
-	for _, c := range n.Children() {
-		if hasLimit(c) {
-			return true
-		}
-	}
-	return false
+	return e.sess.Query(ctx, sql)
 }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/memdb"
+	"repro/internal/optimizer"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+)
+
+// Runtime is the process-wide, concurrency-safe tier of the engine: the
+// stateful pieces every query shares, mirroring the classic DBMS split
+// between a database and the sessions over it. It owns
+//
+//   - the LLM client registry (the primary model the table bindings
+//     resolve against),
+//   - the table bindings themselves (LLM-side schema plus the optional
+//     relational store), guarded for concurrent Bind/Resolve,
+//   - the prompt cache, shared so repeated traffic across queries and
+//     across sessions reuses completions,
+//   - the optimizer statistics, refined by every executed query and
+//     consulted by every planner, and
+//   - the engine-global llm.Scheduler: one bounded worker pool per model
+//     endpoint, alive for the runtime's lifetime, fair-sharing its
+//     budget across all in-flight queries.
+//
+// Queries never run on the Runtime directly: NewSession opens a cheap
+// per-query/per-connection Session on top. A Runtime is safe for any
+// number of concurrent sessions.
+type Runtime struct {
+	client  llm.Client
+	opts    Options
+	builder *prompt.Builder
+	// cache is the runtime-level prompt cache (nil when disabled): the
+	// shared stateful tier between the executor and the model, persistent
+	// across queries and sessions.
+	cache *llm.Cache
+	// stats feed the cost-based optimizer: table cardinalities, page
+	// sizes and predicate selectivities, starting from defaults and
+	// refined from the per-operator counters of every executed query.
+	// Concurrency-safe; sessions observe into it concurrently.
+	stats *optimizer.Statistics
+	// sched is the engine-global prompt scheduler (nil when the runtime
+	// default is stop-and-go execution and no session asks otherwise —
+	// see scheduler()).
+	schedOnce sync.Once
+	sched     *llm.Scheduler
+
+	// mu guards the table bindings and the attached store: BindLLMTable /
+	// AttachDB write, concurrent session planners read through
+	// ResolveTable.
+	mu      sync.RWMutex
+	llmDefs map[string]*schema.TableDef
+	db      *memdb.DB
+}
+
+// NewRuntime builds the shared runtime tier over the given LLM client.
+// opts become the default options of every session opened on it;
+// runtime-tier settings (CacheEnabled/CacheSize, BatchWorkers as the
+// shared scheduler's per-endpoint budget) are fixed here.
+func NewRuntime(client llm.Client, opts Options) *Runtime {
+	opts.normalize()
+	rt := &Runtime{
+		client:  client,
+		llmDefs: map[string]*schema.TableDef{},
+		opts:    opts,
+		builder: prompt.NewBuilder(),
+		stats:   optimizer.NewStatistics(),
+	}
+	if opts.CacheEnabled {
+		rt.cache = llm.NewCache(opts.CacheSize)
+	}
+	return rt
+}
+
+// NewSession opens a lightweight per-query session carrying the
+// runtime's default options. Sessions are cheap (no pools, no maps) and
+// any number may run queries concurrently against one runtime.
+func (rt *Runtime) NewSession() *Session {
+	return &Session{rt: rt, opts: rt.opts}
+}
+
+// Engine wraps this runtime and a fresh default session in the
+// single-caller convenience bundle.
+func (rt *Runtime) Engine() *Engine {
+	return &Engine{rt: rt, sess: rt.NewSession()}
+}
+
+// Options returns the runtime's session defaults.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// scheduler returns the engine-global prompt scheduler, creating it on
+// first use. It lives for the runtime's lifetime: every pipelined query
+// of every session shares its per-endpoint worker budget.
+func (rt *Runtime) scheduler() *llm.Scheduler {
+	rt.schedOnce.Do(func() {
+		rt.sched = llm.NewScheduler(rt.cache, rt.opts.BatchWorkers)
+	})
+	return rt.sched
+}
+
+// Statistics exposes the planner's statistics store (never nil).
+func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
+
+// PrimeTableKeys seeds the planner's cardinality estimate for one table
+// — the engine's ANALYZE equivalent for operators who know their data's
+// scale before the first query runs.
+func (rt *Runtime) PrimeTableKeys(table string, keys int) {
+	rt.stats.SetTableKeys(table, keys)
+}
+
+// CacheStats reports the runtime-lifetime prompt-cache counters (zero
+// value when the cache is disabled).
+func (rt *Runtime) CacheStats() llm.CacheStats {
+	if rt.cache == nil {
+		return llm.CacheStats{}
+	}
+	return rt.cache.Stats()
+}
+
+// AttachDB connects a relational store for DB-bound (and hybrid) queries.
+func (rt *Runtime) AttachDB(db *memdb.DB) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.db = db
+}
+
+// BindLLMTable declares a relation whose tuples live in the LLM. The
+// definition supplies the schema and the single-attribute key the paper
+// assumes (Section 3). Safe to call concurrently with running queries:
+// bindings are guarded, and a query planned before the bind simply does
+// not see the new table.
+func (rt *Runtime) BindLLMTable(def *schema.TableDef) error {
+	if def.KeyIndex() < 0 {
+		return fmt.Errorf("core: table %s: key column %q not in schema", def.Name, def.KeyColumn)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.llmDefs[strings.ToLower(def.Name)] = def
+	return nil
+}
+
+// ResolveTable implements logical.Resolver with the runtime's default
+// source. Sessions resolve through their own Session.ResolveTable so a
+// per-session DefaultSource override takes effect.
+func (rt *Runtime) ResolveTable(name, explicit string) (*schema.TableDef, string, error) {
+	return rt.resolveTable(name, explicit, rt.opts.DefaultSource)
+}
+
+// resolveTable resolves one table reference. Explicit LLM./DB.
+// qualifiers win; otherwise defaultSource breaks ties between an LLM
+// binding and a DB table of the same name.
+func (rt *Runtime) resolveTable(name, explicit, defaultSource string) (*schema.TableDef, string, error) {
+	rt.mu.RLock()
+	llmDef := rt.llmDefs[strings.ToLower(name)]
+	db := rt.db
+	rt.mu.RUnlock()
+	var dbDef *schema.TableDef
+	if db != nil {
+		dbDef = db.Table(name)
+	}
+	switch explicit {
+	case "LLM":
+		if llmDef == nil {
+			return nil, "", fmt.Errorf("core: no LLM binding for table %s", name)
+		}
+		return llmDef, "LLM", nil
+	case "DB":
+		if dbDef == nil {
+			return nil, "", fmt.Errorf("core: no DB table %s", name)
+		}
+		return dbDef, "DB", nil
+	}
+	switch {
+	case llmDef != nil && dbDef != nil:
+		if defaultSource == "DB" {
+			return dbDef, "DB", nil
+		}
+		return llmDef, "LLM", nil
+	case llmDef != nil:
+		return llmDef, "LLM", nil
+	case dbDef != nil:
+		return dbDef, "DB", nil
+	default:
+		return nil, "", fmt.Errorf("core: unknown table %s", name)
+	}
+}
+
+// database returns the attached relational store (nil when none).
+func (rt *Runtime) database() *memdb.DB {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.db
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/clean"
+	"repro/internal/llm"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+	"repro/internal/value"
+)
+
+// Session is the lightweight per-query (or per-connection) tier over a
+// shared Runtime: it carries the query options, accumulates per-session
+// metrics, and holds nothing heavier — the model endpoints, the prompt
+// cache, the optimizer statistics and the global scheduler all live in
+// the Runtime. Open one with Runtime.NewSession.
+//
+// A Session is safe for concurrent use, but its unit of isolation is the
+// query: each Query call plans and executes independently, opening its
+// own tenant on the shared scheduler so accounting, cancellation and
+// fair-share attribution stay exact per query.
+type Session struct {
+	rt *Runtime
+	// opts are this session's options, seeded from the runtime defaults.
+	// Mutate via SetOptions before issuing queries.
+	opts Options
+
+	mu      sync.Mutex
+	queries int
+	totals  llm.Stats
+}
+
+// Runtime returns the shared tier this session runs on.
+func (s *Session) Runtime() *Runtime { return s.rt }
+
+// Options returns the session's current options.
+func (s *Session) Options() Options { return s.opts }
+
+// SetOptions replaces the session's per-query options (plan rewrites,
+// cleaning, verifier, pipelining). Runtime-tier settings — the prompt
+// cache and the shared scheduler's worker budget — are fixed at
+// NewRuntime and ignored here. Not safe concurrently with Query.
+func (s *Session) SetOptions(opts Options) {
+	opts.normalize()
+	s.opts = opts
+}
+
+// SessionStats summarize a session's lifetime usage.
+type SessionStats struct {
+	Queries int
+	Totals  llm.Stats
+}
+
+// Stats returns the session-lifetime counters: queries executed and the
+// summed LLM usage across them.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{Queries: s.queries, Totals: s.totals}
+}
+
+// Plan parses, plans and optimizes a query, returning the lowered logical
+// plan (what EXPLAIN shows). Under a cost-based configuration this is the
+// cheapest enumerated candidate.
+func (s *Session) Plan(sql string) (logical.Node, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := s.planSelect(sel)
+	return plan, err
+}
+
+// ResolveTable implements logical.Resolver over the shared bindings with
+// this session's DefaultSource breaking LLM-vs-DB ties.
+func (s *Session) ResolveTable(name, explicit string) (*schema.TableDef, string, error) {
+	return s.rt.resolveTable(name, explicit, s.opts.DefaultSource)
+}
+
+// planSelect builds and optimizes the plan for one SELECT, returning the
+// planner's cost prediction alongside it. With CostBased on, candidates
+// are enumerated and the cheapest wins; otherwise the fixed heuristics
+// apply and the estimate prices the resulting single plan.
+func (s *Session) planSelect(sel *ast.Select) (logical.Node, *optimizer.PlanCost, error) {
+	factory := func() (logical.Node, error) { return logical.Build(sel, s) }
+	// Price plans with the worker budget that will actually apply: the
+	// runtime scheduler's shared per-endpoint budget in pipelined mode,
+	// the session's batch fan-out in stop-and-go mode.
+	workers := s.opts.BatchWorkers
+	if s.opts.Pipelined {
+		workers = s.rt.opts.BatchWorkers
+	}
+	params := optimizer.CostParams{Workers: workers, Verifier: s.opts.Verifier != nil}
+	if s.opts.Optimizer.CostBased {
+		plan, cost, _, err := optimizer.ChooseBest(factory, s.opts.Optimizer, s.rt.stats, params)
+		return plan, cost, err
+	}
+	plan, err := factory()
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err = optimizer.Optimize(plan, s.opts.Optimizer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, optimizer.Estimate(plan, s.rt.stats, params), nil
+}
+
+// Explain renders the optimized plan as an indented tree.
+func (s *Session) Explain(sql string) (string, error) {
+	plan, err := s.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return logical.Explain(plan), nil
+}
+
+// Report summarizes one query execution.
+type Report struct {
+	Stats llm.Stats
+	Plan  string
+	// Estimate is the planner's cost prediction for the executed plan.
+	Estimate *optimizer.PlanCost
+	// Metrics hold the per-operator actual prompt/row counters (nil for
+	// pure EXPLAIN, which does not execute).
+	Metrics *physical.Metrics
+	// Sched is the query's simulated-latency accounting on the shared
+	// scheduler (critical path, per-endpoint work) — nil for stop-and-go
+	// execution. Concurrency benchmarks aggregate these across queries
+	// with llm.AggregateMakespan.
+	Sched *llm.TenantStats
+}
+
+// Query executes sql and returns the result relation plus an execution
+// report (prompt counts, simulated latency, the plan used). EXPLAIN and
+// EXPLAIN ANALYZE statements return the annotated plan as a one-column
+// relation instead of query results.
+func (s *Session) Query(ctx context.Context, sql string) (*schema.Relation, *Report, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch stmt := stmt.(type) {
+	case *ast.Explain:
+		return s.runExplain(ctx, stmt)
+	case *ast.Select:
+		plan, cost, err := s.planSelect(stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, rep, err := s.execute(ctx, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Estimate = cost
+		s.observe(plan, rep.Metrics)
+		s.account(rep)
+		return rel, rep, nil
+	default:
+		return nil, nil, fmt.Errorf("core: only SELECT and EXPLAIN statements can be executed")
+	}
+}
+
+// account folds one executed query into the session-lifetime counters.
+func (s *Session) account(rep *Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.totals.Add(rep.Stats)
+}
+
+// runExplain plans (and for ANALYZE also executes) the inner SELECT and
+// renders the annotated plan tree as a one-column relation.
+func (s *Session) runExplain(ctx context.Context, ex *ast.Explain) (*schema.Relation, *Report, error) {
+	plan, cost, err := s.planSelect(ex.Stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Plan: logical.Explain(plan), Estimate: cost}
+	if ex.Analyze {
+		_, execRep, err := s.execute(ctx, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Stats = execRep.Stats
+		rep.Metrics = execRep.Metrics
+		rep.Sched = execRep.Sched
+		s.observe(plan, execRep.Metrics)
+		s.account(rep)
+	}
+	text := ExplainText(plan, cost, rep.Metrics, rep.Stats, ex.Analyze)
+	rel := schema.NewRelation(schema.New(schema.Column{Name: "QUERY PLAN", Type: value.KindString}))
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rel.Append(schema.Tuple{value.Text(line)})
+	}
+	return rel, rep, nil
+}
+
+// execute compiles and runs one lowered plan.
+func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relation, *Report, error) {
+	var env *physical.Env
+	if db := s.rt.database(); db != nil {
+		env = &physical.Env{Data: db.Relation}
+	}
+	op, err := physical.Compile(plan, env)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	recorder := llm.NewRecorder(s.rt.client)
+	var verifyRecorder *llm.Recorder
+	var verifier llm.Client
+	if s.opts.Verifier != nil {
+		verifyRecorder = llm.NewRecorder(s.opts.Verifier)
+		verifier = verifyRecorder
+	}
+	metrics := physical.NewMetrics()
+	pctx := &physical.Context{
+		Ctx:               ctx,
+		Client:            recorder,
+		Cache:             s.rt.cache,
+		Prompts:           s.rt.builder,
+		Cleaner:           clean.New(s.opts.Clean),
+		MaxScanIterations: s.opts.MaxScanIterations,
+		BatchWorkers:      s.opts.BatchWorkers,
+		Metrics:           metrics,
+		Verifier:          verifier,
+		VerifyTolerance:   s.opts.VerifyTolerance,
+	}
+	var tenant *llm.Tenant
+	if s.opts.Pipelined {
+		// Open this query's tenant on the engine-global scheduler: its
+		// prompts fair-share the per-endpoint worker budget with every
+		// other in-flight query, while accounting stays per query.
+		tenant = s.rt.scheduler().Tenant(ctx, "")
+		defer tenant.Close()
+		pctx.Scheduler = tenant
+	}
+	rel, err := physical.Run(pctx, op)
+	if tenant != nil {
+		// A satisfied LIMIT (or an error) can leave abandoned futures
+		// still talking to the model; their prompts were issued, so
+		// settle them before reading any counters.
+		tenant.Quiesce()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan), Metrics: metrics}
+	if verifyRecorder != nil {
+		rep.Stats.Add(verifyRecorder.Stats())
+	}
+	if tenant != nil {
+		// Pipelined prompts carry no per-call latency on the recorders;
+		// the query's simulated wall-clock is its makespan as if it ran
+		// alone against the full worker budget (exact per-query
+		// attribution under concurrency).
+		rep.Stats.SimulatedLatency += tenant.Makespan()
+		rep.Sched = tenant.Stats()
+	}
+	return rel, rep, nil
+}
+
+// observe feeds the executed plan's per-operator counters back into the
+// runtime's statistics, so later queries — of any session — plan against
+// what the engine actually saw (cardinalities, page sizes,
+// selectivities). Plans with a LIMIT are excluded: under one, operators
+// may not see their full input (the pipelined close-cascade stops
+// producers mid-stream, and consumed row counts depend on the execution
+// strategy), so their counters describe the truncated run rather than
+// the data and would corrupt the estimates.
+func (s *Session) observe(plan logical.Node, m *physical.Metrics) {
+	if m == nil || hasLimit(plan) {
+		return
+	}
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		switch node := n.(type) {
+		case *logical.Scan:
+			if node.Source == "LLM" && node.PushedFilter == nil {
+				if nm, ok := m.Get(node); ok && nm.Prompts > 0 {
+					s.rt.stats.ObserveScan(node.Table.Name, nm.RowsOut, nm.Prompts)
+				}
+			}
+		case *logical.LLMFilter:
+			if nm, ok := m.Get(node); ok && nm.RowsIn > 0 {
+				ref := node.Cond.Left.(*ast.ColumnRef)
+				lit := node.Cond.Right.(*ast.Literal)
+				s.rt.stats.ObserveFilter(node.Table.Name, ref.Name, node.Cond.Op, lit.Val.String(), nm.RowsIn, nm.RowsOut)
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(plan)
+}
+
+// hasLimit reports whether the plan contains a Limit node.
+func hasLimit(n logical.Node) bool {
+	if _, ok := n.(*logical.Limit); ok {
+		return true
+	}
+	for _, c := range n.Children() {
+		if hasLimit(c) {
+			return true
+		}
+	}
+	return false
+}

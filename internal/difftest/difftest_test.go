@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -121,4 +122,81 @@ func TestGeneratorDeterminism(t *testing.T) {
 			t.Fatalf("query %d diverged: %q vs %q", i, qa.SQL, qb.SQL)
 		}
 	}
+}
+
+// TestDifferentialConcurrentVsSerial is the isolation differential: the
+// seeded query corpus runs K-ways concurrently against ONE shared
+// runtime (one scheduler, one statistics store, cache off so prompt
+// accounting is per-query exact), and every query's relation must be
+// bit-identical to its serial run. Runs under -race in CI.
+func TestDifferentialConcurrentVsSerial(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 24
+	}
+	const k = 6
+
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bench.PaperOptions() // cache off
+	opts.Pipelined = true
+	// Fixed heuristic plans: under cost-based planning the plan of query
+	// i depends on the statistics observed from queries before it, which
+	// is execution-order-dependent; results would still match but prompt
+	// counts could not be compared.
+	opts.Optimizer.CostBased = false
+
+	// Serial arm: its own runtime, one query at a time.
+	serialEngine, err := r.Engine(r.Model(simllm.ChatGPT), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(99)
+	queries := make([]Query, n)
+	serialRels := make([]string, n)
+	serialPrompts := make([]int, n)
+	for i := 0; i < n; i++ {
+		queries[i] = gen.Query()
+		rel, rep, err := serialEngine.Query(context.Background(), queries[i].SQL)
+		if err != nil {
+			t.Fatalf("query %d (serial) %q: %v", i, queries[i].SQL, err)
+		}
+		serialRels[i] = rel.String()
+		serialPrompts[i] = rep.Stats.Prompts
+	}
+
+	// Concurrent arm: one shared runtime, k queries in flight at a time.
+	rt, err := r.Runtime(r.Model(simllm.ChatGPT), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := make(chan struct{}, k)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rel, rep, err := rt.NewSession().Query(context.Background(), queries[i].SQL)
+			if err != nil {
+				t.Errorf("query %d (concurrent) %q: %v", i, queries[i].SQL, err)
+				return
+			}
+			if rel.String() != serialRels[i] {
+				t.Errorf("query %d: concurrent run diverged on %q\nconcurrent:\n%s\nserial:\n%s",
+					i, queries[i].SQL, rel.String(), serialRels[i])
+			}
+			// LIMIT plans may legitimately issue fewer prompts (early
+			// termination races the producers); everything else must pay
+			// exactly the serial price.
+			if !queries[i].HasLimit && rep.Stats.Prompts != serialPrompts[i] {
+				t.Errorf("query %d: prompt count diverged on LIMIT-free %q: concurrent=%d serial=%d",
+					i, queries[i].SQL, rep.Stats.Prompts, serialPrompts[i])
+			}
+		}(i)
+	}
+	wg.Wait()
 }

@@ -2,7 +2,9 @@ package llm
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,11 +34,16 @@ func (f *Future) Wait() (string, VTime, error) {
 	return f.out, f.vt, f.err
 }
 
-// Scheduler is the query-level prompt scheduler of the pipelined
-// streaming executor: a single bounded worker pool shared by every
-// operator of one query (replacing per-batch fan-out), accepting prompts
-// as upstream tuples arrive and resolving them out-of-band so independent
-// prompt chains overlap.
+// Scheduler is the engine-global prompt scheduler of the pipelined
+// streaming executor: one bounded worker pool per model endpoint, shared
+// by every in-flight query of the engine and alive for the engine's
+// lifetime. Queries do not talk to it directly — each query execution
+// opens a Tenant, submits its prompts through that handle, and closes it
+// when done. The pool fair-shares its per-endpoint worker budget across
+// tenants with round-robin queueing: when every slot of an endpoint is
+// busy, pending prompts wait in per-tenant FIFO queues and freed slots
+// are handed to the tenants in rotation, so a query issuing thousands of
+// prompts cannot starve a query issuing ten.
 //
 // The worker budget is per model endpoint: a worker slot stands for one
 // concurrent connection to one API, and different models (the primary
@@ -45,10 +52,11 @@ func (f *Future) Wait() (string, VTime, error) {
 // and-go execution is unaffected by this distinction — its batches are
 // single-endpoint and sequential by construction.
 //
-// Latency is accounted with a critical-path model instead of summed
-// per-operator waves. Each submitted prompt carries a ready time (the
-// virtual completion time of the prompts it depends on) and finishes at
-// ready + promptLatency. The simulated wall-clock of the whole query is
+// Latency is accounted per tenant with a critical-path model instead of
+// summed per-operator waves. Each submitted prompt carries a ready time
+// (the virtual completion time of the prompts it depends on) and
+// finishes at ready + promptLatency. The simulated wall-clock of one
+// query is
 //
 //	Makespan = max(longest dependency chain, per-endpoint work / workers)
 //
@@ -57,86 +65,267 @@ func (f *Future) Wait() (string, VTime, error) {
 // work spread over its connection budget. With the cache disabled (the
 // benchmark configurations) both terms are pure functions of the prompt
 // set and its dependencies, so the reported latency is deterministic
-// regardless of the real interleaving of the pool's goroutines. Prompts
-// answered by the cache cost nothing on either axis, exactly like the
-// stop-and-go accounting; which of two concurrent identical prompts
-// becomes the singleflight leader (and so carries the latency) depends
-// on arrival order, making cached-mode latency approximate.
+// regardless of the real interleaving of the pool's goroutines — and of
+// which other tenants were in flight. Prompts answered by the cache cost
+// nothing on either axis, exactly like the stop-and-go accounting; which
+// of two concurrent identical prompts becomes the singleflight leader
+// (and so carries the latency) depends on arrival order, making
+// cached-mode latency approximate.
 type Scheduler struct {
-	ctx     context.Context
 	cache   *Cache
 	workers int
+	tags    atomic.Int64 // auto-generated tenant tags
 
-	inflight sync.WaitGroup // submitted futures not yet resolved
-
-	mu   sync.Mutex
-	sems map[string]chan struct{} // per-endpoint connection slots
-	busy map[string]time.Duration // per-endpoint issued-prompt work
-	span VTime                    // latest dependency-chain completion
+	mu        sync.Mutex
+	endpoints map[string]*endpoint
 }
 
-// NewScheduler builds a scheduler for one query execution. workers
-// bounds, per model endpoint, both the real concurrency of the pool and
-// the connection budget of the latency model (0 or negative means
-// DefaultBatchWorkers). cache may be nil.
-func NewScheduler(ctx context.Context, cache *Cache, workers int) *Scheduler {
+// endpoint is the dispatch state of one model API: how many of its
+// worker slots are running prompts, and the per-tenant queues of prompts
+// waiting for a slot, drained round-robin.
+type endpoint struct {
+	busy int
+	rr   []*Tenant          // tenants with queued jobs, in rotation order
+	next int                // rotation cursor into rr
+	q    map[*Tenant][]*job // per-tenant pending jobs (FIFO)
+}
+
+// job is one queued or running prompt.
+type job struct {
+	t      *Tenant
+	client Client
+	prompt string
+	ready  VTime
+	f      *Future
+}
+
+// NewScheduler builds an engine-lifetime scheduler. workers bounds, per
+// model endpoint, both the real concurrency of the pool and the
+// connection budget of the latency model (0 or negative means
+// DefaultBatchWorkers). cache may be nil. The scheduler owns no
+// goroutines while idle; it needs no explicit shutdown.
+func NewScheduler(cache *Cache, workers int) *Scheduler {
 	if workers < 1 {
 		workers = DefaultBatchWorkers
 	}
 	return &Scheduler{
-		ctx:     ctx,
-		cache:   cache,
-		workers: workers,
-		sems:    map[string]chan struct{}{},
-		busy:    map[string]time.Duration{},
+		cache:     cache,
+		workers:   workers,
+		endpoints: map[string]*endpoint{},
 	}
 }
 
-// endpoint returns the connection-slot semaphore of one model endpoint.
-func (s *Scheduler) endpoint(model string) chan struct{} {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sem, ok := s.sems[model]
-	if !ok {
-		sem = make(chan struct{}, s.workers)
-		s.sems[model] = sem
-	}
-	return sem
-}
-
-// Workers reports the worker budget.
+// Workers reports the per-endpoint worker budget.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// endpointLocked returns the dispatch state of one model endpoint.
+// Callers hold s.mu.
+func (s *Scheduler) endpointLocked(model string) *endpoint {
+	ep, ok := s.endpoints[model]
+	if !ok {
+		ep = &endpoint{q: map[*Tenant][]*job{}}
+		s.endpoints[model] = ep
+	}
+	return ep
+}
+
+// Tenant opens one query's submission handle. Prompts submitted through
+// it compete for the shared per-endpoint worker budget under round-robin
+// fair-share; accounting (prompt latency, critical path, makespan) is
+// kept per tenant so per-query attribution stays exact however many
+// queries are in flight. When ctx is cancelled the tenant's queued
+// prompts are failed immediately — without draining, delaying or
+// otherwise perturbing the other tenants — and its running prompts see
+// the cancellation through their call context. tag identifies the tenant
+// in diagnostics; empty auto-generates one.
+//
+// Callers must Close the tenant when the query is done (Close is
+// idempotent and also releases the context watcher).
+func (s *Scheduler) Tenant(ctx context.Context, tag string) *Tenant {
+	if tag == "" {
+		tag = fmt.Sprintf("q%d", s.tags.Add(1))
+	}
+	t := &Tenant{
+		s:      s,
+		ctx:    ctx,
+		tag:    tag,
+		closed: make(chan struct{}),
+		work:   map[string]time.Duration{},
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				t.purge(ctx.Err())
+			case <-t.closed:
+			}
+		}()
+	}
+	return t
+}
+
+// Tenant is one query's handle on the shared scheduler: prompts are
+// submitted through it, and simulated-latency accounting accrues on it.
+// Safe for concurrent use by the query's operators.
+type Tenant struct {
+	s   *Scheduler
+	ctx context.Context
+	tag string
+
+	inflight sync.WaitGroup // submitted futures not yet resolved
+	once     sync.Once
+	closed   chan struct{}
+
+	mu   sync.Mutex
+	span VTime                    // latest dependency-chain completion
+	work map[string]time.Duration // per-endpoint issued-prompt latency
+}
+
+// Tag identifies the tenant in diagnostics and stats attribution.
+func (t *Tenant) Tag() string { return t.tag }
+
+// Workers reports the scheduler's per-endpoint worker budget.
+func (t *Tenant) Workers() int { return t.s.workers }
+
 // Submit enqueues one prompt whose dependencies complete at ready and
-// returns immediately; the pool resolves the future when a worker slot
-// frees up. When client is a *Recorder, tokens and prompt/cache counts
-// are recorded on it, but no latency — wall-clock lives in Makespan.
-func (s *Scheduler) Submit(client Client, prompt string, ready VTime) *Future {
+// returns immediately; the shared pool resolves the future when a worker
+// slot of the client's endpoint is granted to this tenant. When client
+// is a *Recorder, tokens and prompt/cache counts are recorded on it, but
+// no latency — wall-clock lives in Makespan.
+func (t *Tenant) Submit(client Client, prompt string, ready VTime) *Future {
 	f := &Future{done: make(chan struct{})}
-	sem := s.endpoint(client.Name())
-	s.inflight.Add(1)
-	go func() {
-		defer s.inflight.Done()
-		defer close(f.done)
-		select {
-		case sem <- struct{}{}:
-		case <-s.ctx.Done():
-			f.err = s.ctx.Err()
-			return
-		}
-		defer func() { <-sem }()
-		f.out, f.vt, f.err = s.complete(client, prompt, ready)
-	}()
+	if err := t.ctx.Err(); err != nil {
+		f.err = err
+		close(f.done)
+		return f
+	}
+	j := &job{t: t, client: client, prompt: prompt, ready: ready, f: f}
+	t.inflight.Add(1)
+	s := t.s
+	s.mu.Lock()
+	// Re-check under the lock: purge also runs under it, so a cancel
+	// landing between the check above and here cannot strand this job in
+	// a queue the purge has already swept.
+	if err := t.ctx.Err(); err != nil {
+		s.mu.Unlock()
+		f.err = err
+		close(f.done)
+		t.inflight.Done()
+		return f
+	}
+	ep := s.endpointLocked(client.Name())
+	if ep.busy < s.workers {
+		ep.busy++
+		s.mu.Unlock()
+		go s.run(ep, j)
+		return f
+	}
+	if _, ok := ep.q[t]; !ok {
+		ep.rr = append(ep.rr, t)
+	}
+	ep.q[t] = append(ep.q[t], j)
+	s.mu.Unlock()
 	return f
 }
 
 // Do is Submit + Wait: issue one prompt and block for its answer. Used by
 // inherently sequential chains (the key scan's "more results" loop).
-func (s *Scheduler) Do(client Client, prompt string, ready VTime) (string, VTime, error) {
-	return s.Submit(client, prompt, ready).Wait()
+func (t *Tenant) Do(client Client, prompt string, ready VTime) (string, VTime, error) {
+	return t.Submit(client, prompt, ready).Wait()
 }
 
-func (s *Scheduler) complete(client Client, prompt string, ready VTime) (string, VTime, error) {
+// run executes jobs on one granted worker slot: the handed job first,
+// then whatever dispatch hands it next, releasing the slot when the
+// endpoint's queues are empty.
+func (s *Scheduler) run(ep *endpoint, j *job) {
+	for j != nil {
+		s.exec(j)
+		s.mu.Lock()
+		j = dispatchLocked(ep)
+		if j == nil {
+			ep.busy--
+		}
+		s.mu.Unlock()
+	}
+}
+
+// dispatchLocked pops the next queued job in round-robin tenant order.
+// Callers hold s.mu.
+func dispatchLocked(ep *endpoint) *job {
+	if len(ep.rr) == 0 {
+		return nil
+	}
+	if ep.next >= len(ep.rr) {
+		ep.next = 0
+	}
+	t := ep.rr[ep.next]
+	queue := ep.q[t]
+	j := queue[0]
+	if len(queue) == 1 {
+		delete(ep.q, t)
+		ep.rr = append(ep.rr[:ep.next], ep.rr[ep.next+1:]...)
+		// next now points at the following tenant already.
+	} else {
+		ep.q[t] = queue[1:]
+		ep.next++
+	}
+	return j
+}
+
+// exec runs one job to resolution.
+func (s *Scheduler) exec(j *job) {
+	defer j.t.inflight.Done()
+	defer close(j.f.done)
+	if err := j.t.ctx.Err(); err != nil {
+		j.f.err = err
+		return
+	}
+	j.f.out, j.f.vt, j.f.err = s.complete(j.t, j.client, j.prompt, j.ready)
+}
+
+// purge fails every queued-but-not-running job of one tenant, freeing
+// the queue without touching other tenants or the running slots. Called
+// on context cancellation and on Close.
+func (t *Tenant) purge(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	s := t.s
+	var purged []*job
+	s.mu.Lock()
+	for _, ep := range s.endpoints {
+		queue, ok := ep.q[t]
+		if !ok {
+			continue
+		}
+		delete(ep.q, t)
+		for i, other := range ep.rr {
+			if other == t {
+				ep.rr = append(ep.rr[:i], ep.rr[i+1:]...)
+				if ep.next > i {
+					ep.next--
+				}
+				break
+			}
+		}
+		purged = append(purged, queue...)
+	}
+	s.mu.Unlock()
+	for _, j := range purged {
+		j.f.err = err
+		close(j.f.done)
+		j.t.inflight.Done()
+	}
+}
+
+// Close releases the tenant: the context watcher exits, and any queued
+// prompts (a cancelled or abandoned query's) are failed. Idempotent.
+func (t *Tenant) Close() {
+	t.once.Do(func() { close(t.closed) })
+	t.purge(t.ctx.Err())
+}
+
+func (s *Scheduler) complete(t *Tenant, client Client, prompt string, ready VTime) (string, VTime, error) {
 	// Unwrap the recorder: the scheduler does its own accounting so the
 	// recorder's per-call summed latency stays out of the pipelined model.
 	rec, _ := client.(*Recorder)
@@ -149,11 +338,11 @@ func (s *Scheduler) complete(client Client, prompt string, ready VTime) (string,
 	issued := true
 	var err error
 	if s.cache != nil {
-		out, issued, err = s.cache.Fetch(s.ctx, client.Name(), prompt, func() (string, error) {
-			return raw.Complete(s.ctx, prompt)
+		out, issued, err = s.cache.Fetch(t.ctx, client.Name(), prompt, func() (string, error) {
+			return raw.Complete(t.ctx, prompt)
 		})
 	} else {
-		out, err = raw.Complete(s.ctx, prompt)
+		out, err = raw.Complete(t.ctx, prompt)
 	}
 	if err != nil {
 		return "", 0, err
@@ -177,49 +366,121 @@ func (s *Scheduler) complete(client Client, prompt string, ready VTime) (string,
 	}
 
 	end := ready + lat
-	s.mu.Lock()
-	s.busy[client.Name()] += lat
-	if end > s.span {
-		s.span = end
+	t.mu.Lock()
+	t.work[client.Name()] += lat
+	if end > t.span {
+		t.span = end
 	}
-	s.mu.Unlock()
+	t.mu.Unlock()
 	return out, end, nil
 }
 
-// Quiesce blocks until every submitted future has resolved. Early
-// termination (a satisfied LIMIT) can abandon futures that are still
-// talking to the model; their prompts were issued and must be accounted,
-// so callers quiesce before reading final stats or the makespan.
-func (s *Scheduler) Quiesce() { s.inflight.Wait() }
+// Quiesce blocks until every future this tenant submitted has resolved.
+// Early termination (a satisfied LIMIT) can abandon futures that are
+// still talking to the model; their prompts were issued and must be
+// accounted, so callers quiesce before reading final stats or the
+// makespan.
+func (t *Tenant) Quiesce() { t.inflight.Wait() }
 
-// CriticalPath returns the longest dependency chain scheduled so far.
-func (s *Scheduler) CriticalPath() VTime {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.span
+// CriticalPath returns the tenant's longest dependency chain scheduled
+// so far.
+func (t *Tenant) CriticalPath() VTime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.span
 }
 
-// AggregateWork returns the summed latency of every issued prompt,
-// across all endpoints.
-func (s *Scheduler) AggregateWork() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// AggregateWork returns the summed latency of every prompt this tenant
+// issued, across all endpoints.
+func (t *Tenant) AggregateWork() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var total time.Duration
-	for _, b := range s.busy {
+	for _, b := range t.work {
 		total += b
 	}
 	return total
 }
 
-// Makespan returns the simulated wall-clock of the query: the larger of
-// the critical path and the busiest endpoint's work spread over its
-// connection budget.
-func (s *Scheduler) Makespan() VTime {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.span
-	for _, b := range s.busy {
-		if area := b / time.Duration(s.workers); area > out {
+// Makespan returns the simulated wall-clock of the tenant's query run
+// alone against the full worker budget: the larger of its critical path
+// and its busiest endpoint's work spread over the connection budget.
+// Under concurrent tenants this is the per-query attribution; the
+// aggregate wall-clock of a set of concurrent tenants is
+// AggregateMakespan over their stats.
+func (t *Tenant) Makespan() VTime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.span
+	for _, b := range t.work {
+		if area := b / time.Duration(t.s.workers); area > out {
+			out = area
+		}
+	}
+	return out
+}
+
+// Stats snapshots the tenant's simulated-latency accounting for
+// aggregation across concurrent queries.
+func (t *Tenant) Stats() *TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	work := make(map[string]time.Duration, len(t.work))
+	for ep, b := range t.work {
+		work[ep] = b
+	}
+	return &TenantStats{Tag: t.tag, Workers: t.s.workers, CriticalPath: t.span, Work: work}
+}
+
+// TenantStats is one query's simulated-latency accounting on the shared
+// scheduler: the longest dependency chain of its prompts and the summed
+// issued-prompt latency per model endpoint.
+type TenantStats struct {
+	Tag          string
+	Workers      int
+	CriticalPath VTime
+	Work         map[string]time.Duration
+}
+
+// Makespan is the query-alone simulated wall-clock of this snapshot
+// (critical path vs busiest endpoint area over the full budget).
+func (ts *TenantStats) Makespan() VTime {
+	out := ts.CriticalPath
+	for _, b := range ts.Work {
+		if area := b / time.Duration(ts.Workers); area > out {
+			out = area
+		}
+	}
+	return out
+}
+
+// AggregateMakespan bounds the simulated wall-clock of a set of queries
+// run concurrently against one scheduler with the given per-endpoint
+// worker budget: the same list-scheduling bound the per-query model
+// uses, lifted across tenants — no schedule beats any single query's
+// critical path, and no schedule beats an endpoint's total work (summed
+// over all tenants) spread over its connection budget. Like the
+// per-query makespan, it is a pure function of the prompt sets when the
+// cache is off, so concurrency benchmarks built on it are deterministic.
+func AggregateMakespan(workers int, stats []*TenantStats) VTime {
+	if workers < 1 {
+		workers = DefaultBatchWorkers
+	}
+	var out VTime
+	work := map[string]time.Duration{}
+	for _, ts := range stats {
+		if ts == nil {
+			continue
+		}
+		if ts.CriticalPath > out {
+			out = ts.CriticalPath
+		}
+		for ep, b := range ts.Work {
+			work[ep] += b
+		}
+	}
+	for _, b := range work {
+		if area := b / time.Duration(workers); area > out {
 			out = area
 		}
 	}

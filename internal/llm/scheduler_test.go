@@ -29,9 +29,17 @@ func latOf(prompt, out string) time.Duration {
 	return promptLatency(CountTokens(prompt), CountTokens(out))
 }
 
+// tenant opens a test tenant on a fresh scheduler.
+func tenant(s *Scheduler, t *testing.T) *Tenant {
+	t.Helper()
+	tn := s.Tenant(context.Background(), "")
+	t.Cleanup(tn.Close)
+	return tn
+}
+
 func TestSchedulerChainLatency(t *testing.T) {
 	client := &echoLLM{name: "m", answer: "one two three"}
-	s := NewScheduler(context.Background(), nil, 4)
+	tn := tenant(NewScheduler(nil, 4), t)
 
 	// A three-prompt dependency chain: each prompt is ready when the
 	// previous one completes.
@@ -39,7 +47,7 @@ func TestSchedulerChainLatency(t *testing.T) {
 	prompts := []string{"p one", "p one two", "p one two three"}
 	var want VTime
 	for _, p := range prompts {
-		out, end, err := s.Do(client, p, vt)
+		out, end, err := tn.Do(client, p, vt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,25 +60,25 @@ func TestSchedulerChainLatency(t *testing.T) {
 		}
 		vt = end
 	}
-	if got := s.CriticalPath(); got != want {
+	if got := tn.CriticalPath(); got != want {
 		t.Errorf("critical path = %v, want %v", got, want)
 	}
 	// Three prompts on four workers: the chain dominates the area bound.
-	if got := s.Makespan(); got != want {
+	if got := tn.Makespan(); got != want {
 		t.Errorf("makespan = %v, want chain %v", got, want)
 	}
 }
 
 func TestSchedulerAreaBoundDominates(t *testing.T) {
 	client := &echoLLM{name: "m", answer: "a b c d e"}
-	s := NewScheduler(context.Background(), nil, 2)
+	tn := tenant(NewScheduler(nil, 2), t)
 
 	// 8 independent prompts (all ready at 0) on 2 workers: the critical
 	// path is one prompt, the area bound is 4 prompts.
 	const n = 8
 	futs := make([]*Future, n)
 	for i := range futs {
-		futs[i] = s.Submit(client, "independent prompt", 0)
+		futs[i] = tn.Submit(client, "independent prompt", 0)
 	}
 	one := latOf("independent prompt", "a b c d e")
 	for _, f := range futs {
@@ -82,10 +90,10 @@ func TestSchedulerAreaBoundDominates(t *testing.T) {
 			t.Fatalf("independent prompt ends at %v, want %v", end, one)
 		}
 	}
-	if got := s.CriticalPath(); got != one {
+	if got := tn.CriticalPath(); got != one {
 		t.Errorf("critical path = %v, want %v", got, one)
 	}
-	if got, want := s.Makespan(), time.Duration(n)*one/2; got != want {
+	if got, want := tn.Makespan(), time.Duration(n)*one/2; got != want {
 		t.Errorf("makespan = %v, want area bound %v", got, want)
 	}
 }
@@ -97,13 +105,13 @@ func TestSchedulerAreaBoundDominates(t *testing.T) {
 func TestSchedulerPerEndpointBudget(t *testing.T) {
 	primary := &echoLLM{name: "primary", answer: "a b c"}
 	verifier := &echoLLM{name: "verifier", answer: "a b c"}
-	s := NewScheduler(context.Background(), nil, 2)
+	tn := tenant(NewScheduler(nil, 2), t)
 
 	const n = 6
 	var futs []*Future
 	for i := 0; i < n; i++ {
-		futs = append(futs, s.Submit(primary, "independent prompt", 0))
-		futs = append(futs, s.Submit(verifier, "independent prompt", 0))
+		futs = append(futs, tn.Submit(primary, "independent prompt", 0))
+		futs = append(futs, tn.Submit(verifier, "independent prompt", 0))
 	}
 	for _, f := range futs {
 		if _, _, err := f.Wait(); err != nil {
@@ -112,10 +120,10 @@ func TestSchedulerPerEndpointBudget(t *testing.T) {
 	}
 	one := latOf("independent prompt", "a b c")
 	want := time.Duration(n) * one / 2 // each endpoint's own area
-	if got := s.Makespan(); got != want {
+	if got := tn.Makespan(); got != want {
 		t.Errorf("makespan = %v, want per-endpoint area %v (summed would be %v)", got, want, 2*want)
 	}
-	if got := s.AggregateWork(); got != 2*time.Duration(n)*one {
+	if got := tn.AggregateWork(); got != 2*time.Duration(n)*one {
 		t.Errorf("aggregate work = %v, want %v", got, 2*time.Duration(n)*one)
 	}
 }
@@ -123,25 +131,25 @@ func TestSchedulerPerEndpointBudget(t *testing.T) {
 func TestSchedulerCacheHitsCostNothing(t *testing.T) {
 	rec := NewRecorder(&echoLLM{name: "m", answer: "x"})
 	cache := NewCache(8)
-	s := NewScheduler(context.Background(), cache, 2)
+	tn := tenant(NewScheduler(cache, 2), t)
 
-	if _, _, err := s.Do(rec, "same prompt", 0); err != nil {
+	if _, _, err := tn.Do(rec, "same prompt", 0); err != nil {
 		t.Fatal(err)
 	}
-	first := s.Makespan()
+	first := tn.Makespan()
 	if first == 0 {
 		t.Fatal("issued prompt must cost latency")
 	}
 	// The identical prompt again, even anchored later on the chain, adds
 	// neither span nor area.
-	_, end, err := s.Do(rec, "same prompt", first)
+	_, end, err := tn.Do(rec, "same prompt", first)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if end != first {
 		t.Errorf("cache hit must complete at its ready time: %v, want %v", end, first)
 	}
-	if got := s.Makespan(); got != first {
+	if got := tn.Makespan(); got != first {
 		t.Errorf("makespan grew on a cache hit: %v vs %v", got, first)
 	}
 	st := rec.Stats()
@@ -156,15 +164,15 @@ func TestSchedulerCacheHitsCostNothing(t *testing.T) {
 func TestSchedulerSingleflightCollapsesConcurrent(t *testing.T) {
 	var mu sync.Mutex
 	calls := 0
-	client := &countingLLM{onCall: func() {
+	client := &countingLLM{onCall: func(string) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
 	}}
-	s := NewScheduler(context.Background(), NewCache(8), 4)
+	tn := tenant(NewScheduler(NewCache(8), 4), t)
 	var futs []*Future
 	for i := 0; i < 6; i++ {
-		futs = append(futs, s.Submit(client, "dup", 0))
+		futs = append(futs, tn.Submit(client, "dup", 0))
 	}
 	for _, f := range futs {
 		if _, _, err := f.Wait(); err != nil {
@@ -178,11 +186,11 @@ func TestSchedulerSingleflightCollapsesConcurrent(t *testing.T) {
 	}
 }
 
-type countingLLM struct{ onCall func() }
+type countingLLM struct{ onCall func(prompt string) }
 
 func (c *countingLLM) Name() string { return "counting" }
 func (c *countingLLM) Complete(ctx context.Context, p string) (string, error) {
-	c.onCall()
+	c.onCall(p)
 	return "ok", nil
 }
 
@@ -202,13 +210,15 @@ func (b *blockingLLM) Complete(ctx context.Context, p string) (string, error) {
 func TestSchedulerCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	client := &blockingLLM{started: make(chan struct{})}
-	s := NewScheduler(ctx, nil, 2)
+	s := NewScheduler(nil, 2)
+	tn := s.Tenant(ctx, "cancelled")
+	defer tn.Close()
 
 	// Saturate both workers plus the queue, then cancel: every future —
 	// in-flight and never-dispatched — must resolve with the cancellation.
 	var futs []*Future
 	for i := 0; i < 5; i++ {
-		futs = append(futs, s.Submit(client, fmt.Sprintf("p%d", i), 0))
+		futs = append(futs, tn.Submit(client, fmt.Sprintf("p%d", i), 0))
 	}
 	<-client.started
 	cancel()
@@ -228,12 +238,238 @@ func TestSchedulerCancellation(t *testing.T) {
 			t.Errorf("future %d err = %v, want context.Canceled", i, err)
 		}
 	}
+	tn.Quiesce()
+}
+
+// TestSchedulerCancelDoesNotPerturbOtherTenants: cancelling one query
+// frees its queued work promptly and leaves a concurrent tenant's
+// results, accounting and worker access untouched.
+func TestSchedulerCancelDoesNotPerturbOtherTenants(t *testing.T) {
+	s := NewScheduler(nil, 2)
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	gated := &gatedLLM{release: release, started: started}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	a := s.Tenant(ctxA, "a")
+	defer a.Close()
+	b := s.Tenant(context.Background(), "b")
+	defer b.Close()
+
+	// A saturates both slots and queues three more; B queues three.
+	var aFuts, bFuts []*Future
+	for i := 0; i < 5; i++ {
+		aFuts = append(aFuts, a.Submit(gated, fmt.Sprintf("a%d prompt", i), 0))
+	}
+	<-started
+	<-started
+	for i := 0; i < 3; i++ {
+		bFuts = append(bFuts, b.Submit(gated, fmt.Sprintf("b%d prompt", i), 0))
+	}
+
+	// Cancel A while its two running prompts hold the slots; its queued
+	// futures must resolve cancelled without waiting for the gate.
+	cancelA()
+	for i := 2; i < 5; i++ {
+		done := make(chan struct{})
+		var err error
+		go func(f *Future) {
+			_, _, err = f.Wait()
+			close(done)
+		}(aFuts[i])
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued future a%d not resolved promptly after cancel", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("a%d err = %v, want context.Canceled", i, err)
+		}
+	}
+
+	// Release the gate: A's two running prompts fail with the cancel; B's
+	// prompts all complete.
+	close(release)
+	for i := 0; i < 2; i++ {
+		if _, _, err := aFuts[i].Wait(); !errors.Is(err, context.Canceled) {
+			t.Errorf("running a%d err = %v, want context.Canceled", i, err)
+		}
+	}
+	for i, f := range bFuts {
+		out, _, err := f.Wait()
+		if err != nil {
+			t.Fatalf("b%d err = %v, want success", i, err)
+		}
+		if out != "ok done" {
+			t.Errorf("b%d out = %q", i, out)
+		}
+	}
+	a.Quiesce()
+	b.Quiesce()
+
+	// B's accounting covers exactly its three issued prompts; none of A's
+	// cancelled work leaked into it.
+	want := 3 * latOf("b0 prompt", "ok done")
+	if got := b.AggregateWork(); got != want {
+		t.Errorf("tenant b aggregate work = %v, want %v", got, want)
+	}
+	if a.AggregateWork() != 0 {
+		t.Errorf("cancelled tenant accounted work %v, want 0", a.AggregateWork())
+	}
+
+	// The slots are free again: a fresh tenant completes immediately.
+	c := s.Tenant(context.Background(), "c")
+	defer c.Close()
+	if _, _, err := c.Do(&echoLLM{name: "blocking-gate", answer: "x"}, "fresh prompt", 0); err != nil {
+		t.Fatalf("scheduler wedged after cancellation: %v", err)
+	}
+}
+
+// gatedLLM records started calls and blocks completions until released
+// (or the call context is cancelled).
+type gatedLLM struct {
+	release chan struct{}
+	started chan struct{}
+}
+
+func (g *gatedLLM) Name() string { return "blocking-gate" }
+func (g *gatedLLM) Complete(ctx context.Context, p string) (string, error) {
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.release:
+		return "ok done", nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// TestSchedulerFairShare: with one endpoint saturated by a long queue
+// from tenant A, a late-arriving tenant B gets slots in rotation — B's
+// prompts do not wait for A's entire backlog.
+func TestSchedulerFairShare(t *testing.T) {
+	s := NewScheduler(nil, 1) // one slot: dispatch order is observable
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	step := make(chan struct{}, 64)
+	client := &seqLLM{release: release, onCall: func(p string) {
+		mu.Lock()
+		order = append(order, p)
+		mu.Unlock()
+		step <- struct{}{}
+	}}
+
+	a := s.Tenant(context.Background(), "a")
+	defer a.Close()
+	b := s.Tenant(context.Background(), "b")
+	defer b.Close()
+
+	// A grabs the slot and queues a backlog; then B queues two prompts.
+	var futs []*Future
+	futs = append(futs, a.Submit(client, "a0", 0))
+	<-step // a0 is running (holding the slot)
+	for i := 1; i <= 4; i++ {
+		futs = append(futs, a.Submit(client, fmt.Sprintf("a%d", i), 0))
+	}
+	futs = append(futs, b.Submit(client, "b0", 0))
+	futs = append(futs, b.Submit(client, "b1", 0))
+	close(release)
+	for _, f := range futs {
+		if _, _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p] = i
+	}
+	// Round-robin: b0 must run before A's backlog drains (strictly before
+	// a3), and b1 before a4 — instead of FIFO [a0..a4, b0, b1].
+	if pos["b0"] > pos["a3"] {
+		t.Errorf("fair share violated: b0 ran at %d, after a3 at %d (order %v)", pos["b0"], pos["a3"], order)
+	}
+	if pos["b1"] > pos["a4"] {
+		t.Errorf("fair share violated: b1 ran at %d, after a4 at %d (order %v)", pos["b1"], pos["a4"], order)
+	}
+}
+
+// seqLLM records the order prompts reach the model; the first call holds
+// its worker slot until released so tests can build a queue behind it.
+type seqLLM struct {
+	release chan struct{}
+	once    sync.Once
+	onCall  func(prompt string)
+}
+
+func (s *seqLLM) Name() string { return "seq" }
+func (s *seqLLM) Complete(ctx context.Context, p string) (string, error) {
+	s.onCall(p)
+	first := false
+	s.once.Do(func() { first = true })
+	if first {
+		select {
+		case <-s.release:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	return "ok", nil
+}
+
+// TestSchedulerTenantIsolationAccounting: two tenants sharing the pool
+// account exactly their own prompts, and the aggregate makespan bound
+// combines them (max critical path vs summed per-endpoint area).
+func TestSchedulerTenantIsolationAccounting(t *testing.T) {
+	client := &echoLLM{name: "m", answer: "w x y z"}
+	s := NewScheduler(nil, 2)
+	a := s.Tenant(context.Background(), "a")
+	defer a.Close()
+	b := s.Tenant(context.Background(), "b")
+	defer b.Close()
+
+	var futs []*Future
+	for i := 0; i < 4; i++ {
+		futs = append(futs, a.Submit(client, "shared pool prompt", 0))
+	}
+	for i := 0; i < 2; i++ {
+		futs = append(futs, b.Submit(client, "shared pool prompt", 0))
+	}
+	for _, f := range futs {
+		if _, _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := latOf("shared pool prompt", "w x y z")
+	if got := a.AggregateWork(); got != 4*one {
+		t.Errorf("tenant a work = %v, want %v", got, 4*one)
+	}
+	if got := b.AggregateWork(); got != 2*one {
+		t.Errorf("tenant b work = %v, want %v", got, 2*one)
+	}
+	// Per-tenant makespans price each query as if it ran alone.
+	if got := a.Makespan(); got != 4*one/2 {
+		t.Errorf("tenant a makespan = %v, want %v", got, 4*one/2)
+	}
+	if got := b.Makespan(); got != one {
+		t.Errorf("tenant b makespan = %v, want %v", got, one)
+	}
+	// The concurrent aggregate: 6 prompts of work on 2 workers.
+	got := AggregateMakespan(2, []*TenantStats{a.Stats(), b.Stats()})
+	if want := 6 * one / 2; got != want {
+		t.Errorf("aggregate makespan = %v, want %v", got, want)
+	}
 }
 
 func TestSchedulerErrorPropagates(t *testing.T) {
 	client := &failingLLM{}
-	s := NewScheduler(context.Background(), nil, 2)
-	if _, _, err := s.Do(client, "boom", 0); err == nil || !strings.Contains(err.Error(), "model failure") {
+	tn := tenant(NewScheduler(nil, 2), t)
+	if _, _, err := tn.Do(client, "boom", 0); err == nil || !strings.Contains(err.Error(), "model failure") {
 		t.Errorf("err = %v, want model failure", err)
 	}
 }
@@ -246,8 +482,21 @@ func (f *failingLLM) Complete(ctx context.Context, p string) (string, error) {
 }
 
 func TestSchedulerDefaultWorkers(t *testing.T) {
-	s := NewScheduler(context.Background(), nil, 0)
+	s := NewScheduler(nil, 0)
 	if s.Workers() != DefaultBatchWorkers {
 		t.Errorf("workers = %d, want %d", s.Workers(), DefaultBatchWorkers)
+	}
+}
+
+// TestSchedulerSubmitAfterCancelResolvesImmediately: a tenant whose
+// context is already cancelled never blocks a submitter.
+func TestSchedulerSubmitAfterCancelResolvesImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewScheduler(nil, 2)
+	tn := s.Tenant(ctx, "dead")
+	defer tn.Close()
+	if _, _, err := tn.Do(&echoLLM{name: "m", answer: "x"}, "p", 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

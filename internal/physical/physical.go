@@ -38,12 +38,15 @@ type Context struct {
 	// pipelined mode the Scheduler's worker budget takes its place.
 	BatchWorkers int
 	// Scheduler, when non-nil, turns on the pipelined streaming executor:
-	// the LLM operators submit prompts to this query-level shared worker
-	// pool as upstream tuples arrive — instead of draining their input and
-	// issuing one blocking batch — and latency is accounted with the
-	// scheduler's critical-path model rather than summed per-operator
-	// waves. Nil runs the stop-and-go execution the paper describes.
-	Scheduler *llm.Scheduler
+	// it is this query's tenant handle on the engine-global fair-share
+	// scheduler. The LLM operators submit prompts through it as upstream
+	// tuples arrive — instead of draining their input and issuing one
+	// blocking batch — competing for the shared per-endpoint worker
+	// budget with every other in-flight query, and latency is accounted
+	// per tenant with the scheduler's critical-path model rather than
+	// summed per-operator waves. Nil runs the stop-and-go execution the
+	// paper describes.
+	Scheduler *llm.Tenant
 	// PipelineBuffer bounds how many tuples a streaming LLM operator may
 	// run ahead of its consumer (0 means DefaultPipelineBuffer). Smaller
 	// buffers make LIMIT-driven early termination cut upstream prompt

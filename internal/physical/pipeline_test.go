@@ -28,7 +28,7 @@ func pipelinedCtx(ctx context.Context, client llm.Client, workers, buffer int) *
 		Cleaner:           clean.New(clean.DefaultOptions()),
 		MaxScanIterations: 5,
 		BatchWorkers:      workers,
-		Scheduler:         llm.NewScheduler(ctx, nil, workers),
+		Scheduler:         llm.NewScheduler(nil, workers).Tenant(ctx, "test"),
 		PipelineBuffer:    buffer,
 	}
 }
