@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache serve fuzz cover
 
 check: vet build race
 
@@ -32,6 +32,12 @@ bench-optimizer:
 # runtime and scheduler.
 bench-concurrency:
 	$(GO) test -run '^$$' -bench BenchmarkConcurrencyComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_resultcache.json artifact
+# (deterministic): repeated corpus traffic against the relation-level
+# result cache, with an epoch-bump invalidation probe.
+bench-resultcache:
+	$(GO) test -run '^$$' -bench BenchmarkResultCacheComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

@@ -340,6 +340,38 @@ func BenchmarkConcurrencyComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkResultCacheComparison measures the relation-level result
+// cache on repeated corpus traffic — one cold pass, two hot passes, and
+// a PrimeTableKeys epoch bump — against a cache-off control, and writes
+// the machine-readable BENCH_resultcache.json artifact. Repeated
+// identical queries must cost zero prompts while every relation stays
+// bit-identical, and the epoch bump must observably re-execute
+// everything (the report is deterministic, so the committed artifact is
+// reproducible):
+//
+//	go test -run '^$' -bench BenchmarkResultCacheComparison -benchtime=1x .
+func BenchmarkResultCacheComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.ResultCacheReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.ResultCacheComparison(ctx, simllm.ChatGPT, bench.DefaultResultCacheRepeats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.CachedFirstPrompts)/float64(rep.Queries), "cold_prompts/query")
+	b.ReportMetric(float64(rep.RepeatPromptsCacheable)/float64(rep.CacheableQueries*rep.Repeats), "hot_prompts/query")
+	b.ReportMetric(float64(rep.ResultCacheHits), "result_cache_hits")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteResultCacheArtifact("BENCH_resultcache.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGaloisQuery measures one representative end-to-end query on the
 // simulated ChatGPT (micro-benchmark of the full pipeline).
 func BenchmarkGaloisQuery(b *testing.B) {

@@ -12,7 +12,7 @@
 //	galois-bench -figure 3      # the lowered plan for q'
 //	galois-bench -figure 4      # the few-shot prompt
 //	galois-bench -latency
-//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline
+//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/prompt"
+	"repro/internal/rescache"
 	"repro/internal/simllm"
 )
 
@@ -40,12 +41,14 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
 	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains when -cache is set")
+	resultCache := flag.Bool("result-cache", false, "run the table/latency/extension experiments with the relation-level result cache on (default off = the paper's configuration)")
+	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains when -result-cache is set")
 	pipeline := flag.Bool("pipeline", false, "run the table/latency/extension experiments with the pipelined streaming executor (default off = the paper's stop-and-go execution)")
 	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
 	flag.Parse()
@@ -62,6 +65,8 @@ func run() error {
 	opts := bench.PaperOptions()
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
+	opts.ResultCacheEnabled = *resultCache
+	opts.ResultCacheSize = *resultCacheSize
 	opts.Pipelined = *pipeline
 	if *workers > 0 {
 		opts.BatchWorkers = *workers
@@ -97,7 +102,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -204,6 +209,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printOptimizer(ctx, r, p)
 	case "concurrency":
 		return printConcurrency(ctx, r, p)
+	case "resultcache":
+		return printResultCache(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -276,6 +283,25 @@ func printConcurrency(ctx context.Context, r *bench.Runner, p simllm.Profile) er
 		rep.Concurrent.Config, rep.Concurrent.AggregateMakespanMS/1000, rep.Concurrent.TotalPrompts)
 	fmt.Printf("  speedup %.2fx — results identical: %v, per-query prompts identical: %v\n\n",
 		rep.SpeedupX, rep.ResultsIdentical, rep.PromptsIdentical)
+	return nil
+}
+
+func printResultCache(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.ResultCacheComparison(ctx, p, bench.DefaultResultCacheRepeats)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation I: relation-level result cache (repeated dashboard traffic; prompt cache off in both arms)")
+	fmt.Printf("  corpus of %d queries (%d cacheable, %d LIMIT-bearing bypass), %d hot passes\n",
+		rep.Queries, rep.CacheableQueries, rep.LimitQueries, rep.Repeats)
+	fmt.Printf("  first pass:   %d prompts uncached vs %d prompts cached (results identical: %v)\n",
+		rep.UncachedFirstPrompts, rep.CachedFirstPrompts, rep.FirstRunIdentical)
+	fmt.Printf("  hot passes:   %d prompts on cacheable queries, %d on LIMIT queries (relations identical: %v)\n",
+		rep.RepeatPromptsCacheable, rep.RepeatPromptsLimit, rep.RepeatIdentical)
+	fmt.Printf("  result cache: %d hits / %d misses / %d entries\n",
+		rep.ResultCacheHits, rep.ResultCacheMisses, rep.ResultCacheEntries)
+	fmt.Printf("  epoch bump (ANALYZE): re-executed: %v, relations still identical: %v\n\n",
+		rep.InvalidationReexecuted, rep.InvalidationIdentical)
 	return nil
 }
 

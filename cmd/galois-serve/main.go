@@ -8,6 +8,7 @@
 //
 //	galois-serve [-addr :8080] [-model chatgpt] [-seed 1]
 //	             [-max-concurrent 16] [-workers 8] [-cache] [-pipeline]
+//	             [-result-cache] [-result-cache-size 256]
 //
 // Endpoints:
 //
@@ -43,6 +44,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/rescache"
 	"repro/internal/simllm"
 )
 
@@ -61,6 +63,8 @@ func run() error {
 	workers := flag.Int("workers", llm.DefaultBatchWorkers, "shared per-endpoint LLM worker budget, fair-shared across all in-flight queries")
 	cache := flag.Bool("cache", true, "enable the shared prompt cache (dedup + reuse of completions across queries)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
+	resultCache := flag.Bool("result-cache", true, "enable the shared result cache (identical LIMIT-free queries served as whole relations: zero prompts, zero planning; invalidated on rebind/ANALYZE)")
+	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor on the shared scheduler")
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection")
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
@@ -81,6 +85,8 @@ func run() error {
 	opts.Optimizer.CostBased = *costbased
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
+	opts.ResultCacheEnabled = *resultCache
+	opts.ResultCacheSize = *resultCacheSize
 	opts.Pipelined = *pipeline
 	opts.BatchWorkers = *workers
 	rt, err := runner.Runtime(runner.Model(profile), opts)
@@ -94,8 +100,8 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("galois-serve: %s (%s) listening on %s — workers=%d max-concurrent=%d pipeline=%v cache=%v",
-		profile.DisplayName, profile.Params, *addr, *workers, *maxConcurrent, *pipeline, *cache)
+	log.Printf("galois-serve: %s (%s) listening on %s — workers=%d max-concurrent=%d pipeline=%v cache=%v result-cache=%v",
+		profile.DisplayName, profile.Params, *addr, *workers, *maxConcurrent, *pipeline, *cache, *resultCache)
 
 	select {
 	case err := <-errCh:

@@ -357,6 +357,241 @@ func TestServeQueuedClientDisconnect(t *testing.T) {
 	}
 }
 
+// TestServeMethodNotAllowed: /query executes SQL only for GET and POST;
+// every other verb is a 405 with an Allow header and runs nothing.
+func TestServeMethodNotAllowed(t *testing.T) {
+	_, rt := testRuntime(t, core.DefaultOptions())
+	srv := newServer(rt, 4)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, method := range []string{http.MethodPut, http.MethodDelete, http.MethodPatch, "FROBNICATE"} {
+		req, err := http.NewRequest(method, ts.URL+"/query?q=SELECT+name+FROM+country", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s /query: status %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+			t.Errorf("%s /query: Allow = %q, want \"GET, POST\"", method, allow)
+		}
+	}
+	if got := srv.queries.Load(); got != 0 {
+		t.Errorf("rejected methods executed %d queries", got)
+	}
+
+	// GET and POST still work.
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(`SELECT name FROM country WHERE continent = 'Europe'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /query: status %d", resp.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`); resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /query: status %d", resp.StatusCode)
+	}
+}
+
+// TestServePlanParam: ?plan=1 returns the plan, absent and false values
+// omit it, and a malformed value is the client's error (400), not a
+// silent "no plan".
+func TestServePlanParam(t *testing.T) {
+	_, rt := testRuntime(t, core.DefaultOptions())
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	get := func(t *testing.T, plan string) (*http.Response, queryResponse) {
+		t.Helper()
+		u := ts.URL + "/query?q=" + url.QueryEscape(`SELECT name FROM country WHERE continent = 'Europe'`)
+		if plan != "" {
+			u += "&plan=" + url.QueryEscape(plan)
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, qr
+	}
+
+	if resp, qr := get(t, "1"); resp.StatusCode != http.StatusOK || qr.Plan == "" {
+		t.Errorf("plan=1: status %d, plan %q", resp.StatusCode, qr.Plan)
+	}
+	if resp, qr := get(t, "true"); resp.StatusCode != http.StatusOK || qr.Plan == "" {
+		t.Errorf("plan=true: status %d, plan %q", resp.StatusCode, qr.Plan)
+	}
+	if resp, qr := get(t, "0"); resp.StatusCode != http.StatusOK || qr.Plan != "" {
+		t.Errorf("plan=0: status %d, plan %q", resp.StatusCode, qr.Plan)
+	}
+	if resp, qr := get(t, ""); resp.StatusCode != http.StatusOK || qr.Plan != "" {
+		t.Errorf("plan absent: status %d, plan %q", resp.StatusCode, qr.Plan)
+	}
+	resp, _ := get(t, "frobnicate")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("plan=frobnicate: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeCancelledQueuedCounters is the -race regression for the
+// admission-gate accounting: requests cancelled while queued must leave
+// the waiting gauge at zero and never count toward queries_served.
+func TestServeCancelledQueuedCounters(t *testing.T) {
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	release := make(chan struct{})
+	rt, err := r.Runtime(&gatedTestLLM{inner: r.Model(simllm.ChatGPT), release: release}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(rt, 1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the single slot.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
+	}()
+	waitFor(t, func() bool { return srv.active.Load() == 1 })
+
+	// A burst of queued requests all abandoned by their clients.
+	const cancelled = 6
+	var wg sync.WaitGroup
+	for i := 0; i < cancelled; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/query?q=SELECT+name+FROM+country", nil)
+			go func() {
+				// Cancel once the request is (likely) queued. Plain polling
+				// with an unconditional cancel — waitFor's t.Fatal must not
+				// run off the test goroutine, and cancelling regardless
+				// keeps the test from wedging if the wait times out.
+				deadline := time.Now().Add(5 * time.Second)
+				for time.Now().Before(deadline) && srv.waiting.Load() == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				cancel()
+			}()
+			if _, err := http.DefaultClient.Do(req); err == nil {
+				t.Error("cancelled queued request returned without error")
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return srv.waiting.Load() == 0 })
+
+	close(release)
+	<-done
+
+	var st serverStats
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Waiting != 0 {
+		t.Errorf("waiting gauge leaked: %d, want 0", st.Waiting)
+	}
+	if st.QueriesServed != 1 {
+		t.Errorf("queries_served = %d, want 1 (cancelled-while-queued requests must not count)", st.QueriesServed)
+	}
+	if st.Active != 0 {
+		t.Errorf("active gauge leaked: %d, want 0", st.Active)
+	}
+}
+
+// TestServeResultCache: with the result cache on, a repeated query is
+// answered with cached=true and zero prompts, /stats exposes the
+// hit/miss/entry counters, and a rebind (epoch bump) re-executes.
+func TestServeResultCache(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	opts.ResultCacheEnabled = true
+	r, rt := testRuntime(t, opts)
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	const sql = `SELECT name FROM country WHERE continent = 'Europe'`
+	resp1, qr1 := postQuery(t, ts, sql)
+	if resp1.StatusCode != http.StatusOK || qr1.Cached {
+		t.Fatalf("cold query: status %d, cached %v", resp1.StatusCode, qr1.Cached)
+	}
+	resp2, qr2 := postQuery(t, ts, sql)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("hot query: status %d", resp2.StatusCode)
+	}
+	if !qr2.Cached || qr2.Stats.Prompts != 0 {
+		t.Errorf("hot query: cached=%v prompts=%d, want cached with 0 prompts", qr2.Cached, qr2.Stats.Prompts)
+	}
+	if fmt.Sprint(qr2.Rows) != fmt.Sprint(qr1.Rows) {
+		t.Errorf("cached rows diverged:\n%v\nwant:\n%v", qr2.Rows, qr1.Rows)
+	}
+
+	var st serverStats
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultCacheHits != 1 || st.ResultCacheMisses != 1 || st.ResultCacheEntries != 1 {
+		t.Errorf("result cache stats = %d/%d/%d, want 1/1/1",
+			st.ResultCacheHits, st.ResultCacheMisses, st.ResultCacheEntries)
+	}
+
+	// A rebind invalidates: the same SQL re-executes.
+	epochBefore := st.Epoch
+	if err := rt.BindLLMTable(r.World.Table("country").Def); err != nil {
+		t.Fatal(err)
+	}
+	resp3, qr3 := postQuery(t, ts, sql)
+	if resp3.StatusCode != http.StatusOK || qr3.Cached || qr3.Stats.Prompts == 0 {
+		t.Errorf("post-rebind query: status %d cached=%v prompts=%d, want fresh execution",
+			resp3.StatusCode, qr3.Cached, qr3.Stats.Prompts)
+	}
+	if fmt.Sprint(qr3.Rows) != fmt.Sprint(qr1.Rows) {
+		t.Errorf("post-rebind rows diverged:\n%v\nwant:\n%v", qr3.Rows, qr1.Rows)
+	}
+	statsResp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp2.Body.Close()
+	var st2 serverStats
+	if err := json.NewDecoder(statsResp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch <= epochBefore {
+		t.Errorf("epoch did not advance on rebind: %d -> %d", epochBefore, st2.Epoch)
+	}
+}
+
 // gatedTestLLM blocks every completion until released.
 type gatedTestLLM struct {
 	inner   llm.Client

@@ -65,7 +65,10 @@ type queryResponse struct {
 	Rows     [][]string `json:"rows"`
 	RowCount int        `json:"row_count"`
 	Plan     string     `json:"plan,omitempty"`
-	Stats    queryStats `json:"stats"`
+	// Cached reports that the relation was served from the runtime's
+	// result cache (zero prompts, no planning beyond the logical build).
+	Cached bool       `json:"cached"`
+	Stats  queryStats `json:"stats"`
 }
 
 // queryStats is the per-query usage summary.
@@ -85,7 +88,21 @@ type errorResponse struct {
 // handleQuery executes one SQL statement: the `q` form/query parameter,
 // or the raw request body. `?plan=1` includes the executed plan.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Only GET and POST carry queries; anything else (PUT, DELETE,
+	// arbitrary verbs) must not execute SQL.
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on /query; use GET or POST", r.Method))
+		return
+	}
 	sql, err := querySQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject malformed ?plan= up front: silently treating a typo as
+	// "no plan" hides the mistake from the client.
+	wantPlan, err := planParam(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -98,6 +115,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.gate <- struct{}{}:
 		s.waiting.Add(-1)
+		if ctx.Err() != nil {
+			// The client was already gone when the slot freed (with both
+			// select cases ready either may win): hand the slot back and
+			// do not count the request as a served query.
+			<-s.gate
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
+			return
+		}
 	case <-ctx.Done():
 		s.waiting.Add(-1)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
@@ -146,6 +171,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Types:    make([]string, rel.Schema.Len()),
 		Rows:     make([][]string, 0, rel.Cardinality()),
 		RowCount: rel.Cardinality(),
+		Cached:   rep.Cached,
 		Stats: queryStats{
 			Prompts:            rep.Stats.Prompts,
 			PromptTokens:       rep.Stats.PromptTokens,
@@ -166,10 +192,26 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, cells)
 	}
-	if wantPlan, _ := strconv.ParseBool(r.URL.Query().Get("plan")); wantPlan {
+	if wantPlan {
 		resp.Plan = rep.Plan
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// planParam parses the optional `plan` query parameter. Absent (or
+// empty) means no plan; any other value must parse as a bool — a
+// malformed value like ?plan=frobnicate is the client's error, not a
+// silent "no plan".
+func planParam(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("plan")
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("invalid plan parameter %q: want a boolean (1/0/true/false)", raw)
+	}
+	return v, nil
 }
 
 // querySQL extracts the SQL statement from a request: the `q` URL query
@@ -219,20 +261,31 @@ type serverStats struct {
 	CacheHits     int   `json:"cache_hits"`
 	CacheMisses   int   `json:"cache_misses"`
 	CacheEntries  int   `json:"cache_entries"`
+	// Result-cache counters: whole relations served without planning or
+	// prompts, plus the binding epoch entries are currently keyed under.
+	ResultCacheHits    int    `json:"result_cache_hits"`
+	ResultCacheMisses  int    `json:"result_cache_misses"`
+	ResultCacheEntries int    `json:"result_cache_entries"`
+	Epoch              uint64 `json:"epoch"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.rt.CacheStats()
+	rcs := s.rt.ResultCacheStats()
 	writeJSON(w, http.StatusOK, serverStats{
-		QueriesServed: s.queries.Load(),
-		Active:        s.active.Load(),
-		MaxActive:     s.maxActive.Load(),
-		Waiting:       s.waiting.Load(),
-		MaxConcurrent: s.maxConcurrent,
-		Workers:       s.rt.Options().BatchWorkers,
-		CacheHits:     cs.Hits,
-		CacheMisses:   cs.Misses,
-		CacheEntries:  cs.Entries,
+		QueriesServed:      s.queries.Load(),
+		Active:             s.active.Load(),
+		MaxActive:          s.maxActive.Load(),
+		Waiting:            s.waiting.Load(),
+		MaxConcurrent:      s.maxConcurrent,
+		Workers:            s.rt.Options().BatchWorkers,
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+		CacheEntries:       cs.Entries,
+		ResultCacheHits:    rcs.Hits,
+		ResultCacheMisses:  rcs.Misses,
+		ResultCacheEntries: rcs.Entries,
+		Epoch:              s.rt.Epoch(),
 	})
 }
 

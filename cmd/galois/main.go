@@ -23,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/rescache"
 	"repro/internal/simllm"
 )
 
@@ -42,6 +43,8 @@ func run() error {
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
 	cache := flag.Bool("cache", true, "enable the engine-level prompt cache (dedup + reuse of completions)")
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
+	resultCache := flag.Bool("result-cache", true, "enable the relation-level result cache (identical LIMIT-free queries served without planning or prompts; invalidated on rebind/ANALYZE)")
+	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor (overlap prompt waves across operators; off = the paper's stop-and-go execution)")
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection (enumerate candidate plans, pick the one with the fewest estimated prompts; off = the paper's fixed rewrite heuristics)")
 	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
@@ -67,6 +70,8 @@ func run() error {
 	opts.Optimizer.CostBased = *costbased
 	opts.CacheEnabled = *cache
 	opts.CacheSize = *cacheSize
+	opts.ResultCacheEnabled = *resultCache
+	opts.ResultCacheSize = *resultCacheSize
 	opts.Pipelined = *pipeline
 	if *workers > 0 {
 		opts.BatchWorkers = *workers

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/simllm"
+	"repro/internal/spider"
+	"repro/internal/sql/parser"
+)
+
+// DefaultResultCacheRepeats is the number of hot passes of the committed
+// result-cache benchmark: how many times the corpus is replayed against
+// the warm cache.
+const DefaultResultCacheRepeats = 2
+
+// ResultCacheQuery is one corpus query's record in the cached arm.
+type ResultCacheQuery struct {
+	ID int `json:"id"`
+	// Limit marks LIMIT-bearing statements, which bypass the cache (a
+	// truncated relation must never be served as complete).
+	Limit bool `json:"limit"`
+	// FirstPrompts is the cold-pass prompt count (model calls; the
+	// prompt cache is off in both arms so every prompt is a call).
+	FirstPrompts int `json:"first_prompts"`
+	// RepeatPrompts sums prompts across the hot passes: 0 for cacheable
+	// queries, Repeats×FirstPrompts for LIMIT queries.
+	RepeatPrompts int `json:"repeat_prompts"`
+}
+
+// ResultCacheReport is the machine-readable result-cache record
+// (BENCH_resultcache.json): the corpus replayed against one warm runtime
+// with the relation-level result cache on, versus a cache-off control.
+// The prompt cache is off in both arms so prompt counts isolate what the
+// result cache alone saves.
+type ResultCacheReport struct {
+	Model   string `json:"model"`
+	Queries int    `json:"queries"`
+	Repeats int    `json:"repeats"`
+	// CacheableQueries counts LIMIT-free corpus queries (cache
+	// eligible); LimitQueries bypass it by design.
+	CacheableQueries int `json:"cacheable_queries"`
+	LimitQueries     int `json:"limit_queries"`
+	// First-pass prompt totals must agree: populating the cache costs
+	// exactly what an uncached run costs.
+	UncachedFirstPrompts int `json:"uncached_first_prompts"`
+	CachedFirstPrompts   int `json:"cached_first_prompts"`
+	// Hot-pass prompt totals: the headline number — repeated identical
+	// traffic on cacheable queries must cost zero prompts.
+	RepeatPromptsCacheable int `json:"repeat_prompts_cacheable"`
+	RepeatPromptsLimit     int `json:"repeat_prompts_limit"`
+	// Result-cache counters after all passes (before the epoch bump).
+	ResultCacheHits    int `json:"result_cache_hits"`
+	ResultCacheMisses  int `json:"result_cache_misses"`
+	ResultCacheEntries int `json:"result_cache_entries"`
+	// FirstRunIdentical: every cold-pass relation of the cached arm is
+	// bit-identical to the uncached control's.
+	FirstRunIdentical bool `json:"first_run_identical"`
+	// RepeatIdentical: every hot-pass relation is bit-identical to its
+	// cold-pass relation.
+	RepeatIdentical bool `json:"repeat_identical"`
+	// Invalidation probe: after a PrimeTableKeys epoch bump every
+	// cacheable query re-executes (prompts > 0 again) and still returns
+	// the identical relation.
+	InvalidationReexecuted bool `json:"invalidation_reexecuted"`
+	InvalidationIdentical  bool `json:"invalidation_identical"`
+
+	PerQuery []ResultCacheQuery `json:"per_query"`
+}
+
+// resultCacheOptions pins the benchmark configuration: pipelined,
+// prompt cache off (so prompt counts isolate the result cache), fixed
+// heuristic plans (no cost-based feedback, so every re-execution uses
+// the same plan and the report is deterministic).
+func resultCacheOptions(resultCache bool) core.Options {
+	opts := PaperOptions()
+	opts.Pipelined = true
+	opts.Optimizer.CostBased = false
+	opts.ResultCacheEnabled = resultCache
+	return opts
+}
+
+// ResultCacheComparison measures the relation-level result cache on
+// repeated corpus traffic — the dashboard pattern: one cold pass
+// populating the cache, `repeats` hot passes replaying the identical
+// SQL, then a PrimeTableKeys epoch bump proving invalidation. A
+// cache-off control run pins first-pass results bit-identical. With the
+// prompt cache off and fixed plans everything is a pure function of the
+// corpus, so the report is deterministic and CI can diff it.
+func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, repeats int) (*ResultCacheReport, error) {
+	if repeats < 1 {
+		repeats = DefaultResultCacheRepeats
+	}
+	type corpusQuery struct {
+		id    int
+		sql   string
+		limit bool
+	}
+	var corpus []corpusQuery
+	for _, q := range spider.Queries() {
+		sel, err := parser.ParseSelect(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing corpus query %d: %w", q.ID, err)
+		}
+		corpus = append(corpus, corpusQuery{id: q.ID, sql: q.SQL, limit: sel.Limit >= 0})
+	}
+
+	// Control arm: result cache off, one pass.
+	controlRT, err := r.Runtime(r.Model(p), resultCacheOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	control := make([]queryOutcome, len(corpus))
+	for i, q := range corpus {
+		control[i] = runQuery(ctx, controlRT, q.sql)
+		if control[i].err != nil {
+			return nil, fmt.Errorf("bench: control arm: %w", control[i].err)
+		}
+	}
+
+	// Cached arm: fresh identically seeded runtime, cold pass + hot
+	// passes + invalidation probe.
+	rt, err := r.Runtime(r.Model(p), resultCacheOptions(true))
+	if err != nil {
+		return nil, err
+	}
+	rep := &ResultCacheReport{
+		Model:             p.ID,
+		Queries:           len(corpus),
+		Repeats:           repeats,
+		FirstRunIdentical: true,
+		RepeatIdentical:   true,
+	}
+	cold := make([]queryOutcome, len(corpus))
+	for i, q := range corpus {
+		cold[i] = runQuery(ctx, rt, q.sql)
+		if cold[i].err != nil {
+			return nil, fmt.Errorf("bench: cached arm cold pass: %w", cold[i].err)
+		}
+		if cold[i].rel != control[i].rel {
+			rep.FirstRunIdentical = false
+		}
+	}
+	perQuery := make([]ResultCacheQuery, len(corpus))
+	for i, q := range corpus {
+		perQuery[i] = ResultCacheQuery{ID: q.id, Limit: q.limit, FirstPrompts: cold[i].prompts}
+	}
+	for pass := 0; pass < repeats; pass++ {
+		for i, q := range corpus {
+			hot := runQuery(ctx, rt, q.sql)
+			if hot.err != nil {
+				return nil, fmt.Errorf("bench: cached arm hot pass %d: %w", pass+1, hot.err)
+			}
+			perQuery[i].RepeatPrompts += hot.prompts
+			if hot.rel != cold[i].rel {
+				rep.RepeatIdentical = false
+			}
+		}
+	}
+	rcs := rt.ResultCacheStats()
+	rep.ResultCacheHits = rcs.Hits
+	rep.ResultCacheMisses = rcs.Misses
+	rep.ResultCacheEntries = rcs.Entries
+
+	// Invalidation probe: bump the epoch (ANALYZE on one table — fixed
+	// plans, so the primed value cannot change any plan or result) and
+	// replay: every cacheable query must re-execute, identically.
+	rt.PrimeTableKeys(LLMTables[0], 1)
+	rep.InvalidationReexecuted = true
+	rep.InvalidationIdentical = true
+	for i, q := range corpus {
+		probe := runQuery(ctx, rt, q.sql)
+		if probe.err != nil {
+			return nil, fmt.Errorf("bench: invalidation probe: %w", probe.err)
+		}
+		if !q.limit && probe.prompts == 0 {
+			rep.InvalidationReexecuted = false
+		}
+		if probe.rel != cold[i].rel {
+			rep.InvalidationIdentical = false
+		}
+	}
+
+	for i, q := range corpus {
+		rep.UncachedFirstPrompts += control[i].prompts
+		rep.CachedFirstPrompts += cold[i].prompts
+		if q.limit {
+			rep.LimitQueries++
+			rep.RepeatPromptsLimit += perQuery[i].RepeatPrompts
+		} else {
+			rep.CacheableQueries++
+			rep.RepeatPromptsCacheable += perQuery[i].RepeatPrompts
+		}
+	}
+	rep.PerQuery = perQuery
+	return rep, nil
+}
+
+// CheckAcceptance enforces the result-cache acceptance criteria:
+// repeated identical corpus traffic costs zero prompts on cacheable
+// queries, relations stay bit-identical with the cache on vs off and
+// across hot passes, and an epoch bump observably re-executes everything
+// without changing a result.
+func (rep *ResultCacheReport) CheckAcceptance() error {
+	var errs []error
+	if rep.RepeatPromptsCacheable != 0 {
+		errs = append(errs, fmt.Errorf("repeated cacheable traffic cost %d prompts, want 0", rep.RepeatPromptsCacheable))
+	}
+	if !rep.FirstRunIdentical {
+		errs = append(errs, errors.New("cache-on first pass diverged from the uncached control"))
+	}
+	if !rep.RepeatIdentical {
+		errs = append(errs, errors.New("a hot-pass relation diverged from its cold-pass relation"))
+	}
+	if rep.CachedFirstPrompts != rep.UncachedFirstPrompts {
+		errs = append(errs, fmt.Errorf("cold pass cost %d prompts with the cache on vs %d off", rep.CachedFirstPrompts, rep.UncachedFirstPrompts))
+	}
+	if want := rep.CacheableQueries * rep.Repeats; rep.ResultCacheHits < want {
+		errs = append(errs, fmt.Errorf("result cache hits = %d, want >= %d (every hot-pass cacheable query)", rep.ResultCacheHits, want))
+	}
+	if !rep.InvalidationReexecuted {
+		errs = append(errs, errors.New("a cacheable query was served from the cache across an epoch bump"))
+	}
+	if !rep.InvalidationIdentical {
+		errs = append(errs, errors.New("re-execution after the epoch bump changed a relation"))
+	}
+	return errors.Join(errs...)
+}
+
+// WriteResultCacheArtifact writes the report as indented JSON — the
+// committed BENCH_resultcache.json tracking the serving hot path.
+func WriteResultCacheArtifact(path string, rep *ResultCacheReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

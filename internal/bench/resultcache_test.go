@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestResultCacheComparison is the acceptance gate of the relation-level
+// result cache: repeated identical corpus traffic must cost zero prompts
+// on cacheable queries while every relation stays bit-identical to the
+// uncached control, and a PrimeTableKeys epoch bump must observably
+// re-execute everything without changing a result.
+func TestResultCacheComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ResultCacheComparison(context.Background(), simllm.ChatGPT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheableQueries == 0 {
+		t.Fatal("no cacheable queries in the corpus")
+	}
+	if rep.CacheableQueries+rep.LimitQueries != rep.Queries {
+		t.Errorf("per-class counts don't add up: %d + %d != %d",
+			rep.CacheableQueries, rep.LimitQueries, rep.Queries)
+	}
+	t.Logf("corpus of %d (%d cacheable): cold %d prompts, hot %d prompts, %d cache hits",
+		rep.Queries, rep.CacheableQueries, rep.CachedFirstPrompts,
+		rep.RepeatPromptsCacheable+rep.RepeatPromptsLimit, rep.ResultCacheHits)
+}
+
+// TestResultCacheDeterministic pins the artifact's reproducibility: two
+// fresh comparisons must agree byte-for-byte on the JSON CI diffs.
+func TestResultCacheDeterministic(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := r.ResultCacheComparison(ctx, simllm.ChatGPT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ResultCacheComparison(ctx, simllm.ChatGPT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("comparison not deterministic:\nfirst:  %s\nsecond: %s", aj, bj)
+	}
+}

@@ -11,7 +11,10 @@
 package clean
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -306,6 +309,28 @@ func NewCanonicalizer(pairs map[string]string) *Canonicalizer {
 		m[strings.ToLower(strings.TrimSpace(alias))] = canon
 	}
 	return &Canonicalizer{aliases: m}
+}
+
+// Fingerprint digests the alias table into a short stable string, so
+// engine tiers can fold the cleaning configuration into cache keys. A
+// nil canonicalizer fingerprints as the empty string.
+func (c *Canonicalizer) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	keys := make([]string, 0, len(c.aliases))
+	for k := range c.aliases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{'='})
+		h.Write([]byte(c.aliases[k]))
+		h.Write([]byte{';'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Add registers one alias.

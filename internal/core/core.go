@@ -32,6 +32,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/memdb"
 	"repro/internal/optimizer"
+	"repro/internal/rescache"
 	"repro/internal/schema"
 )
 
@@ -75,6 +76,20 @@ type Options struct {
 	// CacheSize caps the number of completions the prompt cache retains
 	// (0 means llm.DefaultCacheSize).
 	CacheSize int
+	// ResultCacheEnabled turns on the runtime-level relation result
+	// cache: whole query results are cached by a canonical plan
+	// fingerprint plus the runtime's binding epoch, so an identical
+	// LIMIT-free query arriving again costs zero prompts and zero
+	// planning, and K concurrent identical queries execute once
+	// (singleflight). BindLLMTable, AttachDB and PrimeTableKeys bump the
+	// epoch and invalidate every earlier entry. Runtime-tier, fixed at
+	// NewRuntime. Default off (the paper configuration and the engine
+	// defaults report fresh per-query statistics); galois-serve enables
+	// it by default via -result-cache.
+	ResultCacheEnabled bool
+	// ResultCacheSize caps the number of relations the result cache
+	// retains (0 means rescache.DefaultSize).
+	ResultCacheSize int
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string
@@ -151,6 +166,10 @@ func (e *Engine) PrimeTableKeys(table string, keys int) { e.rt.PrimeTableKeys(ta
 // CacheStats reports the engine-lifetime prompt-cache counters (zero
 // value when the cache is disabled).
 func (e *Engine) CacheStats() llm.CacheStats { return e.rt.CacheStats() }
+
+// ResultCacheStats reports the engine-lifetime result-cache counters
+// (zero value when the result cache is disabled).
+func (e *Engine) ResultCacheStats() rescache.Stats { return e.rt.ResultCacheStats() }
 
 // AttachDB connects a relational store for DB-bound (and hybrid) queries.
 func (e *Engine) AttachDB(db *memdb.DB) { e.rt.AttachDB(db) }

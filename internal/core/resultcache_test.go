@@ -1,0 +1,352 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/simllm"
+	"repro/internal/value"
+	"repro/internal/world"
+)
+
+// resultCacheOptions is the shared configuration of these tests: result
+// cache on, prompt cache off (so model-call counts and relation contents
+// are attributable to the result cache alone, and a backend swap cannot
+// leak stale completions through the prompt tier).
+func resultCacheOptions() Options {
+	opts := DefaultOptions()
+	opts.CacheEnabled = false
+	opts.ResultCacheEnabled = true
+	return opts
+}
+
+// countingClient counts the model calls that actually reach the backend.
+type countingClient struct {
+	inner llm.Client
+	calls atomic.Int64
+}
+
+func (c *countingClient) Name() string { return c.inner.Name() }
+func (c *countingClient) Complete(ctx context.Context, p string) (string, error) {
+	c.calls.Add(1)
+	return c.inner.Complete(ctx, p)
+}
+
+const rcQuery = `SELECT name FROM country WHERE continent = 'Europe'`
+
+// TestResultCacheHitServesWithoutExecution: the second identical query
+// is served from the result cache — zero prompts, zero model calls, the
+// bit-identical relation, and the populating run's plan.
+func TestResultCacheHitServesWithoutExecution(t *testing.T) {
+	w := world.Build()
+	client := &countingClient{inner: simllm.New(simllm.ChatGPT, w, 1)}
+	rt := runtimeOver(t, client, resultCacheOptions(), w)
+	ctx := context.Background()
+
+	rel1, rep1, err := rt.NewSession().Query(ctx, rcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Cached {
+		t.Error("cold query reported cached")
+	}
+	coldCalls := client.calls.Load()
+	if coldCalls == 0 || rep1.Stats.Prompts == 0 {
+		t.Fatalf("cold query issued no model calls (%d calls, %d prompts)", coldCalls, rep1.Stats.Prompts)
+	}
+
+	rel2, rep2, err := rt.NewSession().Query(ctx, rcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Cached {
+		t.Error("repeated query was not served from the result cache")
+	}
+	if rep2.Stats.Prompts != 0 || client.calls.Load() != coldCalls {
+		t.Errorf("cached hit cost prompts: %d prompts, %d extra calls",
+			rep2.Stats.Prompts, client.calls.Load()-coldCalls)
+	}
+	if rel2.String() != rel1.String() {
+		t.Errorf("cached relation diverged:\n%s\nwant:\n%s", rel2.String(), rel1.String())
+	}
+	if rep2.Plan != rep1.Plan {
+		t.Errorf("cached plan diverged:\n%s\nwant:\n%s", rep2.Plan, rep1.Plan)
+	}
+	st := rt.ResultCacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("result cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+
+	// Mutating a served relation must not pollute the cache.
+	rel2.Rows[0][0] = value.Text("CORRUPTED")
+	rel3, _, err := rt.NewSession().Query(ctx, rcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel3.String() != rel1.String() {
+		t.Error("mutating a cached result leaked into later hits")
+	}
+}
+
+// TestResultCacheEpochInvalidation: BindLLMTable, AttachDB and
+// PrimeTableKeys each bump the epoch and force re-execution.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	w := world.Build()
+	client := &countingClient{inner: simllm.New(simllm.ChatGPT, w, 1)}
+	rt := runtimeOver(t, client, resultCacheOptions(), w)
+	ctx := context.Background()
+
+	bump := func(name string, fn func()) {
+		t.Helper()
+		if _, _, err := rt.NewSession().Query(ctx, rcQuery); err != nil {
+			t.Fatal(err)
+		}
+		before := client.calls.Load()
+		epochBefore := rt.Epoch()
+		fn()
+		if rt.Epoch() == epochBefore {
+			t.Fatalf("%s did not bump the epoch", name)
+		}
+		_, rep, err := rt.NewSession().Query(ctx, rcQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cached || client.calls.Load() == before {
+			t.Errorf("%s: query after the bump was served from the cache", name)
+		}
+	}
+
+	bump("PrimeTableKeys", func() { rt.PrimeTableKeys("country", 50) })
+	bump("BindLLMTable", func() {
+		if err := rt.BindLLMTable(w.Table("city").Def); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bump("AttachDB", func() { rt.AttachDB(mustDB(t)) })
+}
+
+// TestResultCacheLimitBypass: LIMIT-bearing statements never populate
+// (or consult) the cache — a truncated relation must not be served as a
+// complete one.
+func TestResultCacheLimitBypass(t *testing.T) {
+	w := world.Build()
+	rt := runtimeOver(t, simllm.New(simllm.ChatGPT, w, 1), resultCacheOptions(), w)
+	ctx := context.Background()
+
+	// OFFSET without LIMIT also truncates (the builder lowers it to a
+	// Limit node), so it must bypass too.
+	for _, truncated := range []string{rcQuery + ` LIMIT 3`, rcQuery + ` OFFSET 2`} {
+		for i := 0; i < 2; i++ {
+			_, rep, err := rt.NewSession().Query(ctx, truncated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Cached {
+				t.Fatalf("run %d of %q was served from the result cache", i+1, truncated)
+			}
+		}
+	}
+	if st := rt.ResultCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("truncating queries touched the result cache: %+v", st)
+	}
+}
+
+// slowClient delays completions so concurrent identical queries overlap
+// long enough for the singleflight to be exercised.
+type slowClient struct {
+	inner llm.Client
+	delay time.Duration
+}
+
+func (s *slowClient) Name() string { return s.inner.Name() }
+func (s *slowClient) Complete(ctx context.Context, p string) (string, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	return s.inner.Complete(ctx, p)
+}
+
+// TestResultCacheSingleflightStorm: K concurrent identical queries cost
+// exactly one execution's model calls, and every caller receives the
+// identical relation.
+func TestResultCacheSingleflightStorm(t *testing.T) {
+	w := world.Build()
+
+	// Reference: one solo execution on an identically seeded runtime.
+	soloClient := &countingClient{inner: simllm.New(simllm.ChatGPT, w, 1)}
+	soloRT := runtimeOver(t, soloClient, resultCacheOptions(), w)
+	soloRel, _, err := soloRT.NewSession().Query(context.Background(), rcQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := &countingClient{inner: &slowClient{inner: simllm.New(simllm.ChatGPT, w, 1), delay: time.Millisecond}}
+	rt := runtimeOver(t, client, resultCacheOptions(), w)
+	const k = 12
+	rels := make([]string, k)
+	var cachedCount atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, rep, err := rt.NewSession().Query(context.Background(), rcQuery)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rels[i] = rel.String()
+			if rep.Cached {
+				cachedCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got, want := client.calls.Load(), soloClient.calls.Load(); got != want {
+		t.Errorf("%d concurrent identical queries cost %d model calls, want %d (one execution)", k, got, want)
+	}
+	for i, r := range rels {
+		if r != soloRel.String() {
+			t.Errorf("caller %d diverged from the solo run:\n%s", i, r)
+		}
+	}
+	if cachedCount.Load() != k-1 {
+		t.Errorf("%d of %d callers were cached, want %d (all but the leader)", cachedCount.Load(), k, k-1)
+	}
+	if st := rt.ResultCacheStats(); st.Misses != 1 || st.Hits != k-1 {
+		t.Errorf("result cache stats = %+v, want 1 miss / %d hits", st, k-1)
+	}
+}
+
+// TestResultFingerprintOptionSetsUnambiguous: distinct per-conjunct
+// option sets must never collide in the fingerprint (conjunct keys
+// contain spaces, so a plain join would let {"a b","c"} and {"a","b c"}
+// alias each other — and with them, cached relations across sessions).
+func TestResultFingerprintOptionSetsUnambiguous(t *testing.T) {
+	w := world.Build()
+	rt := runtimeOver(t, simllm.New(simllm.ChatGPT, w, 1), resultCacheOptions(), w)
+
+	fingerprint := func(set map[string]bool) string {
+		s := rt.NewSession()
+		opts := s.Options()
+		opts.Optimizer.DisableLLMFilter = set
+		s.SetOptions(opts)
+		plan, err := s.Plan(rcQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.resultFingerprint(plan)
+	}
+
+	a := fingerprint(map[string]bool{"a b": true, "c": true})
+	b := fingerprint(map[string]bool{"a": true, "b c": true})
+	if a == b {
+		t.Error("distinct option sets produced the same result-cache fingerprint")
+	}
+	if a != fingerprint(map[string]bool{"c": true, "a b": true}) {
+		t.Error("option-set fingerprint depends on map iteration order")
+	}
+}
+
+// versionedClient delegates to one of two deterministic backends. The
+// stale-result test flips the version together with a BindLLMTable epoch
+// bump, modelling a rebinding that changes what the LLM side answers.
+type versionedClient struct {
+	v       atomic.Int32
+	clients [2]llm.Client
+}
+
+func (c *versionedClient) Name() string { return "versioned" }
+func (c *versionedClient) Complete(ctx context.Context, p string) (string, error) {
+	return c.clients[c.v.Load()].Complete(ctx, p)
+}
+
+// TestResultCacheNoStaleAcrossEpochBump is the -race regression for the
+// invalidation contract: a storm of identical queries runs while table
+// bindings churn concurrently, the backend is swapped together with a
+// BindLLMTable bump between phases, and after every bump each newly
+// issued query must observe the new backend's relation — a stale cached
+// relation must never be served across the epoch.
+func TestResultCacheNoStaleAcrossEpochBump(t *testing.T) {
+	w := world.Build()
+	ctx := context.Background()
+
+	// Reference relations per version, computed on pinned runtimes.
+	want := [2]string{}
+	for v := 0; v < 2; v++ {
+		client := &versionedClient{clients: [2]llm.Client{
+			simllm.New(simllm.ChatGPT, w, 1), simllm.New(simllm.GPT3, w, 1),
+		}}
+		client.v.Store(int32(v))
+		rel, _, err := runtimeOver(t, client, resultCacheOptions(), w).NewSession().Query(ctx, rcQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[v] = rel.String()
+	}
+	if want[0] == want[1] {
+		t.Fatal("fixture vacuous: both backends return the same relation")
+	}
+
+	client := &versionedClient{clients: [2]llm.Client{
+		simllm.New(simllm.ChatGPT, w, 1), simllm.New(simllm.GPT3, w, 1),
+	}}
+	rt := runtimeOver(t, client, resultCacheOptions(), w)
+
+	storm := func(version int32) {
+		t.Helper()
+		const k = 8
+		var wg sync.WaitGroup
+		// Unrelated concurrent binds stress epoch bumps racing the storm:
+		// they invalidate entries but cannot change this query's result.
+		stop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := rt.BindLLMTable(w.Table("mountain").Def); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, _, err := rt.NewSession().Query(ctx, rcQuery)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := rel.String(); got != want[version] {
+					t.Errorf("version %d storm served a stale relation:\n%s\nwant:\n%s", version, got, want[version])
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+	}
+
+	for round := 0; round < 3; round++ {
+		for v := int32(0); v < 2; v++ {
+			// Swap the backend, then publish the change with the bump: a
+			// query issued after BindLLMTable returns must see version v.
+			client.v.Store(v)
+			if err := rt.BindLLMTable(w.Table("country").Def); err != nil {
+				t.Fatal(err)
+			}
+			storm(v)
+		}
+	}
+}

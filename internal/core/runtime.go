@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/llm"
 	"repro/internal/memdb"
 	"repro/internal/optimizer"
 	"repro/internal/prompt"
+	"repro/internal/rescache"
 	"repro/internal/schema"
 )
 
@@ -39,6 +41,18 @@ type Runtime struct {
 	// shared stateful tier between the executor and the model, persistent
 	// across queries and sessions.
 	cache *llm.Cache
+	// resultCache is the relation-level result cache (nil when
+	// disabled): whole query results keyed by plan fingerprint + epoch,
+	// shared across sessions so repeated identical traffic skips
+	// planning and execution entirely.
+	resultCache *rescache.Cache
+	// epoch is the binding epoch every result-cache key carries. Any
+	// operation that can change what a query observes — BindLLMTable,
+	// AttachDB, PrimeTableKeys — bumps it, invalidating every result
+	// cached before the change. Statistics refined passively by executed
+	// queries do NOT bump it: they steer plan choice, and the
+	// differential harness pins all candidate plans result-identical.
+	epoch atomic.Uint64
 	// stats feed the cost-based optimizer: table cardinalities, page
 	// sizes and predicate selectivities, starting from defaults and
 	// refined from the per-operator counters of every executed query.
@@ -74,7 +88,32 @@ func NewRuntime(client llm.Client, opts Options) *Runtime {
 	if opts.CacheEnabled {
 		rt.cache = llm.NewCache(opts.CacheSize)
 	}
+	if opts.ResultCacheEnabled {
+		rt.resultCache = rescache.New(opts.ResultCacheSize)
+	}
 	return rt
+}
+
+// Epoch returns the runtime's current binding epoch — the invalidation
+// counter every result-cache key carries.
+func (rt *Runtime) Epoch() uint64 { return rt.epoch.Load() }
+
+// bumpEpoch advances the binding epoch and eagerly evicts every result
+// cached under an older one.
+func (rt *Runtime) bumpEpoch() {
+	e := rt.epoch.Add(1)
+	if rt.resultCache != nil {
+		rt.resultCache.EvictEpochsBelow(e)
+	}
+}
+
+// ResultCacheStats reports the runtime-lifetime result-cache counters
+// (zero value when the result cache is disabled).
+func (rt *Runtime) ResultCacheStats() rescache.Stats {
+	if rt.resultCache == nil {
+		return rescache.Stats{}
+	}
+	return rt.resultCache.Stats()
 }
 
 // NewSession opens a lightweight per-query session carrying the
@@ -111,6 +150,10 @@ func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
 // scale before the first query runs.
 func (rt *Runtime) PrimeTableKeys(table string, keys int) {
 	rt.stats.SetTableKeys(table, keys)
+	// Primed statistics can redirect plan choice wholesale (unlike the
+	// passive per-query refinement), so treat ANALYZE as a state change:
+	// results cached before it are no longer served.
+	rt.bumpEpoch()
 }
 
 // CacheStats reports the runtime-lifetime prompt-cache counters (zero
@@ -125,8 +168,9 @@ func (rt *Runtime) CacheStats() llm.CacheStats {
 // AttachDB connects a relational store for DB-bound (and hybrid) queries.
 func (rt *Runtime) AttachDB(db *memdb.DB) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.db = db
+	rt.mu.Unlock()
+	rt.bumpEpoch()
 }
 
 // BindLLMTable declares a relation whose tuples live in the LLM. The
@@ -139,8 +183,9 @@ func (rt *Runtime) BindLLMTable(def *schema.TableDef) error {
 		return fmt.Errorf("core: table %s: key column %q not in schema", def.Name, def.KeyColumn)
 	}
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.llmDefs[strings.ToLower(def.Name)] = def
+	rt.mu.Unlock()
+	rt.bumpEpoch()
 	return nil
 }
 

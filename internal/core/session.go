@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
+	"repro/internal/rescache"
 	"repro/internal/schema"
 	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
@@ -90,7 +92,21 @@ func (s *Session) ResolveTable(name, explicit string) (*schema.TableDef, string,
 // are enumerated and the cheapest wins; otherwise the fixed heuristics
 // apply and the estimate prices the resulting single plan.
 func (s *Session) planSelect(sel *ast.Select) (logical.Node, *optimizer.PlanCost, error) {
-	factory := func() (logical.Node, error) { return logical.Build(sel, s) }
+	return s.planSelectFrom(sel, nil)
+}
+
+// planSelectFrom is planSelect with an optional pre-built plan consumed
+// by the factory's first call (candidate enumeration still rebuilds for
+// every further candidate, since optimization mutates its input).
+func (s *Session) planSelectFrom(sel *ast.Select, built logical.Node) (logical.Node, *optimizer.PlanCost, error) {
+	factory := func() (logical.Node, error) {
+		if built != nil {
+			plan := built
+			built = nil
+			return plan, nil
+		}
+		return logical.Build(sel, s)
+	}
 	// Price plans with the worker budget that will actually apply: the
 	// runtime scheduler's shared per-endpoint budget in pipelined mode,
 	// the session's batch fan-out in stop-and-go mode.
@@ -137,6 +153,11 @@ type Report struct {
 	// execution. Concurrency benchmarks aggregate these across queries
 	// with llm.AggregateMakespan.
 	Sched *llm.TenantStats
+	// Cached reports that the relation came from the runtime's result
+	// cache (or a concurrent identical execution): no planning beyond
+	// the logical build, zero prompts, Stats all zero. Plan still holds
+	// the plan the populating run executed.
+	Cached bool
 }
 
 // Query executes sql and returns the result relation plus an execution
@@ -152,21 +173,127 @@ func (s *Session) Query(ctx context.Context, sql string) (*schema.Relation, *Rep
 	case *ast.Explain:
 		return s.runExplain(ctx, stmt)
 	case *ast.Select:
-		plan, cost, err := s.planSelect(stmt)
-		if err != nil {
-			return nil, nil, err
-		}
-		rel, rep, err := s.execute(ctx, plan)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Estimate = cost
-		s.observe(plan, rep.Metrics)
-		s.account(rep)
-		return rel, rep, nil
+		return s.runSelect(ctx, stmt)
 	default:
 		return nil, nil, fmt.Errorf("core: only SELECT and EXPLAIN statements can be executed")
 	}
+}
+
+// runSelect executes one SELECT, consulting the runtime's result cache
+// when it is on. Truncating statements — LIMIT, and OFFSET even without
+// one (the builder lowers both to a Limit node) — bypass the cache
+// entirely: a truncated relation's content depends on the executing
+// plan's row order, so it must never be served as the query's one true
+// result — the same observation rule the optimizer statistics follow
+// (see observe).
+func (s *Session) runSelect(ctx context.Context, sel *ast.Select) (*schema.Relation, *Report, error) {
+	rc := s.rt.resultCache
+	if rc == nil || sel.Limit >= 0 || sel.Offset > 0 {
+		return s.executeSelect(ctx, sel, nil)
+	}
+	// The cheap logical build (no candidate enumeration, no costing)
+	// yields the canonical fingerprint; the epoch is captured before
+	// execution, so a bind landing mid-flight keys this result under the
+	// old epoch, where no post-bind lookup can reach it.
+	built, err := logical.Build(sel, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := rescache.Key{Fingerprint: s.resultFingerprint(built), Epoch: s.rt.Epoch()}
+	var popRel *schema.Relation
+	var popRep *Report
+	entry, cached, err := rc.Fetch(ctx, key, func() (*rescache.Entry, error) {
+		rel, rep, err := s.executeSelect(ctx, sel, built)
+		if err != nil {
+			return nil, err
+		}
+		popRel, popRep = rel, rep
+		return &rescache.Entry{Rel: rel, Plan: rep.Plan}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cached {
+		// This caller was the singleflight leader: it executed (and
+		// populated the cache) and reports its real usage.
+		return popRel, popRep, nil
+	}
+	rep := &Report{Plan: entry.Plan, Cached: true}
+	s.account(rep)
+	return entry.Rel, rep, nil
+}
+
+// executeSelect plans, optimizes and executes one SELECT, feeding the
+// observed counters back into the shared statistics. A non-nil built
+// plan (already constructed for the result-cache fingerprint) seeds the
+// planner's first factory call so a cache miss does not build twice.
+func (s *Session) executeSelect(ctx context.Context, sel *ast.Select, built logical.Node) (*schema.Relation, *Report, error) {
+	plan, cost, err := s.planSelectFrom(sel, built)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, rep, err := s.execute(ctx, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Estimate = cost
+	s.observe(plan, rep.Metrics)
+	s.account(rep)
+	return rel, rep, nil
+}
+
+// resultFingerprint keys one built (pre-optimization) plan for the
+// result cache: the canonical plan serialization — literals kept, table
+// bindings folded in (logical.Fingerprint) — prefixed by every session
+// option that can change the computed relation. Options that only change
+// how the same relation is computed (pipelining, worker budgets, the
+// prompt cache, which enumerated candidate wins) are deliberately
+// excluded; the differential harness pins them result-identical.
+func (s *Session) resultFingerprint(plan logical.Node) string {
+	var b strings.Builder
+	o := &s.opts
+	fmt.Fprintf(&b, "opt=%t,%t,%t,%t|", o.Optimizer.PushdownPredicates, o.Optimizer.UseLLMFilter,
+		o.Optimizer.PromptPushdown, o.Optimizer.CostBased)
+	writeSortedSet(&b, o.Optimizer.DisableLLMFilter)
+	writeSortedSet(&b, o.Optimizer.PromptPushdownSkip)
+	writeSortedIntSet(&b, o.Optimizer.SwapJoins)
+	fmt.Fprintf(&b, "clean=%t,%t,%s|", o.Clean.NormalizeNumbers, o.Clean.EnforceTypes,
+		o.Clean.Canonicalizer.Fingerprint())
+	fmt.Fprintf(&b, "scan=%d|", o.MaxScanIterations)
+	if o.Verifier != nil {
+		fmt.Fprintf(&b, "verify=%s,%g|", o.Verifier.Name(), o.VerifyTolerance)
+	}
+	b.WriteString(logical.Fingerprint(plan))
+	return b.String()
+}
+
+// writeSortedSet renders a per-conjunct option set deterministically.
+// Elements are quoted: conjunct keys contain spaces, and a plain join
+// would let distinct sets (e.g. {"a b","c"} vs {"a","b c"}) collide.
+func writeSortedSet(b *strings.Builder, set map[string]bool) {
+	keys := make([]string, 0, len(set))
+	for k, on := range set {
+		if on {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%q,", k)
+	}
+	b.WriteByte('|')
+}
+
+// writeSortedIntSet renders a join-index option set deterministically.
+func writeSortedIntSet(b *strings.Builder, set map[int]bool) {
+	keys := make([]int, 0, len(set))
+	for k, on := range set {
+		if on {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(b, "%v|", keys)
 }
 
 // account folds one executed query into the session-lifetime counters.

@@ -1,0 +1,50 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint renders a canonical serialization of a plan for result
+// caching: two plans share a fingerprint only if they would compute the
+// same relation against the same runtime state. Every Describe line is
+// kept (operator kind, conditions with their literals, projection items,
+// sort order), and nodes whose Describe omits result-relevant state get
+// it folded in explicitly:
+//
+//   - Scan: the resolved source (LLM vs DB) plus the bound table's key
+//     column and declared schema, so two bindings of one table name
+//     never collide;
+//   - Distinct: the key-column prefix it compares;
+//   - Limit: N and Offset (in Describe, but LIMIT-bearing plans bypass
+//     the result cache anyway — a truncated relation must never be
+//     served as complete).
+//
+// The fingerprint deliberately ignores anything that only changes *how*
+// the relation is computed (worker budgets, pipelining, candidate plan
+// choice): the differential harness pins those result-identical.
+// Result-affecting session options are prefixed by the caller — see
+// core.Session.
+func Fingerprint(n Node) string {
+	var b strings.Builder
+	fingerprint(&b, n)
+	return b.String()
+}
+
+func fingerprint(b *strings.Builder, n Node) {
+	b.WriteByte('(')
+	b.WriteString(n.Describe())
+	switch node := n.(type) {
+	case *Scan:
+		fmt.Fprintf(b, "|src=%s|key=%s|cols=", node.Source, node.Table.KeyColumn)
+		for _, c := range node.Table.Schema.Columns {
+			fmt.Fprintf(b, "%s:%s,", c.Name, c.Type)
+		}
+	case *Distinct:
+		fmt.Fprintf(b, "|keycols=%d", node.KeyCols)
+	}
+	for _, c := range n.Children() {
+		fingerprint(b, c)
+	}
+	b.WriteByte(')')
+}

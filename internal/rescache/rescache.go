@@ -1,0 +1,251 @@
+// Package rescache implements the relation-level result cache: the tier
+// above the prompt cache. Where the prompt cache dedups individual model
+// calls, this cache stores whole result relations keyed by a canonical
+// plan fingerprint plus the runtime's binding epoch, so an identical
+// query arriving again costs zero prompts *and* zero planning.
+//
+// Correctness hinges on invalidation: a cached relation is only valid
+// for the binding/statistics state it was computed under. The runtime
+// owns a monotonically increasing epoch, bumped by every operation that
+// can change what a query would observe (BindLLMTable, AttachDB,
+// PrimeTableKeys); the epoch is part of every cache key, so an entry
+// populated before a bump can never satisfy a lookup issued after it.
+// Stale epochs are additionally evicted eagerly so they do not occupy
+// LRU capacity waiting to age out.
+//
+// A singleflight layer collapses K concurrent identical queries into one
+// execution: one leader runs the plan, the other K-1 block on its flight
+// and share the relation. Errors are never cached, and a joiner whose
+// leader failed retries rather than inheriting the failure (the leader's
+// error may be its own cancellation).
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// DefaultSize is the fallback capacity (in relations) of a cache built
+// with size 0. Relations are far heavier than single completions, so the
+// default is much smaller than the prompt cache's.
+const DefaultSize = 256
+
+// Key identifies one cacheable query result.
+type Key struct {
+	// Fingerprint is the canonical serialization of the built logical
+	// plan (literals kept, table bindings folded in) prefixed with every
+	// session option that can change the result — see
+	// core.Session's result fingerprint.
+	Fingerprint string
+	// Epoch is the runtime's binding epoch at lookup time. Rebinding a
+	// table, attaching a store, or priming statistics bumps it, so
+	// entries populated under an older epoch are unreachable.
+	Epoch uint64
+}
+
+// Entry is one cached query result.
+type Entry struct {
+	// Rel is the result relation. The cache stores a private deep copy
+	// and hands out deep copies, so callers may mutate what they receive.
+	Rel *schema.Relation
+	// Plan is the EXPLAIN rendering of the plan the populating run
+	// executed, served on hits so ?plan=1 responses stay meaningful.
+	Plan string
+}
+
+// clone deep-copies an entry so cache-resident relations never alias
+// caller-visible ones.
+func (e *Entry) clone() *Entry {
+	return &Entry{Rel: e.Rel.Clone(), Plan: e.Plan}
+}
+
+// Stats is a snapshot of a cache's lifetime counters.
+type Stats struct {
+	Hits    int // served from memory or from a concurrent in-flight execution
+	Misses  int // required a full plan + execution
+	Entries int // relations currently resident
+}
+
+// flight is one in-flight execution shared by every concurrent caller of
+// the same key; done is closed once entry/err are set.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// cacheItem is one resident result, stored inside the LRU list.
+type cacheItem struct {
+	key   Key
+	entry *Entry
+}
+
+// Cache is a concurrency-safe LRU of result relations with epoch-aware
+// keys and a singleflight layer. A runtime shares one Cache across all
+// its sessions.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	// minEpoch is the newest epoch EvictEpochsBelow has seen: entries
+	// below it are gone and late inserts below it are dropped, so an
+	// execution that straddled a bump cannot resurrect a stale epoch.
+	minEpoch uint64
+	entries  map[Key]*list.Element
+	order    *list.List // front = most recently used
+	flights  map[Key]*flight
+	hits     int
+	misses   int
+}
+
+// New builds a cache retaining at most capacity relations (0 or negative
+// means DefaultSize).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultSize
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[Key]*list.Element{},
+		order:    list.New(),
+		flights:  map[Key]*flight{},
+	}
+}
+
+// Len reports the number of resident relations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}
+
+// EvictEpochsBelow drops every entry whose key epoch is below epoch and
+// refuses future inserts below it. The runtime calls this on every epoch
+// bump so invalidated relations free their memory immediately instead of
+// aging out of the LRU.
+func (c *Cache) EvictEpochsBelow(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.minEpoch {
+		c.minEpoch = epoch
+	}
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if item := el.Value.(*cacheItem); item.key.Epoch < c.minEpoch {
+			c.order.Remove(el)
+			delete(c.entries, item.key)
+		}
+		el = next
+	}
+}
+
+// insertLocked stores an entry (already cloned by the caller), evicting
+// the least recently used item when over capacity. Inserts under an
+// evicted epoch are dropped.
+func (c *Cache) insertLocked(key Key, entry *Entry) {
+	if key.Epoch < c.minEpoch {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).entry = entry
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, entry: entry})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Fetch returns the result for key: from the cache when resident, from a
+// concurrent identical in-flight execution when one exists, otherwise by
+// invoking compute and storing its result. The returned bool reports
+// whether the result came from the cache or a shared flight — false
+// means this caller executed the query itself (and received compute's
+// own return value; hits and joiners receive a private deep copy).
+func (c *Cache) Fetch(ctx context.Context, key Key, compute func() (*Entry, error)) (*Entry, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			entry := el.Value.(*cacheItem).entry
+			c.mu.Unlock()
+			return entry.clone(), true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.entry.clone(), true, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			continue // leader failed; next round joins a fresh flight or leads
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		entry, err := c.lead(f, key, compute)
+		return entry, false, err
+	}
+}
+
+// lead executes compute as the leader of flight f and settles the
+// flight no matter what: even when compute panics (an HTTP server
+// recovers handler panics and keeps running), joiners must see the
+// flight resolve with an error and retry rather than block forever on a
+// poisoned key. The panic itself propagates to the leader's caller.
+func (c *Cache) lead(f *flight, key Key, compute func() (*Entry, error)) (entry *Entry, err error) {
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		f.err = errors.New("rescache: leader panicked")
+		close(f.done)
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+	}()
+
+	entry, err = compute()
+	if err == nil {
+		// The flight and the cache keep a private copy; the leader's
+		// relation stays its own.
+		f.entry = entry.clone()
+	}
+	f.err = err
+	settled = true
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		c.insertLocked(key, f.entry)
+	}
+	c.mu.Unlock()
+	return entry, err
+}

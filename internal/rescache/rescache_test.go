@@ -1,0 +1,275 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// rel builds a one-column relation holding the given strings.
+func rel(cells ...string) *schema.Relation {
+	r := schema.NewRelation(schema.New(schema.Column{Name: "v", Type: value.KindString}))
+	for _, c := range cells {
+		r.Append(schema.Tuple{value.Text(c)})
+	}
+	return r
+}
+
+func entry(cells ...string) *Entry { return &Entry{Rel: rel(cells...), Plan: "plan"} }
+
+func fetch(t *testing.T, c *Cache, key Key, e *Entry) (*Entry, bool) {
+	t.Helper()
+	got, cached, err := c.Fetch(context.Background(), key, func() (*Entry, error) { return e, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, cached
+}
+
+func TestFetchPopulatesAndHits(t *testing.T) {
+	c := New(4)
+	key := Key{Fingerprint: "q1", Epoch: 0}
+
+	got, cached := fetch(t, c, key, entry("a", "b"))
+	if cached {
+		t.Error("first fetch reported cached")
+	}
+	if got.Rel.Cardinality() != 2 {
+		t.Errorf("leader got %d rows", got.Rel.Cardinality())
+	}
+
+	got2, cached2 := fetch(t, c, key, entry("MUST NOT RUN"))
+	if !cached2 {
+		t.Error("second fetch missed")
+	}
+	if got2.Rel.String() != got.Rel.String() {
+		t.Errorf("hit diverged: %q vs %q", got2.Rel.String(), got.Rel.String())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1/1/1", st)
+	}
+}
+
+// TestHitsAreIsolatedCopies: mutating a relation handed out by the cache
+// (or the one the populating caller kept) must not corrupt later hits.
+func TestHitsAreIsolatedCopies(t *testing.T) {
+	c := New(4)
+	key := Key{Fingerprint: "q", Epoch: 0}
+
+	leaderRel, _ := fetch(t, c, key, entry("clean"))
+	leaderRel.Rel.Rows[0][0] = value.Text("dirty-leader")
+
+	h1, _ := fetch(t, c, key, entry("MUST NOT RUN"))
+	if got := h1.Rel.Rows[0][0].String(); got != "clean" {
+		t.Errorf("leader mutation leaked into the cache: %q", got)
+	}
+	h1.Rel.Rows[0][0] = value.Text("dirty-hit")
+	h2, _ := fetch(t, c, key, entry("MUST NOT RUN"))
+	if got := h2.Rel.Rows[0][0].String(); got != "clean" {
+		t.Errorf("hit mutation leaked into the cache: %q", got)
+	}
+}
+
+func TestEpochKeysAreDistinct(t *testing.T) {
+	c := New(4)
+	if _, cached := fetch(t, c, Key{Fingerprint: "q", Epoch: 0}, entry("old")); cached {
+		t.Fatal("unexpected hit")
+	}
+	// Same fingerprint, newer epoch: must miss and recompute.
+	got, cached := fetch(t, c, Key{Fingerprint: "q", Epoch: 1}, entry("new"))
+	if cached {
+		t.Error("lookup at a newer epoch hit a stale entry")
+	}
+	if got.Rel.Rows[0][0].String() != "new" {
+		t.Errorf("got %q", got.Rel.Rows[0][0].String())
+	}
+}
+
+func TestEvictEpochsBelow(t *testing.T) {
+	c := New(8)
+	fetch(t, c, Key{Fingerprint: "a", Epoch: 0}, entry("a"))
+	fetch(t, c, Key{Fingerprint: "b", Epoch: 1}, entry("b"))
+	c.EvictEpochsBelow(1)
+	if c.Len() != 1 {
+		t.Errorf("after eviction len = %d, want 1 (only the epoch-1 entry)", c.Len())
+	}
+	// A late insert under an evicted epoch must be dropped: an execution
+	// that straddled the bump cannot resurrect a stale epoch.
+	fetch(t, c, Key{Fingerprint: "late", Epoch: 0}, entry("late"))
+	if _, cached := fetch(t, c, Key{Fingerprint: "late", Epoch: 0}, entry("recomputed")); cached {
+		t.Error("stale-epoch insert was retained")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	fetch(t, c, Key{Fingerprint: "a"}, entry("a"))
+	fetch(t, c, Key{Fingerprint: "b"}, entry("b"))
+	// Touch a so b is the LRU victim.
+	fetch(t, c, Key{Fingerprint: "a"}, entry("MUST NOT RUN"))
+	fetch(t, c, Key{Fingerprint: "c"}, entry("c"))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, cached := fetch(t, c, Key{Fingerprint: "a"}, entry("a2")); !cached {
+		t.Error("recently used entry was evicted")
+	}
+	if _, cached := fetch(t, c, Key{Fingerprint: "b"}, entry("b2")); cached {
+		t.Error("LRU entry survived over capacity")
+	}
+}
+
+// TestSingleflight: concurrent identical fetches share one computation.
+func TestSingleflight(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const k = 16
+	var wg sync.WaitGroup
+	rels := make([]*Entry, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := c.Fetch(context.Background(), Key{Fingerprint: "q"}, func() (*Entry, error) {
+				calls.Add(1)
+				<-release
+				return entry("shared"), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rels[i] = got
+		}(i)
+	}
+	// The leader blocks in compute until released; every other goroutine
+	// either joins its flight or hits the populated entry afterwards.
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("%d computations for %d concurrent identical fetches, want 1", n, k)
+	}
+	for i, e := range rels {
+		if e == nil || e.Rel.Rows[0][0].String() != "shared" {
+			t.Fatalf("goroutine %d got %v", i, e)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != k-1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want %d hits / 1 miss", st, k-1)
+	}
+}
+
+// TestLeaderErrorNotCachedAndJoinersRetry: errors are never cached, and
+// a joiner whose leader failed retries instead of inheriting the error.
+func TestLeaderErrorNotCachedAndJoinersRetry(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	if _, _, err := c.Fetch(context.Background(), Key{Fingerprint: "q"}, func() (*Entry, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v", err)
+	}
+	got, cached, err := c.Fetch(context.Background(), Key{Fingerprint: "q"}, func() (*Entry, error) {
+		return entry("ok"), nil
+	})
+	if err != nil || cached || got.Rel.Rows[0][0].String() != "ok" {
+		t.Errorf("retry after failed leader: %v %v %v", got, cached, err)
+	}
+}
+
+// TestLeaderPanicDoesNotPoisonKey: a panicking compute must settle its
+// flight (joiners retry) instead of leaving the key blocked forever,
+// and the panic must reach the leader's caller.
+func TestLeaderPanicDoesNotPoisonKey(t *testing.T) {
+	c := New(4)
+	key := Key{Fingerprint: "q"}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		c.Fetch(context.Background(), key, func() (*Entry, error) { panic("boom") })
+	}()
+
+	// The key must be usable again: a fresh fetch computes and succeeds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, cached, err := c.Fetch(context.Background(), key, func() (*Entry, error) {
+			return entry("recovered"), nil
+		})
+		if err != nil || cached || got.Rel.Rows[0][0].String() != "recovered" {
+			t.Errorf("fetch after leader panic: %v %v %v", got, cached, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache key poisoned: fetch after leader panic never returned")
+	}
+}
+
+func TestFetchContextCancelled(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Fetch(context.Background(), Key{Fingerprint: "q"}, func() (*Entry, error) {
+			close(started)
+			<-release
+			return entry("late"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Fetch(ctx, Key{Fingerprint: "q"}, func() (*Entry, error) {
+		return entry("MUST NOT RUN"), nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled joiner error = %v", err)
+	}
+	close(release)
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines under
+// -race: distinct keys, shared keys, and epoch evictions interleaved.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := Key{Fingerprint: fmt.Sprintf("q%d", i%5), Epoch: uint64(i % 3)}
+				got, _, err := c.Fetch(context.Background(), key, func() (*Entry, error) {
+					return entry(key.Fingerprint), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Rel.Rows[0][0].String() != key.Fingerprint {
+					t.Errorf("wrong relation for %v", key)
+					return
+				}
+				if i%17 == 0 {
+					c.EvictEpochsBelow(uint64(i % 3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
