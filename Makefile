@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache serve fuzz cover
 
 check: vet build race
 
@@ -38,6 +38,12 @@ bench-concurrency:
 # result cache, with an epoch-bump invalidation probe.
 bench-resultcache:
 	$(GO) test -run '^$$' -bench BenchmarkResultCacheComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_semcache.json artifact
+# (deterministic): the subsumption tier answering never-seen near-miss
+# queries from cached relations, with a per-table invalidation probe.
+bench-semcache:
+	$(GO) test -run '^$$' -bench BenchmarkSemanticCacheComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

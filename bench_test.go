@@ -340,14 +340,15 @@ func BenchmarkConcurrencyComparison(b *testing.B) {
 	}
 }
 
-// BenchmarkResultCacheComparison measures the relation-level result
-// cache on repeated corpus traffic — one cold pass, two hot passes, and
-// a PrimeTableKeys epoch bump — against a cache-off control, and writes
-// the machine-readable BENCH_resultcache.json artifact. Repeated
-// identical queries must cost zero prompts while every relation stays
-// bit-identical, and the epoch bump must observably re-execute
-// everything (the report is deterministic, so the committed artifact is
-// reproducible):
+// BenchmarkResultCacheComparison measures the semantic result
+// cache on repeated corpus traffic — one cold pass (where subsumption
+// already answers some queries from earlier results), two hot passes,
+// and a per-table PrimeTableKeys epoch bump — against a cache-off
+// control, and writes the machine-readable BENCH_resultcache.json
+// artifact. Repeated identical queries must cost zero prompts while
+// every relation stays bit-identical, and the epoch bump must
+// re-execute only the primed table's queries (the report is
+// deterministic, so the committed artifact is reproducible):
 //
 //	go test -run '^$' -bench BenchmarkResultCacheComparison -benchtime=1x .
 func BenchmarkResultCacheComparison(b *testing.B) {
@@ -368,6 +369,38 @@ func BenchmarkResultCacheComparison(b *testing.B) {
 		b.Fatalf("acceptance criteria violated:\n%v", err)
 	}
 	if err := bench.WriteResultCacheArtifact("BENCH_resultcache.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSemanticCacheComparison measures the subsumption tier of the
+// semantic result cache on the fixed near-miss corpus — parents execute
+// cold and replay exactly hot, then children the cache has never seen
+// verbatim must each be answered by a residual plan over a cached
+// relation for zero prompts, bit-identical to direct execution on a
+// cache-off control — and writes the machine-readable
+// BENCH_semcache.json artifact (the report is deterministic, so the
+// committed artifact is reproducible):
+//
+//	go test -run '^$' -bench BenchmarkSemanticCacheComparison -benchtime=1x .
+func BenchmarkSemanticCacheComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.SemCacheReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.SemanticCacheComparison(ctx, simllm.ChatGPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.ColdPrompts)/float64(rep.Parents), "cold_prompts/parent")
+	b.ReportMetric(float64(rep.NearMissPrompts), "near_miss_prompts")
+	b.ReportMetric(float64(rep.NearMissSubsumed), "children_subsumed")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteSemCacheArtifact("BENCH_semcache.json", rep); err != nil {
 		b.Fatal(err)
 	}
 }

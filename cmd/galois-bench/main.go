@@ -49,6 +49,7 @@ func run() error {
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains when -cache is set")
 	resultCache := flag.Bool("result-cache", false, "run the table/latency/extension experiments with the relation-level result cache on (default off = the paper's configuration)")
 	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains when -result-cache is set")
+	resultCacheBytes := flag.Int("result-cache-bytes", 0, "approximate byte budget for the result cache (0 = unlimited; the LRU evicts past it)")
 	pipeline := flag.Bool("pipeline", false, "run the table/latency/extension experiments with the pipelined streaming executor (default off = the paper's stop-and-go execution)")
 	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
 	flag.Parse()
@@ -67,6 +68,7 @@ func run() error {
 	opts.CacheSize = *cacheSize
 	opts.ResultCacheEnabled = *resultCache
 	opts.ResultCacheSize = *resultCacheSize
+	opts.ResultCacheBytes = *resultCacheBytes
 	opts.Pipelined = *pipeline
 	if *workers > 0 {
 		opts.BatchWorkers = *workers
@@ -291,17 +293,17 @@ func printResultCache(ctx context.Context, r *bench.Runner, p simllm.Profile) er
 	if err != nil {
 		return err
 	}
-	fmt.Println("Ablation I: relation-level result cache (repeated dashboard traffic; prompt cache off in both arms)")
-	fmt.Printf("  corpus of %d queries (%d cacheable, %d LIMIT-bearing bypass), %d hot passes\n",
+	fmt.Println("Ablation I: semantic result cache (repeated dashboard traffic; prompt cache off in both arms)")
+	fmt.Printf("  corpus of %d queries (%d storable, %d LIMIT-bearing consume-only), %d hot passes\n",
 		rep.Queries, rep.CacheableQueries, rep.LimitQueries, rep.Repeats)
-	fmt.Printf("  first pass:   %d prompts uncached vs %d prompts cached (results identical: %v)\n",
-		rep.UncachedFirstPrompts, rep.CachedFirstPrompts, rep.FirstRunIdentical)
-	fmt.Printf("  hot passes:   %d prompts on cacheable queries, %d on LIMIT queries (relations identical: %v)\n",
+	fmt.Printf("  first pass:   %d prompts uncached vs %d cached — %d queries already subsumed cold (results identical: %v)\n",
+		rep.UncachedFirstPrompts, rep.CachedFirstPrompts, rep.ColdSubsumed, rep.FirstRunIdentical)
+	fmt.Printf("  hot passes:   %d prompts on storable queries, %d on LIMIT queries (relations identical: %v)\n",
 		rep.RepeatPromptsCacheable, rep.RepeatPromptsLimit, rep.RepeatIdentical)
-	fmt.Printf("  result cache: %d hits / %d misses / %d entries\n",
-		rep.ResultCacheHits, rep.ResultCacheMisses, rep.ResultCacheEntries)
-	fmt.Printf("  epoch bump (ANALYZE): re-executed: %v, relations still identical: %v\n\n",
-		rep.InvalidationReexecuted, rep.InvalidationIdentical)
+	fmt.Printf("  result cache: %d exact hits / %d subsumed / %d misses / %d entries\n",
+		rep.ResultCacheHits, rep.ResultCacheSubsumedHits, rep.ResultCacheMisses, rep.ResultCacheEntries)
+	fmt.Printf("  per-table bump (ANALYZE): primed table re-executed: %v, unrelated tables retained: %v, relations still identical: %v\n\n",
+		rep.InvalidationReexecuted, rep.InvalidationRetained, rep.InvalidationIdentical)
 	return nil
 }
 

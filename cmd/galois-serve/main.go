@@ -8,7 +8,7 @@
 //
 //	galois-serve [-addr :8080] [-model chatgpt] [-seed 1]
 //	             [-max-concurrent 16] [-workers 8] [-cache] [-pipeline]
-//	             [-result-cache] [-result-cache-size 256]
+//	             [-result-cache] [-result-cache-size 256] [-result-cache-bytes N]
 //
 // Endpoints:
 //
@@ -65,6 +65,7 @@ func run() error {
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
 	resultCache := flag.Bool("result-cache", true, "enable the shared result cache (identical LIMIT-free queries served as whole relations: zero prompts, zero planning; invalidated on rebind/ANALYZE)")
 	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains")
+	resultCacheBytes := flag.Int("result-cache-bytes", 0, "approximate byte budget for the result cache (0 = unlimited; the LRU evicts past it)")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor on the shared scheduler")
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection")
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
@@ -87,6 +88,7 @@ func run() error {
 	opts.CacheSize = *cacheSize
 	opts.ResultCacheEnabled = *resultCache
 	opts.ResultCacheSize = *resultCacheSize
+	opts.ResultCacheBytes = *resultCacheBytes
 	opts.Pipelined = *pipeline
 	opts.BatchWorkers = *workers
 	rt, err := runner.Runtime(runner.Model(profile), opts)

@@ -537,15 +537,15 @@ func TestServeResultCache(t *testing.T) {
 
 	const sql = `SELECT name FROM country WHERE continent = 'Europe'`
 	resp1, qr1 := postQuery(t, ts, sql)
-	if resp1.StatusCode != http.StatusOK || qr1.Cached {
+	if resp1.StatusCode != http.StatusOK || qr1.Cached != false {
 		t.Fatalf("cold query: status %d, cached %v", resp1.StatusCode, qr1.Cached)
 	}
 	resp2, qr2 := postQuery(t, ts, sql)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("hot query: status %d", resp2.StatusCode)
 	}
-	if !qr2.Cached || qr2.Stats.Prompts != 0 {
-		t.Errorf("hot query: cached=%v prompts=%d, want cached with 0 prompts", qr2.Cached, qr2.Stats.Prompts)
+	if qr2.Cached != "exact" || qr2.Stats.Prompts != 0 {
+		t.Errorf("hot query: cached=%v prompts=%d, want \"exact\" with 0 prompts", qr2.Cached, qr2.Stats.Prompts)
 	}
 	if fmt.Sprint(qr2.Rows) != fmt.Sprint(qr1.Rows) {
 		t.Errorf("cached rows diverged:\n%v\nwant:\n%v", qr2.Rows, qr1.Rows)
@@ -571,7 +571,7 @@ func TestServeResultCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp3, qr3 := postQuery(t, ts, sql)
-	if resp3.StatusCode != http.StatusOK || qr3.Cached || qr3.Stats.Prompts == 0 {
+	if resp3.StatusCode != http.StatusOK || qr3.Cached != false || qr3.Stats.Prompts == 0 {
 		t.Errorf("post-rebind query: status %d cached=%v prompts=%d, want fresh execution",
 			resp3.StatusCode, qr3.Cached, qr3.Stats.Prompts)
 	}
@@ -589,6 +589,61 @@ func TestServeResultCache(t *testing.T) {
 	}
 	if st2.Epoch <= epochBefore {
 		t.Errorf("epoch did not advance on rebind: %d -> %d", epochBefore, st2.Epoch)
+	}
+}
+
+// TestServeResultCacheSubsumption: a query subsumed by a cached
+// relation's plan is answered with cached="subsumed" and zero prompts —
+// including a truncating LIMIT query, which the exact tier never serves
+// — and /stats exposes the subsumed-hit counter and per-table epochs.
+func TestServeResultCacheSubsumption(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	opts.ResultCacheEnabled = true
+	_, rt := testRuntime(t, opts)
+	ts := httptest.NewServer(newServer(rt, 4))
+	defer ts.Close()
+
+	// The parent populates the cache with a producer-shaped relation.
+	respP, qrP := postQuery(t, ts, `SELECT name, continent FROM country`)
+	if respP.StatusCode != http.StatusOK || qrP.Cached != false || qrP.Stats.Prompts == 0 {
+		t.Fatalf("parent query: status %d cached=%v prompts=%d", respP.StatusCode, qrP.Cached, qrP.Stats.Prompts)
+	}
+
+	// Children: a projection subset with a residual key-column filter
+	// (non-key LLM attribute predicates are answered by boolean prompts
+	// and never run locally), and a truncating LIMIT consumer.
+	for _, child := range []string{
+		`SELECT name FROM country WHERE name != 'Atlantis'`,
+		`SELECT name, continent FROM country LIMIT 3`,
+	} {
+		resp, qr := postQuery(t, ts, child)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("child %q: status %d", child, resp.StatusCode)
+		}
+		if qr.Cached != "subsumed" || qr.Stats.Prompts != 0 {
+			t.Errorf("child %q: cached=%v prompts=%d, want \"subsumed\" with 0 prompts",
+				child, qr.Cached, qr.Stats.Prompts)
+		}
+	}
+
+	var st serverStats
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultCacheSubsumedHits != 2 {
+		t.Errorf("result_cache_subsumed_hits = %d, want 2", st.ResultCacheSubsumedHits)
+	}
+	if st.ResultCacheBytes <= 0 {
+		t.Errorf("result_cache_bytes = %d, want > 0", st.ResultCacheBytes)
+	}
+	if st.TableEpochs == nil {
+		t.Error("table_epochs missing from /stats")
 	}
 }
 

@@ -65,10 +65,24 @@ type queryResponse struct {
 	Rows     [][]string `json:"rows"`
 	RowCount int        `json:"row_count"`
 	Plan     string     `json:"plan,omitempty"`
-	// Cached reports that the relation was served from the runtime's
-	// result cache (zero prompts, no planning beyond the logical build).
-	Cached bool       `json:"cached"`
+	// Cached reports how the runtime's result cache answered the query:
+	// false (executed against the base tables), "exact" (relation served
+	// verbatim — zero prompts, no planning beyond the logical build), or
+	// "subsumed" (a residual plan evaluated locally over a cached
+	// relation — zero prompts).
+	Cached any        `json:"cached"`
 	Stats  queryStats `json:"stats"`
+}
+
+// cachedJSON renders a report's cache outcome for the wire: false when
+// the query executed, the outcome string otherwise. Older clients that
+// treated the field as a boolean read both "exact" and "subsumed" as
+// truthy.
+func cachedJSON(c core.CacheOutcome) any {
+	if c == core.CacheNone {
+		return false
+	}
+	return string(c)
 }
 
 // queryStats is the per-query usage summary.
@@ -171,7 +185,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Types:    make([]string, rel.Schema.Len()),
 		Rows:     make([][]string, 0, rel.Cardinality()),
 		RowCount: rel.Cardinality(),
-		Cached:   rep.Cached,
+		Cached:   cachedJSON(rep.Cached),
 		Stats: queryStats{
 			Prompts:            rep.Stats.Prompts,
 			PromptTokens:       rep.Stats.PromptTokens,
@@ -262,11 +276,17 @@ type serverStats struct {
 	CacheMisses   int   `json:"cache_misses"`
 	CacheEntries  int   `json:"cache_entries"`
 	// Result-cache counters: whole relations served without planning or
-	// prompts, plus the binding epoch entries are currently keyed under.
-	ResultCacheHits    int    `json:"result_cache_hits"`
-	ResultCacheMisses  int    `json:"result_cache_misses"`
-	ResultCacheEntries int    `json:"result_cache_entries"`
-	Epoch              uint64 `json:"epoch"`
+	// prompts (exact hits), queries answered by a residual plan over a
+	// cached relation (subsumed hits), resident entries and their
+	// approximate bytes, plus the binding epochs — the total bump count
+	// and the per-component breakdown entries are currently keyed under.
+	ResultCacheHits         int               `json:"result_cache_hits"`
+	ResultCacheSubsumedHits int               `json:"result_cache_subsumed_hits"`
+	ResultCacheMisses       int               `json:"result_cache_misses"`
+	ResultCacheEntries      int               `json:"result_cache_entries"`
+	ResultCacheBytes        int               `json:"result_cache_bytes"`
+	Epoch                   uint64            `json:"epoch"`
+	TableEpochs             map[string]uint64 `json:"table_epochs"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -282,10 +302,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:          cs.Hits,
 		CacheMisses:        cs.Misses,
 		CacheEntries:       cs.Entries,
-		ResultCacheHits:    rcs.Hits,
-		ResultCacheMisses:  rcs.Misses,
-		ResultCacheEntries: rcs.Entries,
-		Epoch:              s.rt.Epoch(),
+		ResultCacheHits:         rcs.Hits,
+		ResultCacheSubsumedHits: rcs.SubsumedHits,
+		ResultCacheMisses:       rcs.Misses,
+		ResultCacheEntries:      rcs.Entries,
+		ResultCacheBytes:        rcs.Bytes,
+		Epoch:                   s.rt.Epoch(),
+		TableEpochs:             s.rt.TableEpochs(),
 	})
 }
 

@@ -45,6 +45,7 @@ func run() error {
 	cacheSize := flag.Int("cache-size", llm.DefaultCacheSize, "max completions the prompt cache retains")
 	resultCache := flag.Bool("result-cache", true, "enable the relation-level result cache (identical LIMIT-free queries served without planning or prompts; invalidated on rebind/ANALYZE)")
 	resultCacheSize := flag.Int("result-cache-size", rescache.DefaultSize, "max relations the result cache retains")
+	resultCacheBytes := flag.Int("result-cache-bytes", 0, "approximate byte budget for the result cache (0 = unlimited; the LRU evicts past it)")
 	pipeline := flag.Bool("pipeline", true, "enable the pipelined streaming executor (overlap prompt waves across operators; off = the paper's stop-and-go execution)")
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection (enumerate candidate plans, pick the one with the fewest estimated prompts; off = the paper's fixed rewrite heuristics)")
 	workers := flag.Int("workers", 0, "per-endpoint LLM worker budget (0 = the engine default); in pipelined mode this is the shared scheduler's budget")
@@ -72,6 +73,7 @@ func run() error {
 	opts.CacheSize = *cacheSize
 	opts.ResultCacheEnabled = *resultCache
 	opts.ResultCacheSize = *resultCacheSize
+	opts.ResultCacheBytes = *resultCacheBytes
 	opts.Pipelined = *pipeline
 	if *workers > 0 {
 		opts.BatchWorkers = *workers

@@ -85,7 +85,9 @@ type queryOutcome struct {
 	makespan time.Duration
 	// sched is the query's scheduler accounting (concurrent aggregation).
 	sched *llm.TenantStats
-	err   error
+	// cached reports how the result cache answered (cache-on arms only).
+	cached core.CacheOutcome
+	err    error
 }
 
 // runQuery executes one corpus query on a fresh session of rt.
@@ -99,6 +101,7 @@ func runQuery(ctx context.Context, rt *core.Runtime, sql string) queryOutcome {
 		prompts:  rep.Stats.Prompts,
 		makespan: rep.Stats.SimulatedLatency,
 		sched:    rep.Sched,
+		cached:   rep.Cached,
 	}
 }
 

@@ -98,3 +98,94 @@ func TestGoldenPlans(t *testing.T) {
 		})
 	}
 }
+
+// goldenResidualCases snapshot EXPLAIN output for queries the semantic
+// result cache answers by subsumption: a parent query warms the cache,
+// then the child's cost-based EXPLAIN must pick the residual plan over a
+// CachedScan (zero prompts beats any direct plan).
+var goldenResidualCases = []struct {
+	name   string
+	parent string
+	child  string
+}{
+	{
+		name:   "residual-projection",
+		parent: `SELECT name, continent FROM country`,
+		child:  `SELECT name FROM country`,
+	},
+	{
+		name:   "residual-filter-limit",
+		parent: `SELECT name, continent FROM country`,
+		child:  `SELECT name FROM country WHERE name != 'Atlantis' LIMIT 3`,
+	},
+	{
+		name:   "residual-sort-distinct",
+		parent: `SELECT name, continent FROM country`,
+		child:  `SELECT DISTINCT continent FROM country ORDER BY continent`,
+	},
+	{
+		name:   "residual-aggregate",
+		parent: `SELECT name, population FROM city`,
+		child:  `SELECT COUNT(*) FROM city`,
+	},
+}
+
+// TestGoldenResidualPlans snapshots the residual-plan EXPLAIN shape:
+// after the parent executes, the child's EXPLAIN shows the residual tree
+// rooted over a cached(...) scan with the subsumption choice annotated.
+// The parent runs for real (its prompts warm the cache), but the plans
+// themselves are deterministic. Refresh with:
+//
+//	go test ./internal/bench -run TestGoldenResidualPlans -update
+func TestGoldenResidualPlans(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, tc := range goldenResidualCases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := PaperOptions()
+			opts.Optimizer.CostBased = true
+			opts.ResultCacheEnabled = true
+			engine, err := r.Engine(r.Model(simllm.ChatGPT), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := engine.Query(ctx, tc.parent); err != nil {
+				t.Fatal(err)
+			}
+			rel, _, err := engine.Query(ctx, "EXPLAIN "+tc.child)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			b.WriteString("-- warm: " + tc.parent + "\n")
+			b.WriteString("-- " + tc.child + "\n")
+			for _, row := range rel.Rows {
+				b.WriteString(row[0].String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			if !strings.Contains(got, "residual over cached(") {
+				t.Fatalf("EXPLAIN did not choose the residual plan:\n%s", got)
+			}
+
+			path := filepath.Join("testdata", "plans", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}

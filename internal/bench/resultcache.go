@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/logical"
 	"repro/internal/simllm"
 	"repro/internal/spider"
 	"repro/internal/sql/parser"
@@ -21,52 +22,66 @@ const DefaultResultCacheRepeats = 2
 // ResultCacheQuery is one corpus query's record in the cached arm.
 type ResultCacheQuery struct {
 	ID int `json:"id"`
-	// Limit marks LIMIT-bearing statements, which bypass the cache (a
-	// truncated relation must never be served as complete).
+	// Limit marks LIMIT-bearing statements, which are never stored (a
+	// truncated relation must never be served as complete) though they
+	// may still be answered by subsumption from a cached superset.
 	Limit bool `json:"limit"`
 	// FirstPrompts is the cold-pass prompt count (model calls; the
 	// prompt cache is off in both arms so every prompt is a call).
 	FirstPrompts int `json:"first_prompts"`
-	// RepeatPrompts sums prompts across the hot passes: 0 for cacheable
-	// queries, Repeats×FirstPrompts for LIMIT queries.
+	// FirstSubsumed marks cold-pass queries answered by a residual plan
+	// over a relation an earlier corpus query populated — zero prompts
+	// before the query was ever seen verbatim.
+	FirstSubsumed bool `json:"first_subsumed,omitempty"`
+	// RepeatPrompts sums prompts across the hot passes: 0 for every
+	// query the cache answers (exactly or by subsumption).
 	RepeatPrompts int `json:"repeat_prompts"`
 }
 
 // ResultCacheReport is the machine-readable result-cache record
 // (BENCH_resultcache.json): the corpus replayed against one warm runtime
-// with the relation-level result cache on, versus a cache-off control.
-// The prompt cache is off in both arms so prompt counts isolate what the
+// with the semantic result cache on, versus a cache-off control. The
+// prompt cache is off in both arms so prompt counts isolate what the
 // result cache alone saves.
 type ResultCacheReport struct {
 	Model   string `json:"model"`
 	Queries int    `json:"queries"`
 	Repeats int    `json:"repeats"`
-	// CacheableQueries counts LIMIT-free corpus queries (cache
-	// eligible); LimitQueries bypass it by design.
+	// CacheableQueries counts LIMIT-free corpus queries (storable);
+	// LimitQueries are never stored but may consume by subsumption.
 	CacheableQueries int `json:"cacheable_queries"`
 	LimitQueries     int `json:"limit_queries"`
-	// First-pass prompt totals must agree: populating the cache costs
-	// exactly what an uncached run costs.
+	// First-pass prompt totals: populating the cache costs at most what
+	// an uncached run costs — strictly less when subsumption answers a
+	// later corpus query from an earlier one's relation.
 	UncachedFirstPrompts int `json:"uncached_first_prompts"`
 	CachedFirstPrompts   int `json:"cached_first_prompts"`
+	// ColdSubsumed counts cold-pass queries answered by subsumption.
+	ColdSubsumed int `json:"cold_subsumed"`
 	// Hot-pass prompt totals: the headline number — repeated identical
-	// traffic on cacheable queries must cost zero prompts.
+	// traffic must cost zero prompts on every query class.
 	RepeatPromptsCacheable int `json:"repeat_prompts_cacheable"`
 	RepeatPromptsLimit     int `json:"repeat_prompts_limit"`
 	// Result-cache counters after all passes (before the epoch bump).
-	ResultCacheHits    int `json:"result_cache_hits"`
-	ResultCacheMisses  int `json:"result_cache_misses"`
-	ResultCacheEntries int `json:"result_cache_entries"`
+	ResultCacheHits         int `json:"result_cache_hits"`
+	ResultCacheSubsumedHits int `json:"result_cache_subsumed_hits"`
+	ResultCacheMisses       int `json:"result_cache_misses"`
+	ResultCacheEntries      int `json:"result_cache_entries"`
 	// FirstRunIdentical: every cold-pass relation of the cached arm is
-	// bit-identical to the uncached control's.
+	// bit-identical to the uncached control's — including the
+	// subsumption-answered ones.
 	FirstRunIdentical bool `json:"first_run_identical"`
 	// RepeatIdentical: every hot-pass relation is bit-identical to its
 	// cold-pass relation.
 	RepeatIdentical bool `json:"repeat_identical"`
-	// Invalidation probe: after a PrimeTableKeys epoch bump every
-	// cacheable query re-executes (prompts > 0 again) and still returns
-	// the identical relation.
+	// Invalidation probe (PrimeTableKeys on one table): the first
+	// LIMIT-free query reading the primed table re-executes with
+	// prompts (its entries were invalidated), every LIMIT-free query
+	// not reading it is still answered for zero prompts (per-table
+	// epochs spare unrelated entries), and every relation stays
+	// identical.
 	InvalidationReexecuted bool `json:"invalidation_reexecuted"`
+	InvalidationRetained   bool `json:"invalidation_retained"`
 	InvalidationIdentical  bool `json:"invalidation_identical"`
 
 	PerQuery []ResultCacheQuery `json:"per_query"`
@@ -84,10 +99,11 @@ func resultCacheOptions(resultCache bool) core.Options {
 	return opts
 }
 
-// ResultCacheComparison measures the relation-level result cache on
-// repeated corpus traffic — the dashboard pattern: one cold pass
-// populating the cache, `repeats` hot passes replaying the identical
-// SQL, then a PrimeTableKeys epoch bump proving invalidation. A
+// ResultCacheComparison measures the semantic result cache on repeated
+// corpus traffic — the dashboard pattern: one cold pass populating the
+// cache (with later corpus queries already free to subsume earlier
+// results), `repeats` hot passes replaying the identical SQL, then a
+// PrimeTableKeys bump on one table proving per-table invalidation. A
 // cache-off control run pins first-pass results bit-identical. With the
 // prompt cache off and fixed plans everything is a pure function of the
 // corpus, so the report is deterministic and CI can diff it.
@@ -96,9 +112,10 @@ func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, re
 		repeats = DefaultResultCacheRepeats
 	}
 	type corpusQuery struct {
-		id    int
-		sql   string
-		limit bool
+		id     int
+		sql    string
+		limit  bool
+		primed bool // reads the table the invalidation probe primes
 	}
 	var corpus []corpusQuery
 	for _, q := range spider.Queries() {
@@ -128,6 +145,25 @@ func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, re
 	if err != nil {
 		return nil, err
 	}
+	// Resolve which queries read the to-be-primed table on a throwaway
+	// runtime (planning only; nothing executes).
+	planRT, err := r.Runtime(r.Model(p), resultCacheOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	primedComp := logical.ComponentLLM(LLMTables[0])
+	for i, q := range corpus {
+		plan, err := planRT.NewSession().Plan(q.sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: planning corpus query %d: %w", q.id, err)
+		}
+		for _, comp := range logical.Components(plan) {
+			if comp == primedComp {
+				corpus[i].primed = true
+			}
+		}
+	}
+
 	rep := &ResultCacheReport{
 		Model:             p.ID,
 		Queries:           len(corpus),
@@ -147,7 +183,15 @@ func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, re
 	}
 	perQuery := make([]ResultCacheQuery, len(corpus))
 	for i, q := range corpus {
-		perQuery[i] = ResultCacheQuery{ID: q.id, Limit: q.limit, FirstPrompts: cold[i].prompts}
+		perQuery[i] = ResultCacheQuery{
+			ID:            q.id,
+			Limit:         q.limit,
+			FirstPrompts:  cold[i].prompts,
+			FirstSubsumed: cold[i].cached == core.CacheSubsumed,
+		}
+		if perQuery[i].FirstSubsumed {
+			rep.ColdSubsumed++
+		}
 	}
 	for pass := 0; pass < repeats; pass++ {
 		for i, q := range corpus {
@@ -163,22 +207,33 @@ func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, re
 	}
 	rcs := rt.ResultCacheStats()
 	rep.ResultCacheHits = rcs.Hits
+	rep.ResultCacheSubsumedHits = rcs.SubsumedHits
 	rep.ResultCacheMisses = rcs.Misses
 	rep.ResultCacheEntries = rcs.Entries
 
-	// Invalidation probe: bump the epoch (ANALYZE on one table — fixed
-	// plans, so the primed value cannot change any plan or result) and
-	// replay: every cacheable query must re-execute, identically.
+	// Invalidation probe: ANALYZE one table (fixed plans, so the primed
+	// value cannot change any plan or result) and replay. Only that
+	// table's entries are invalidated: the first LIMIT-free query
+	// reading it must re-execute with prompts (later ones may already be
+	// subsumed by relations this very pass repopulates), while every
+	// LIMIT-free query not reading it is still answered for free.
 	rt.PrimeTableKeys(LLMTables[0], 1)
-	rep.InvalidationReexecuted = true
+	rep.InvalidationRetained = true
 	rep.InvalidationIdentical = true
+	probedFirst := false
 	for i, q := range corpus {
 		probe := runQuery(ctx, rt, q.sql)
 		if probe.err != nil {
 			return nil, fmt.Errorf("bench: invalidation probe: %w", probe.err)
 		}
-		if !q.limit && probe.prompts == 0 {
-			rep.InvalidationReexecuted = false
+		if !q.limit {
+			if q.primed && !probedFirst {
+				probedFirst = true
+				rep.InvalidationReexecuted = probe.prompts > 0
+			}
+			if !q.primed && probe.prompts != 0 {
+				rep.InvalidationRetained = false
+			}
 		}
 		if probe.rel != cold[i].rel {
 			rep.InvalidationIdentical = false
@@ -201,10 +256,11 @@ func (r *Runner) ResultCacheComparison(ctx context.Context, p simllm.Profile, re
 }
 
 // CheckAcceptance enforces the result-cache acceptance criteria:
-// repeated identical corpus traffic costs zero prompts on cacheable
-// queries, relations stay bit-identical with the cache on vs off and
-// across hot passes, and an epoch bump observably re-executes everything
-// without changing a result.
+// repeated identical corpus traffic costs zero prompts, relations stay
+// bit-identical with the cache on vs off and across hot passes, the
+// cold pass never costs more than the uncached control (subsumption can
+// only save), and a PrimeTableKeys bump invalidates the primed table's
+// entries while sparing every other table's — without changing a result.
 func (rep *ResultCacheReport) CheckAcceptance() error {
 	var errs []error
 	if rep.RepeatPromptsCacheable != 0 {
@@ -216,14 +272,17 @@ func (rep *ResultCacheReport) CheckAcceptance() error {
 	if !rep.RepeatIdentical {
 		errs = append(errs, errors.New("a hot-pass relation diverged from its cold-pass relation"))
 	}
-	if rep.CachedFirstPrompts != rep.UncachedFirstPrompts {
+	if rep.CachedFirstPrompts > rep.UncachedFirstPrompts {
 		errs = append(errs, fmt.Errorf("cold pass cost %d prompts with the cache on vs %d off", rep.CachedFirstPrompts, rep.UncachedFirstPrompts))
 	}
 	if want := rep.CacheableQueries * rep.Repeats; rep.ResultCacheHits < want {
 		errs = append(errs, fmt.Errorf("result cache hits = %d, want >= %d (every hot-pass cacheable query)", rep.ResultCacheHits, want))
 	}
 	if !rep.InvalidationReexecuted {
-		errs = append(errs, errors.New("a cacheable query was served from the cache across an epoch bump"))
+		errs = append(errs, errors.New("the first primed-table query was still served from the cache across its epoch bump"))
+	}
+	if !rep.InvalidationRetained {
+		errs = append(errs, errors.New("priming one table invalidated entries over unrelated tables"))
 	}
 	if !rep.InvalidationIdentical {
 		errs = append(errs, errors.New("re-execution after the epoch bump changed a relation"))

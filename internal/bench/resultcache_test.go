@@ -8,11 +8,13 @@ import (
 	"repro/internal/simllm"
 )
 
-// TestResultCacheComparison is the acceptance gate of the relation-level
+// TestResultCacheComparison is the acceptance gate of the semantic
 // result cache: repeated identical corpus traffic must cost zero prompts
-// on cacheable queries while every relation stays bit-identical to the
-// uncached control, and a PrimeTableKeys epoch bump must observably
-// re-execute everything without changing a result.
+// while every relation stays bit-identical to the uncached control, the
+// cold pass must never cost more than the control (subsumption can only
+// save), and a PrimeTableKeys bump on one table must re-execute that
+// table's queries while sparing every other table's — without changing
+// a result.
 func TestResultCacheComparison(t *testing.T) {
 	r, err := NewRunner(1)
 	if err != nil {

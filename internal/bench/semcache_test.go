@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestSemanticCacheComparison is the acceptance gate of the subsumption
+// tier: every near-miss child — a query the cache has never seen
+// verbatim but whose plan a cached producer subsumes — must be answered
+// by a residual plan for zero prompts, bit-identical to direct
+// execution, and a PrimeTableKeys bump must invalidate only the bumped
+// table's entries.
+func TestSemanticCacheComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.SemanticCacheComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Children == 0 || rep.ColdPrompts == 0 {
+		t.Fatalf("degenerate corpus: %d children, %d cold prompts", rep.Children, rep.ColdPrompts)
+	}
+	t.Logf("%d parents (%d cold prompts), %d children all subsumed for 0 prompts",
+		rep.Parents, rep.ColdPrompts, rep.Children)
+}
+
+// TestSemanticCacheDeterministic pins the artifact's reproducibility:
+// two runs must serialize byte-identically, so the committed
+// BENCH_semcache.json can be regenerated and diffed in CI.
+func TestSemanticCacheDeterministic(t *testing.T) {
+	runs := make([][]byte, 2)
+	for i := range runs {
+		r, err := NewRunner(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.SemanticCacheComparison(context.Background(), simllm.ChatGPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i], err = json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(runs[0]) != string(runs[1]) {
+		t.Errorf("semantic-cache report is not deterministic:\n%s\nvs\n%s", runs[0], runs[1])
+	}
+}

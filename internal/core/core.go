@@ -76,20 +76,30 @@ type Options struct {
 	// CacheSize caps the number of completions the prompt cache retains
 	// (0 means llm.DefaultCacheSize).
 	CacheSize int
-	// ResultCacheEnabled turns on the runtime-level relation result
+	// ResultCacheEnabled turns on the runtime-level semantic result
 	// cache: whole query results are cached by a canonical plan
-	// fingerprint plus the runtime's binding epoch, so an identical
-	// LIMIT-free query arriving again costs zero prompts and zero
-	// planning, and K concurrent identical queries execute once
-	// (singleflight). BindLLMTable, AttachDB and PrimeTableKeys bump the
-	// epoch and invalidate every earlier entry. Runtime-tier, fixed at
-	// NewRuntime. Default off (the paper configuration and the engine
-	// defaults report fresh per-query statistics); galois-serve enables
-	// it by default via -result-cache.
+	// fingerprint plus the per-table epoch stamp of the bindings the
+	// plan reads. An identical LIMIT-free query arriving again costs
+	// zero prompts and zero planning ("exact" hit), K concurrent
+	// identical queries execute once (singleflight), and a query whose
+	// plan is subsumed by a cached relation's producing plan — superset
+	// of columns, weaker-or-equal filters, same bindings — is answered
+	// by running its residual plan (filter/project/sort/limit/distinct)
+	// locally over the cached relation for zero prompts ("subsumed"
+	// hit). BindLLMTable, AttachDB and PrimeTableKeys bump only the
+	// epoch of the component they touch, invalidating exactly the
+	// entries reading it. Runtime-tier, fixed at NewRuntime. Default
+	// off (the paper configuration and the engine defaults report fresh
+	// per-query statistics); galois-serve enables it by default via
+	// -result-cache.
 	ResultCacheEnabled bool
 	// ResultCacheSize caps the number of relations the result cache
 	// retains (0 means rescache.DefaultSize).
 	ResultCacheSize int
+	// ResultCacheBytes caps the approximate resident bytes of the
+	// result cache's relations; the LRU evicts past it (0 means
+	// unlimited — only ResultCacheSize bounds it).
+	ResultCacheBytes int
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string

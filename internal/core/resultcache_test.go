@@ -51,8 +51,8 @@ func TestResultCacheHitServesWithoutExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep1.Cached {
-		t.Error("cold query reported cached")
+	if rep1.Cached != CacheNone {
+		t.Errorf("cold query reported cached = %q", rep1.Cached)
 	}
 	coldCalls := client.calls.Load()
 	if coldCalls == 0 || rep1.Stats.Prompts == 0 {
@@ -63,8 +63,8 @@ func TestResultCacheHitServesWithoutExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rep2.Cached {
-		t.Error("repeated query was not served from the result cache")
+	if rep2.Cached != CacheExact {
+		t.Errorf("repeated query cached = %q, want %q", rep2.Cached, CacheExact)
 	}
 	if rep2.Stats.Prompts != 0 || client.calls.Load() != coldCalls {
 		t.Errorf("cached hit cost prompts: %d prompts, %d extra calls",
@@ -92,15 +92,19 @@ func TestResultCacheHitServesWithoutExecution(t *testing.T) {
 	}
 }
 
-// TestResultCacheEpochInvalidation: BindLLMTable, AttachDB and
-// PrimeTableKeys each bump the epoch and force re-execution.
+// TestResultCacheEpochInvalidation: BindLLMTable and PrimeTableKeys on a
+// table the query reads bump that table's epoch and force re-execution —
+// while rebinding an unrelated table or attaching the store leaves the
+// entry valid: invalidation is per component, not global.
 func TestResultCacheEpochInvalidation(t *testing.T) {
 	w := world.Build()
 	client := &countingClient{inner: simllm.New(simllm.ChatGPT, w, 1)}
 	rt := runtimeOver(t, client, resultCacheOptions(), w)
 	ctx := context.Background()
 
-	bump := func(name string, fn func()) {
+	// rcQuery reads only LLM.country; fn decides whether its cached
+	// relation must survive.
+	check := func(name string, invalidates bool, fn func()) {
 		t.Helper()
 		if _, _, err := rt.NewSession().Query(ctx, rcQuery); err != nil {
 			t.Fatal(err)
@@ -109,24 +113,40 @@ func TestResultCacheEpochInvalidation(t *testing.T) {
 		epochBefore := rt.Epoch()
 		fn()
 		if rt.Epoch() == epochBefore {
-			t.Fatalf("%s did not bump the epoch", name)
+			t.Fatalf("%s did not bump the total epoch counter", name)
 		}
 		_, rep, err := rt.NewSession().Query(ctx, rcQuery)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rep.Cached || client.calls.Load() == before {
-			t.Errorf("%s: query after the bump was served from the cache", name)
+		if invalidates {
+			if rep.Cached != CacheNone || client.calls.Load() == before {
+				t.Errorf("%s: query after the bump was served from the cache", name)
+			}
+		} else {
+			if rep.Cached != CacheExact || client.calls.Load() != before {
+				t.Errorf("%s: unrelated bump invalidated the entry (cached=%q, %d extra calls)",
+					name, rep.Cached, client.calls.Load()-before)
+			}
 		}
 	}
 
-	bump("PrimeTableKeys", func() { rt.PrimeTableKeys("country", 50) })
-	bump("BindLLMTable", func() {
+	check("PrimeTableKeys(country)", true, func() { rt.PrimeTableKeys("country", 50) })
+	check("BindLLMTable(country)", true, func() {
+		if err := rt.BindLLMTable(w.Table("country").Def); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("BindLLMTable(city)", false, func() {
 		if err := rt.BindLLMTable(w.Table("city").Def); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bump("AttachDB", func() { rt.AttachDB(mustDB(t)) })
+	check("AttachDB", false, func() { rt.AttachDB(mustDB(t)) })
+
+	if eps := rt.TableEpochs(); eps["llm:country"] == 0 || eps["llm:city"] == 0 || eps["db"] == 0 {
+		t.Errorf("per-table epochs not tracked: %v", eps)
+	}
 }
 
 // TestResultCacheLimitBypass: LIMIT-bearing statements never populate
@@ -145,8 +165,8 @@ func TestResultCacheLimitBypass(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if rep.Cached {
-				t.Fatalf("run %d of %q was served from the result cache", i+1, truncated)
+			if rep.Cached != CacheNone {
+				t.Fatalf("run %d of %q was served from the result cache (%q)", i+1, truncated, rep.Cached)
 			}
 		}
 	}
@@ -202,7 +222,7 @@ func TestResultCacheSingleflightStorm(t *testing.T) {
 				return
 			}
 			rels[i] = rel.String()
-			if rep.Cached {
+			if rep.Cached == CacheExact {
 				cachedCount.Add(1)
 			}
 		}(i)
@@ -305,7 +325,8 @@ func TestResultCacheNoStaleAcrossEpochBump(t *testing.T) {
 		const k = 8
 		var wg sync.WaitGroup
 		// Unrelated concurrent binds stress epoch bumps racing the storm:
-		// they invalidate entries but cannot change this query's result.
+		// under per-table epochs they must leave this query's entries
+		// untouched — and must never let a stale relation through.
 		stop := make(chan struct{})
 		go func() {
 			for {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/llm"
+	"repro/internal/logical"
 	"repro/internal/memdb"
 	"repro/internal/optimizer"
 	"repro/internal/prompt"
@@ -42,17 +44,34 @@ type Runtime struct {
 	// across queries and sessions.
 	cache *llm.Cache
 	// resultCache is the relation-level result cache (nil when
-	// disabled): whole query results keyed by plan fingerprint + epoch,
-	// shared across sessions so repeated identical traffic skips
-	// planning and execution entirely.
+	// disabled): whole query results keyed by plan fingerprint + the
+	// per-table epoch stamp of the bindings the plan reads, shared
+	// across sessions so repeated identical traffic skips planning and
+	// execution entirely, and subsumed traffic skips the prompts.
 	resultCache *rescache.Cache
-	// epoch is the binding epoch every result-cache key carries. Any
-	// operation that can change what a query observes — BindLLMTable,
-	// AttachDB, PrimeTableKeys — bumps it, invalidating every result
-	// cached before the change. Statistics refined passively by executed
-	// queries do NOT bump it: they steer plan choice, and the
-	// differential harness pins all candidate plans result-identical.
-	epoch atomic.Uint64
+	// epochMu guards compEpochs: one binding epoch per invalidation
+	// component ("llm:<table>" per LLM binding, "db" for the attached
+	// store). Any operation that can change what a query observes —
+	// BindLLMTable, AttachDB, PrimeTableKeys — bumps the component it
+	// touches, invalidating exactly the results that read it; entries
+	// over other tables survive. Statistics refined passively by
+	// executed queries do NOT bump anything: they steer plan choice,
+	// and the differential harness pins all candidate plans
+	// result-identical.
+	//
+	// Lock order: the result cache validates inserts by calling
+	// stampFor while holding its own mutex, so epochMu is always
+	// acquired after (never around) the cache lock; bumpComponent
+	// writes the epoch first and only then — with no lock held —
+	// invalidates, which is what makes a stale straddling insert
+	// impossible: either it re-reads the bumped stamp and drops
+	// itself, or it lands early enough for the invalidation scan to
+	// remove it.
+	epochMu    sync.Mutex
+	compEpochs map[string]uint64
+	// epochTotal counts bumps across all components — the monotone
+	// "something changed" counter /stats exposes.
+	epochTotal atomic.Uint64
 	// stats feed the cost-based optimizer: table cardinalities, page
 	// sizes and predicate selectivities, starting from defaults and
 	// refined from the per-operator counters of every executed query.
@@ -79,32 +98,69 @@ type Runtime struct {
 func NewRuntime(client llm.Client, opts Options) *Runtime {
 	opts.normalize()
 	rt := &Runtime{
-		client:  client,
-		llmDefs: map[string]*schema.TableDef{},
-		opts:    opts,
-		builder: prompt.NewBuilder(),
-		stats:   optimizer.NewStatistics(),
+		client:     client,
+		llmDefs:    map[string]*schema.TableDef{},
+		compEpochs: map[string]uint64{},
+		opts:       opts,
+		builder:    prompt.NewBuilder(),
+		stats:      optimizer.NewStatistics(),
 	}
 	if opts.CacheEnabled {
 		rt.cache = llm.NewCache(opts.CacheSize)
 	}
 	if opts.ResultCacheEnabled {
-		rt.resultCache = rescache.New(opts.ResultCacheSize)
+		rt.resultCache = rescache.New(rescache.Config{
+			Capacity:     opts.ResultCacheSize,
+			MaxBytes:     opts.ResultCacheBytes,
+			CurrentStamp: rt.stampFor,
+		})
 	}
 	return rt
 }
 
-// Epoch returns the runtime's current binding epoch — the invalidation
-// counter every result-cache key carries.
-func (rt *Runtime) Epoch() uint64 { return rt.epoch.Load() }
+// Epoch returns the total number of binding-epoch bumps across all
+// components — the monotone change counter /stats exposes. Cache keys
+// carry the finer per-component stamp (stampFor), not this total.
+func (rt *Runtime) Epoch() uint64 { return rt.epochTotal.Load() }
 
-// bumpEpoch advances the binding epoch and eagerly evicts every result
-// cached under an older one.
-func (rt *Runtime) bumpEpoch() {
-	e := rt.epoch.Add(1)
-	if rt.resultCache != nil {
-		rt.resultCache.EvictEpochsBelow(e)
+// TableEpochs snapshots the per-component binding epochs ("llm:<table>"
+// per LLM binding, "db" for the attached store).
+func (rt *Runtime) TableEpochs() map[string]uint64 {
+	rt.epochMu.Lock()
+	defer rt.epochMu.Unlock()
+	out := make(map[string]uint64, len(rt.compEpochs))
+	for k, v := range rt.compEpochs {
+		out[k] = v
 	}
+	return out
+}
+
+// bumpComponent advances one component's binding epoch and eagerly
+// evicts the results that read it. The epoch write strictly precedes the
+// invalidation (see the epochMu lock-order note).
+func (rt *Runtime) bumpComponent(comp string) {
+	rt.epochMu.Lock()
+	rt.compEpochs[comp]++
+	rt.epochMu.Unlock()
+	rt.epochTotal.Add(1)
+	if rt.resultCache != nil {
+		rt.resultCache.InvalidateComponent(comp)
+	}
+}
+
+// stampFor serializes the current epochs of exactly the given components
+// (which logical.Components returns sorted) into the stamp result-cache
+// keys carry.
+func (rt *Runtime) stampFor(tables []string) string {
+	comps := append([]string(nil), tables...)
+	sort.Strings(comps)
+	rt.epochMu.Lock()
+	defer rt.epochMu.Unlock()
+	var b strings.Builder
+	for _, t := range comps {
+		fmt.Fprintf(&b, "%s=%d;", t, rt.compEpochs[t])
+	}
+	return b.String()
 }
 
 // ResultCacheStats reports the runtime-lifetime result-cache counters
@@ -151,9 +207,11 @@ func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
 func (rt *Runtime) PrimeTableKeys(table string, keys int) {
 	rt.stats.SetTableKeys(table, keys)
 	// Primed statistics can redirect plan choice wholesale (unlike the
-	// passive per-query refinement), so treat ANALYZE as a state change:
-	// results cached before it are no longer served.
-	rt.bumpEpoch()
+	// passive per-query refinement), so treat ANALYZE as a state change
+	// for that table: results reading it are no longer served. Priming
+	// targets LLM tables (DB cardinalities are known exactly), so the
+	// LLM component is the one bumped.
+	rt.bumpComponent(logical.ComponentLLM(table))
 }
 
 // CacheStats reports the runtime-lifetime prompt-cache counters (zero
@@ -170,7 +228,7 @@ func (rt *Runtime) AttachDB(db *memdb.DB) {
 	rt.mu.Lock()
 	rt.db = db
 	rt.mu.Unlock()
-	rt.bumpEpoch()
+	rt.bumpComponent(logical.ComponentDB)
 }
 
 // BindLLMTable declares a relation whose tuples live in the LLM. The
@@ -185,7 +243,7 @@ func (rt *Runtime) BindLLMTable(def *schema.TableDef) error {
 	rt.mu.Lock()
 	rt.llmDefs[strings.ToLower(def.Name)] = def
 	rt.mu.Unlock()
-	rt.bumpEpoch()
+	rt.bumpComponent(logical.ComponentLLM(def.Name))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,13 +93,22 @@ func (s *Session) ResolveTable(name, explicit string) (*schema.TableDef, string,
 // are enumerated and the cheapest wins; otherwise the fixed heuristics
 // apply and the estimate prices the resulting single plan.
 func (s *Session) planSelect(sel *ast.Select) (logical.Node, *optimizer.PlanCost, error) {
-	return s.planSelectFrom(sel, nil)
+	return s.planSelectExtras(sel, nil, nil)
 }
 
 // planSelectFrom is planSelect with an optional pre-built plan consumed
 // by the factory's first call (candidate enumeration still rebuilds for
 // every further candidate, since optimization mutates its input).
 func (s *Session) planSelectFrom(sel *ast.Select, built logical.Node) (logical.Node, *optimizer.PlanCost, error) {
+	return s.planSelectExtras(sel, built, nil)
+}
+
+// planSelectExtras is the planner entry point: fresh candidates (one
+// under the fixed heuristics, an enumeration under CostBased) compete
+// against any pre-built residual plans over cached relations. The extras
+// are priced with the same Estimate and win only when strictly cheaper,
+// so cache answering is a plan-choice decision, not a bypass.
+func (s *Session) planSelectExtras(sel *ast.Select, built logical.Node, extras []optimizer.ExtraPlan) (logical.Node, *optimizer.PlanCost, error) {
 	factory := func() (logical.Node, error) {
 		if built != nil {
 			plan := built
@@ -116,7 +126,7 @@ func (s *Session) planSelectFrom(sel *ast.Select, built logical.Node) (logical.N
 	}
 	params := optimizer.CostParams{Workers: workers, Verifier: s.opts.Verifier != nil}
 	if s.opts.Optimizer.CostBased {
-		plan, cost, _, err := optimizer.ChooseBest(factory, s.opts.Optimizer, s.rt.stats, params)
+		plan, cost, _, err := optimizer.ChooseBestExtra(factory, s.opts.Optimizer, s.rt.stats, params, extras)
 		return plan, cost, err
 	}
 	plan, err := factory()
@@ -127,7 +137,18 @@ func (s *Session) planSelectFrom(sel *ast.Select, built logical.Node) (logical.N
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan, optimizer.Estimate(plan, s.rt.stats, params), nil
+	cost := optimizer.Estimate(plan, s.rt.stats, params)
+	for _, ex := range extras {
+		exCost := optimizer.Estimate(ex.Plan, s.rt.stats, params)
+		if optimizer.Cheaper(exCost, cost) {
+			plan, cost = ex.Plan, exCost
+			cost.Choice = ex.Label
+		}
+	}
+	if len(extras) > 0 {
+		cost.Candidates = 1 + len(extras)
+	}
+	return plan, cost, nil
 }
 
 // Explain renders the optimized plan as an indented tree.
@@ -138,6 +159,21 @@ func (s *Session) Explain(sql string) (string, error) {
 	}
 	return logical.Explain(plan), nil
 }
+
+// CacheOutcome reports how the result cache participated in one query.
+type CacheOutcome string
+
+const (
+	// CacheNone: the query executed against the base tables.
+	CacheNone CacheOutcome = ""
+	// CacheExact: the relation was served verbatim from the cache (or a
+	// concurrent identical in-flight execution).
+	CacheExact CacheOutcome = "exact"
+	// CacheSubsumed: the relation was computed by a residual plan over a
+	// cached relation whose producing plan subsumes this query — zero
+	// prompts, local evaluation only.
+	CacheSubsumed CacheOutcome = "subsumed"
+)
 
 // Report summarizes one query execution.
 type Report struct {
@@ -153,11 +189,12 @@ type Report struct {
 	// execution. Concurrency benchmarks aggregate these across queries
 	// with llm.AggregateMakespan.
 	Sched *llm.TenantStats
-	// Cached reports that the relation came from the runtime's result
-	// cache (or a concurrent identical execution): no planning beyond
-	// the logical build, zero prompts, Stats all zero. Plan still holds
-	// the plan the populating run executed.
-	Cached bool
+	// Cached reports whether (and how) the runtime's result cache
+	// answered the query: CacheExact for a verbatim hit (Plan still
+	// holds the plan the populating run executed, Stats all zero),
+	// CacheSubsumed for a residual plan evaluated locally over a cached
+	// relation (Plan shows the residual plan, Stats all zero).
+	Cached CacheOutcome
 }
 
 // Query executes sql and returns the result relation plus an execution
@@ -181,57 +218,112 @@ func (s *Session) Query(ctx context.Context, sql string) (*schema.Relation, *Rep
 
 // runSelect executes one SELECT, consulting the runtime's result cache
 // when it is on. Truncating statements — LIMIT, and OFFSET even without
-// one (the builder lowers both to a Limit node) — bypass the cache
-// entirely: a truncated relation's content depends on the executing
-// plan's row order, so it must never be served as the query's one true
-// result — the same observation rule the optimizer statistics follow
-// (see observe).
+// one (the builder lowers both to a Limit node) — are never stored and
+// never exact-matched: a truncated relation's content depends on the
+// executing plan's row order, so it must never be served as the query's
+// one true result — the same observation rule the optimizer statistics
+// follow (see observe). They do, however, participate as subsumption
+// consumers: a cached LIMIT-free superset relation answers them with a
+// local residual evaluation for zero prompts.
 func (s *Session) runSelect(ctx context.Context, sel *ast.Select) (*schema.Relation, *Report, error) {
 	rc := s.rt.resultCache
-	if rc == nil || sel.Limit >= 0 || sel.Offset > 0 {
+	if rc == nil {
 		return s.executeSelect(ctx, sel, nil)
 	}
 	// The cheap logical build (no candidate enumeration, no costing)
-	// yields the canonical fingerprint; the epoch is captured before
-	// execution, so a bind landing mid-flight keys this result under the
-	// old epoch, where no post-bind lookup can reach it.
+	// yields both canonical forms: the flat fingerprint for exact
+	// matching and the structured shape for subsumption. The stamp is
+	// captured before execution, so a bind landing mid-flight keys this
+	// result under the old epochs, where no post-bind lookup can reach
+	// it.
 	built, err := logical.Build(sel, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	key := rescache.Key{Fingerprint: s.resultFingerprint(built), Epoch: s.rt.Epoch()}
+	shape := logical.Decompose(built)
+	comps := logical.Components(built)
+	stamp := s.rt.stampFor(comps)
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		return s.executeShaped(ctx, sel, built, shape, stamp)
+	}
+	key := rescache.Key{Fingerprint: s.resultFingerprint(built), Stamp: stamp}
 	var popRel *schema.Relation
 	var popRep *Report
 	entry, cached, err := rc.Fetch(ctx, key, func() (*rescache.Entry, error) {
-		rel, rep, err := s.executeSelect(ctx, sel, built)
+		rel, rep, err := s.executeShaped(ctx, sel, built, shape, stamp)
 		if err != nil {
 			return nil, err
 		}
 		popRel, popRep = rel, rep
-		return &rescache.Entry{Rel: rel, Plan: rep.Plan}, nil
+		e := &rescache.Entry{Rel: rel, Plan: rep.Plan, Tables: comps}
+		if shape != nil && shape.Producer && !s.opts.Optimizer.PromptPushdown {
+			// Producer-shaped plans (Project over base filters, no
+			// hidden columns) retain their decomposition so this entry
+			// can answer subsumed queries. Prompt pushdown merges
+			// predicates into the retrieval prompts and can change
+			// observable results, so pushdown sessions neither produce
+			// nor consume subsumption entries.
+			e.Prod = &rescache.Producer{
+				Opts:      s.optionsFingerprint(),
+				FromKey:   shape.FromKey,
+				FromLabel: shape.FromLabel,
+				Conjuncts: shape.ConjunctTexts(),
+			}
+		}
+		return e, nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	if !cached {
 		// This caller was the singleflight leader: it executed (and
-		// populated the cache) and reports its real usage.
+		// populated the cache) and reports its real usage — which may
+		// itself have been a subsumption answer.
 		return popRel, popRep, nil
 	}
-	rep := &Report{Plan: entry.Plan, Cached: true}
+	rep := &Report{Plan: entry.Plan, Cached: CacheExact}
 	s.account(rep)
 	return entry.Rel, rep, nil
 }
 
-// executeSelect plans, optimizes and executes one SELECT, feeding the
-// observed counters back into the shared statistics. A non-nil built
-// plan (already constructed for the result-cache fingerprint) seeds the
-// planner's first factory call so a cache miss does not build twice.
+// executeShaped plans one SELECT with residual plans over cached
+// relations competing as candidates, and executes the winner. A residual
+// winner whose backing entry was evicted between costing and execution
+// falls back to a fresh plan.
+func (s *Session) executeShaped(ctx context.Context, sel *ast.Select, built logical.Node, shape *logical.Shape, stamp string) (*schema.Relation, *Report, error) {
+	extras := s.residualCandidates(shape, stamp)
+	plan, cost, err := s.planSelectExtras(sel, built, extras)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cs := logical.FindCachedScan(plan); cs != nil {
+		rel, rep, err := s.executeResidual(ctx, plan, cost, cs)
+		if !errors.Is(err, errCachedEntryGone) {
+			return rel, rep, err
+		}
+		if plan, cost, err = s.planSelectFrom(sel, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s.runPlan(ctx, plan, cost)
+}
+
+// executeSelect plans, optimizes and executes one SELECT against the base
+// tables, feeding the observed counters back into the shared statistics.
+// A non-nil built plan (already constructed for the result-cache
+// fingerprint) seeds the planner's first factory call so a cache miss
+// does not build twice.
 func (s *Session) executeSelect(ctx context.Context, sel *ast.Select, built logical.Node) (*schema.Relation, *Report, error) {
 	plan, cost, err := s.planSelectFrom(sel, built)
 	if err != nil {
 		return nil, nil, err
 	}
+	return s.runPlan(ctx, plan, cost)
+}
+
+// runPlan executes one planned query against the base tables, observing
+// its counters into the shared statistics and the session totals.
+func (s *Session) runPlan(ctx context.Context, plan logical.Node, cost *optimizer.PlanCost) (*schema.Relation, *Report, error) {
 	rel, rep, err := s.execute(ctx, plan)
 	if err != nil {
 		return nil, nil, err
@@ -242,14 +334,109 @@ func (s *Session) executeSelect(ctx context.Context, sel *ast.Select, built logi
 	return rel, rep, nil
 }
 
-// resultFingerprint keys one built (pre-optimization) plan for the
-// result cache: the canonical plan serialization — literals kept, table
-// bindings folded in (logical.Fingerprint) — prefixed by every session
-// option that can change the computed relation. Options that only change
-// how the same relation is computed (pipelining, worker budgets, the
-// prompt cache, which enumerated candidate wins) are deliberately
-// excluded; the differential harness pins them result-identical.
-func (s *Session) resultFingerprint(plan logical.Node) string {
+// residualCandidates matches the incoming shape against the cache's
+// subsumption index and returns one pre-built residual plan per cached
+// relation that can answer it: same FROM tree, weaker-or-equal producer
+// conjuncts, same result-affecting options, and a residual chain that
+// compiles against the producer's output columns. The candidates then
+// compete in planSelectExtras on estimated cost.
+func (s *Session) residualCandidates(shape *logical.Shape, stamp string) []optimizer.ExtraPlan {
+	rc := s.rt.resultCache
+	if rc == nil || shape == nil || s.opts.Optimizer.PromptPushdown {
+		return nil
+	}
+	opts := s.optionsFingerprint()
+	var extras []optimizer.ExtraPlan
+	for _, c := range rc.Candidates(rescache.TablesKey(shape.Tables), stamp) {
+		if c.Prod.Opts != opts {
+			continue
+		}
+		residual, ok := logical.Subsumes(shape, c.Prod.FromKey, c.Prod.Conjuncts)
+		if !ok {
+			continue
+		}
+		// Residual conjuncts run as plain in-memory comparisons, so every
+		// one of them must be a conjunct direct execution also evaluates
+		// locally. A predicate the optimizer could lower to a per-key
+		// boolean prompt (LLMFilter) is answered by the model's semantic
+		// judgment, which need not agree with comparing the fetched
+		// attribute value — evaluating it locally would change results.
+		// Conjuncts the producer already applied are unaffected: they are
+		// matched, not re-evaluated.
+		if s.opts.Optimizer.UseLLMFilter && !residualsLocalSafe(residual, shape.From) {
+			continue
+		}
+		cs := logical.NewCachedScan(c.Prod.FromLabel, c.Key.Fingerprint, c.Key.Stamp, c.Rows, c.Schema)
+		plan, err := logical.BuildResidual(shape, cs, residual)
+		if err != nil {
+			continue
+		}
+		// Column coverage is decided here: the residual compiles exactly
+		// when everything the query computes resolves over the columns
+		// the producer projected. Rel stays nil for validation; the
+		// winning plan re-fetches the relation before execution.
+		if _, err := physical.Compile(plan, nil); err != nil {
+			continue
+		}
+		extras = append(extras, optimizer.ExtraPlan{
+			Plan:  plan,
+			Label: "residual over cached(" + c.Prod.FromLabel + ")",
+		})
+	}
+	return extras
+}
+
+// residualsLocalSafe reports whether every residual conjunct is safe to
+// evaluate as a local comparison (see optimizer.ResidualLocalSafe).
+func residualsLocalSafe(residual []ast.Expr, from logical.Node) bool {
+	for _, c := range residual {
+		if !optimizer.ResidualLocalSafe(c, from) {
+			return false
+		}
+	}
+	return true
+}
+
+// errCachedEntryGone reports that a residual plan's backing cache entry
+// was evicted between plan choice and execution; the session replans
+// fresh.
+var errCachedEntryGone = errors.New("core: cached relation evicted")
+
+// executeResidual runs a winning residual plan locally over its cached
+// relation: no scheduler tenant, no model client, zero prompts. The
+// cached rows were cleaned by the producing run, so only the relational
+// operators run here.
+func (s *Session) executeResidual(ctx context.Context, plan logical.Node, cost *optimizer.PlanCost, cs *logical.CachedScan) (*schema.Relation, *Report, error) {
+	entry, ok := s.rt.resultCache.Subsumed(rescache.Key{Fingerprint: cs.Source, Stamp: cs.Stamp})
+	if !ok {
+		return nil, nil, errCachedEntryGone
+	}
+	cs.Rel = entry.Rel
+	op, err := physical.Compile(plan, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics := physical.NewMetrics()
+	pctx := &physical.Context{
+		Ctx:     ctx,
+		Cleaner: clean.New(s.opts.Clean),
+		Metrics: metrics,
+	}
+	rel, err := physical.Run(pctx, op)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Plan: logical.Explain(plan), Estimate: cost, Metrics: metrics, Cached: CacheSubsumed}
+	s.account(rep)
+	return rel, rep, nil
+}
+
+// optionsFingerprint renders every session option that can change a
+// computed relation. Options that only change how the same relation is
+// computed (pipelining, worker budgets, the prompt cache, which
+// enumerated candidate wins) are deliberately excluded; the differential
+// harness pins them result-identical.
+func (s *Session) optionsFingerprint() string {
 	var b strings.Builder
 	o := &s.opts
 	fmt.Fprintf(&b, "opt=%t,%t,%t,%t|", o.Optimizer.PushdownPredicates, o.Optimizer.UseLLMFilter,
@@ -263,8 +450,15 @@ func (s *Session) resultFingerprint(plan logical.Node) string {
 	if o.Verifier != nil {
 		fmt.Fprintf(&b, "verify=%s,%g|", o.Verifier.Name(), o.VerifyTolerance)
 	}
-	b.WriteString(logical.Fingerprint(plan))
 	return b.String()
+}
+
+// resultFingerprint keys one built (pre-optimization) plan for exact
+// result-cache matching: the options prefix plus the canonical plan
+// serialization — literals kept, table bindings folded in
+// (logical.Fingerprint).
+func (s *Session) resultFingerprint(plan logical.Node) string {
+	return s.optionsFingerprint() + logical.Fingerprint(plan)
 }
 
 // writeSortedSet renders a per-conjunct option set deterministically.
@@ -305,23 +499,59 @@ func (s *Session) account(rep *Report) {
 }
 
 // runExplain plans (and for ANALYZE also executes) the inner SELECT and
-// renders the annotated plan tree as a one-column relation.
+// renders the annotated plan tree as a one-column relation. With the
+// result cache on, residual plans over cached relations compete here
+// exactly as they do for execution, so EXPLAIN shows the
+// "residual over cached(...)" plan a subsumed query would actually run.
 func (s *Session) runExplain(ctx context.Context, ex *ast.Explain) (*schema.Relation, *Report, error) {
-	plan, cost, err := s.planSelect(ex.Stmt)
+	var plan logical.Node
+	var cost *optimizer.PlanCost
+	var err error
+	if s.rt.resultCache != nil {
+		built, berr := logical.Build(ex.Stmt, s)
+		if berr != nil {
+			return nil, nil, berr
+		}
+		shape := logical.Decompose(built)
+		stamp := s.rt.stampFor(logical.Components(built))
+		plan, cost, err = s.planSelectExtras(ex.Stmt, built, s.residualCandidates(shape, stamp))
+	} else {
+		plan, cost, err = s.planSelect(ex.Stmt)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &Report{Plan: logical.Explain(plan), Estimate: cost}
 	if ex.Analyze {
-		_, execRep, err := s.execute(ctx, plan)
-		if err != nil {
-			return nil, nil, err
+		cs := logical.FindCachedScan(plan)
+		if cs != nil {
+			_, execRep, rerr := s.executeResidual(ctx, plan, cost, cs)
+			switch {
+			case rerr == nil:
+				rep.Metrics = execRep.Metrics
+				rep.Cached = CacheSubsumed
+			case errors.Is(rerr, errCachedEntryGone):
+				// Evicted since planning: explain and run a fresh plan.
+				if plan, cost, rerr = s.planSelectFrom(ex.Stmt, nil); rerr != nil {
+					return nil, nil, rerr
+				}
+				rep = &Report{Plan: logical.Explain(plan), Estimate: cost}
+				cs = nil
+			default:
+				return nil, nil, rerr
+			}
 		}
-		rep.Stats = execRep.Stats
-		rep.Metrics = execRep.Metrics
-		rep.Sched = execRep.Sched
-		s.observe(plan, execRep.Metrics)
-		s.account(rep)
+		if cs == nil {
+			_, execRep, err := s.execute(ctx, plan)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.Stats = execRep.Stats
+			rep.Metrics = execRep.Metrics
+			rep.Sched = execRep.Sched
+			s.observe(plan, execRep.Metrics)
+			s.account(rep)
+		}
 	}
 	text := ExplainText(plan, cost, rep.Metrics, rep.Stats, ex.Analyze)
 	rel := schema.NewRelation(schema.New(schema.Column{Name: "QUERY PLAN", Type: value.KindString}))
@@ -403,7 +633,8 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 // may not see their full input (the pipelined close-cascade stops
 // producers mid-stream, and consumed row counts depend on the execution
 // strategy), so their counters describe the truncated run rather than
-// the data and would corrupt the estimates.
+// the data and would corrupt the estimates. Residual plans never reach
+// here: their counters describe cached rows, not the model.
 func (s *Session) observe(plan logical.Node, m *physical.Metrics) {
 	if m == nil || hasLimit(plan) {
 		return

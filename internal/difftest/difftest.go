@@ -246,3 +246,86 @@ func (g *Generator) join() Query {
 	q.SQL = b.String()
 	return q
 }
+
+// SubsumptionPair is one parent/child case for the semantic result
+// cache: the child's plan is subsumed by the parent's, so a warm cache
+// must answer the child with a residual plan and zero prompts — and the
+// relation must be bit-identical to executing the child directly.
+type SubsumptionPair struct {
+	Parent string
+	Child  string
+}
+
+// Pair generates a parent shaped like a cache producer — a pure
+// project-filter over one table, projecting the key plus a random
+// attribute subset — and a child the parent's plan subsumes: the same
+// FROM and conjuncts (possibly plus an extra key-column predicate, the
+// only predicate class residual plans may evaluate locally; non-key LLM
+// attributes are judged by boolean prompts and never re-evaluated), a
+// column subset, and optionally DISTINCT, ORDER BY, LIMIT/OFFSET or an
+// aggregate on top.
+func (g *Generator) Pair() SubsumptionPair {
+	t := tables[g.pick(len(tables))]
+	cols := []string{t.key}
+	for _, a := range t.attrs {
+		if g.pick(2) == 0 {
+			cols = append(cols, a.name)
+		}
+	}
+	if len(cols) == 1 {
+		cols = append(cols, t.attrs[g.pick(len(t.attrs))].name)
+	}
+	var preds []string
+	for n := g.pick(3); len(preds) < n; {
+		preds = append(preds, g.predicate("", t))
+	}
+	parent := "SELECT " + strings.Join(cols, ", ") + " FROM " + t.name
+	if len(preds) > 0 {
+		parent += " WHERE " + strings.Join(preds, " AND ")
+	}
+
+	// Child columns: always keep the key (the residual key predicate and
+	// ORDER BY resolve against it), drop the rest at random.
+	childCols := []string{t.key}
+	for _, c := range cols[1:] {
+		if g.pick(2) == 0 {
+			childCols = append(childCols, c)
+		}
+	}
+	childPreds := append([]string(nil), preds...)
+	if g.pick(2) == 0 {
+		op := []string{"!=", "<", ">", ">="}[g.pick(4)]
+		lit := []string{"'Aa'", "'M'", "'T'"}[g.pick(3)]
+		childPreds = append(childPreds, fmt.Sprintf("%s %s %s", t.key, op, lit))
+	}
+	where := ""
+	if len(childPreds) > 0 {
+		where = " WHERE " + strings.Join(childPreds, " AND ")
+	}
+
+	var b strings.Builder
+	if g.pick(4) == 0 {
+		// Aggregate child over the cached relation.
+		b.WriteString("SELECT COUNT(*) FROM " + t.name + where)
+		return SubsumptionPair{Parent: parent, Child: b.String()}
+	}
+	b.WriteString("SELECT ")
+	if g.pick(4) == 0 {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(childCols, ", "))
+	b.WriteString(" FROM " + t.name + where)
+	if g.pick(2) == 0 {
+		b.WriteString(" ORDER BY " + childCols[g.pick(len(childCols))])
+		if g.pick(2) == 0 {
+			b.WriteString(" DESC")
+		}
+	}
+	if g.pick(3) == 0 {
+		fmt.Fprintf(&b, " LIMIT %d", 1+g.pick(8))
+		if g.pick(3) == 0 {
+			fmt.Fprintf(&b, " OFFSET %d", g.pick(4))
+		}
+	}
+	return SubsumptionPair{Parent: parent, Child: b.String()}
+}

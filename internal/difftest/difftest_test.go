@@ -200,3 +200,79 @@ func TestDifferentialConcurrentVsSerial(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDifferentialSubsumption is the semantic-cache differential: for
+// each seeded parent/child pair, a cache-on engine runs the parent (the
+// producer) and then the child, which must be answered without a single
+// prompt — by subsumption on first sight, or exactly if an earlier pair
+// already cached the same statement — while a cache-off control engine
+// runs the child directly. The relations must be bit-identical: a
+// residual plan over a cached relation is only correct if nobody can
+// tell it apart from direct execution. Runs under -race in CI.
+func TestDifferentialSubsumption(t *testing.T) {
+	n := 80
+	if testing.Short() {
+		n = 16
+	}
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedOpts := bench.PaperOptions()
+	cachedOpts.Pipelined = true
+	cachedOpts.Optimizer.CostBased = false
+	cachedOpts.ResultCacheEnabled = true
+	controlOpts := cachedOpts
+	controlOpts.ResultCacheEnabled = false
+	cached, err := r.Engine(r.Model(simllm.ChatGPT), cachedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := r.Engine(r.Model(simllm.ChatGPT), controlOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := New(1234)
+	ctx := context.Background()
+	seen := map[string]bool{}
+	subsumed := 0
+	for i := 0; i < n; i++ {
+		p := gen.Pair()
+		if _, _, err := cached.Query(ctx, p.Parent); err != nil {
+			t.Fatalf("pair %d parent %q: %v", i, p.Parent, err)
+		}
+		relC, repC, err := cached.Query(ctx, p.Child)
+		if err != nil {
+			t.Fatalf("pair %d child (cached) %q: %v", i, p.Child, err)
+		}
+		relD, _, err := control.Query(ctx, p.Child)
+		if err != nil {
+			t.Fatalf("pair %d child (control) %q: %v", i, p.Child, err)
+		}
+		if relC.String() != relD.String() {
+			t.Errorf("pair %d: cache-answered child diverged on %q (parent %q)\ncached:\n%s\ndirect:\n%s",
+				i, p.Child, p.Parent, relC.String(), relD.String())
+		}
+		if repC.Stats.Prompts != 0 {
+			t.Errorf("pair %d: child %q cost %d prompts, want 0 (parent %q, cached=%q)",
+				i, p.Child, repC.Stats.Prompts, p.Parent, repC.Cached)
+		}
+		// First sight of this exact statement (and not a replay of its
+		// own parent) must be answered by subsumption, not exact match.
+		if !seen[p.Child] && p.Child != p.Parent {
+			if repC.Cached != core.CacheSubsumed {
+				t.Errorf("pair %d: child %q answered with cached=%q, want %q (parent %q)",
+					i, p.Child, repC.Cached, core.CacheSubsumed, p.Parent)
+			} else {
+				subsumed++
+			}
+		}
+		seen[p.Parent] = true
+		seen[p.Child] = true
+	}
+	if subsumed == 0 {
+		t.Fatal("no pair exercised subsumption")
+	}
+	t.Logf("%d/%d children answered by subsumption on first sight", subsumed, n)
+}

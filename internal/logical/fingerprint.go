@@ -25,6 +25,10 @@ import (
 // choice): the differential harness pins those result-identical.
 // Result-affecting session options are prefixed by the caller — see
 // core.Session.
+//
+// Fingerprint is the flat, exact-match side of the plan's canonical
+// form; Decompose (shape.go) is the structured side the semantic cache
+// matches subsumption against. Both derive from the same built plan.
 func Fingerprint(n Node) string {
 	var b strings.Builder
 	fingerprint(&b, n)
@@ -42,6 +46,10 @@ func fingerprint(b *strings.Builder, n Node) {
 		}
 	case *Distinct:
 		fmt.Fprintf(b, "|keycols=%d", node.KeyCols)
+	case *CachedScan:
+		// Residual plans are never used as cache keys themselves, but a
+		// fingerprint of one must still identify the entry it reads.
+		fmt.Fprintf(b, "|src=%s|stamp=%s", node.Source, node.Stamp)
 	}
 	for _, c := range n.Children() {
 		fingerprint(b, c)

@@ -1,0 +1,339 @@
+package logical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sql/ast"
+)
+
+// This file is the structured side of the plan's canonical form. The
+// flat text rendered by Fingerprint keys exact-match result caching;
+// Decompose breaks the same built plan into the pieces subsumption
+// matching needs: the FROM tree, the conjuncts filtering it, and the
+// operator chain above. A cached relation R answers an incoming query Q
+// when both read the same FROM tree, R's conjuncts are a subset of Q's
+// (R is weaker-or-equal), and everything Q computes resolves over R's
+// output columns — then Q's residual (its extra conjuncts plus its own
+// upper chain) evaluated over R is exactly Q's result, for zero prompts.
+
+// ComponentDB is the invalidation component of every DB-bound scan: all
+// relational tables share one attached store, so re-attaching it
+// invalidates them together.
+const ComponentDB = "db"
+
+// ComponentLLM returns the invalidation component of one LLM table
+// binding. Rebinding that table invalidates only entries reading it.
+func ComponentLLM(table string) string { return "llm:" + strings.ToLower(table) }
+
+// Components returns the sorted invalidation components of every base
+// relation the plan reads.
+func Components(n Node) []string {
+	set := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			if s.Source == "LLM" {
+				set[ComponentLLM(s.Table.Name)] = true
+			} else {
+				set[ComponentDB] = true
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Conjunct is one AND-ed base-filter predicate in canonical form: the
+// rendered text (the unit of subsumption comparison) plus the expression
+// itself (re-used to build residual filters).
+type Conjunct struct {
+	Text string
+	Expr ast.Expr
+}
+
+// Shape is the structured canonical form of one built (pre-optimization)
+// plan. The builder emits a fixed single-input chain —
+// Strip?(Limit?(Sort?(Distinct?(Project(Filter*(Aggregate?(Filter*(FROM))))))))
+// — and Decompose splits it at the base filters directly above the FROM
+// tree.
+type Shape struct {
+	// From is the root of the maximal Scan/Join subtree.
+	From Node
+	// FromKey canonically serializes the FROM tree (bindings, sources,
+	// declared schemas, join structure with literals). Two shapes can
+	// only subsume one another when their FromKeys are equal.
+	FromKey string
+	// FromLabel renders the FROM tree for humans; EXPLAIN's
+	// "residual over cached(...)" nodes carry it.
+	FromLabel string
+	// Conjuncts are the AND-ed base-filter predicates directly above
+	// the FROM tree, in plan order, deduplicated by rendered text.
+	Conjuncts []Conjunct
+	// Upper is the operator chain above the base filters, outermost
+	// first. For a plain filtered projection it is just [Project].
+	Upper []Node
+	// Tables are the sorted invalidation components the plan reads.
+	Tables []string
+	// Producer reports whether this plan's result can answer subsumed
+	// queries: the upper chain must be exactly one Project with no
+	// hidden columns — no Sort, Distinct, Aggregate or Limit — so the
+	// cached rows keep the base scan order and full row set that any
+	// residual consumer (including ones adding Sort/Limit/Distinct on
+	// top) reproduces bit-identically.
+	Producer bool
+	// HasLimit reports a truncating plan (a Limit node anywhere): its
+	// result must never be stored as the query's complete relation.
+	HasLimit bool
+}
+
+// ConjunctTexts returns the canonical texts of the base conjuncts.
+func (s *Shape) ConjunctTexts() []string {
+	out := make([]string, len(s.Conjuncts))
+	for i, c := range s.Conjuncts {
+		out[i] = c.Text
+	}
+	return out
+}
+
+// Decompose computes the structured canonical form of a built plan. It
+// returns nil when the plan does not fit the builder's single-input
+// chain over a Scan/Join FROM tree (defensive: such plans simply do not
+// participate in subsumption).
+func Decompose(n Node) *Shape {
+	var chain []Node
+	cur := n
+walk:
+	for {
+		switch cur.(type) {
+		case *StripProject, *Limit, *Sort, *Distinct, *Project, *Aggregate, *Filter:
+			chain = append(chain, cur)
+			cur = cur.Children()[0]
+		default:
+			break walk
+		}
+	}
+	if !fromOnly(cur) {
+		return nil
+	}
+	// Peel the run of Filters sitting directly on the FROM tree: those
+	// are the base conjuncts (WHERE, and HAVING when no aggregate
+	// intervenes). A Filter above an Aggregate stays in the upper chain.
+	base := len(chain)
+	for base > 0 {
+		if _, ok := chain[base-1].(*Filter); !ok {
+			break
+		}
+		base--
+	}
+	var conjs []Conjunct
+	seen := map[string]bool{}
+	for _, f := range chain[base:] {
+		for _, e := range splitAnd(f.(*Filter).Cond) {
+			t := e.String()
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			conjs = append(conjs, Conjunct{Text: t, Expr: e})
+		}
+	}
+	upper := chain[:base]
+	producer := false
+	if len(upper) == 1 {
+		if p, ok := upper[0].(*Project); ok && p.Hidden == 0 {
+			producer = true
+		}
+	}
+	hasLimit := false
+	for _, c := range chain {
+		if _, ok := c.(*Limit); ok {
+			hasLimit = true
+		}
+	}
+	return &Shape{
+		From:      cur,
+		FromKey:   Fingerprint(cur),
+		FromLabel: fromLabel(cur),
+		Conjuncts: conjs,
+		Upper:     upper,
+		Tables:    Components(cur),
+		Producer:  producer,
+		HasLimit:  hasLimit,
+	}
+}
+
+// fromOnly reports whether the subtree consists solely of Scan and Join
+// nodes — a pure FROM tree.
+func fromOnly(n Node) bool {
+	switch n.(type) {
+	case *Scan:
+		return true
+	case *Join:
+		for _, c := range n.Children() {
+			if !fromOnly(c) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// fromLabel renders a FROM tree compactly for cache diagnostics and
+// EXPLAIN.
+func fromLabel(n Node) string {
+	switch node := n.(type) {
+	case *Scan:
+		return fmt.Sprintf("%s.%s AS %s", node.Source, node.Table.Name, node.Binding)
+	case *Join:
+		return fromLabel(node.Left) + " JOIN " + fromLabel(node.Right)
+	default:
+		return "?"
+	}
+}
+
+// splitAnd flattens a predicate into its AND-ed conjuncts.
+func splitAnd(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+		return append(splitAnd(b.Left), splitAnd(b.Right)...)
+	}
+	return []ast.Expr{e}
+}
+
+// Subsumes reports whether a cached producer — over the FROM tree
+// identified by fromKey, filtered by producerConjuncts — can answer the
+// incoming shape, and returns the residual conjuncts the consumer must
+// still apply locally. The producer must be weaker-or-equal: every one
+// of its conjuncts appears (textually) among the incoming ones;
+// anything else risks the cached relation missing rows the incoming
+// query needs. Column coverage is not checked here — the residual plan
+// either compiles against the producer's output schema or the candidate
+// is discarded.
+func Subsumes(in *Shape, fromKey string, producerConjuncts []string) ([]ast.Expr, bool) {
+	if in == nil || in.FromKey != fromKey {
+		return nil, false
+	}
+	prod := map[string]bool{}
+	for _, t := range producerConjuncts {
+		prod[t] = true
+	}
+	matched := 0
+	var residual []ast.Expr
+	for _, c := range in.Conjuncts {
+		if prod[c.Text] {
+			matched++
+			continue
+		}
+		residual = append(residual, c.Expr)
+	}
+	if matched != len(prod) {
+		return nil, false
+	}
+	return residual, true
+}
+
+// BuildResidual rebuilds the incoming shape's plan over a cached
+// relation: the upper chain is copied node-for-node onto a residual
+// Filter (the conjuncts the producer did not already apply) over cs.
+// Expressions are reused as-is; whether they resolve against the
+// producer's output schema is decided by compiling the returned plan.
+func BuildResidual(in *Shape, cs *CachedScan, residual []ast.Expr) (Node, error) {
+	var out Node = cs
+	if len(residual) > 0 {
+		cond := residual[0]
+		for _, c := range residual[1:] {
+			cond = &ast.Binary{Op: "AND", Left: cond, Right: c}
+		}
+		out = &Filter{Input: out, Cond: cond}
+	}
+	for i := len(in.Upper) - 1; i >= 0; i-- {
+		n, err := rewire(in.Upper[i], out)
+		if err != nil {
+			return nil, err
+		}
+		out = n
+	}
+	return out, nil
+}
+
+// rewire shallow-copies one chain operator onto a new input. Output
+// schemas are reused: they were typed at build time and the residual
+// preserves column positions.
+func rewire(n Node, input Node) (Node, error) {
+	switch node := n.(type) {
+	case *Filter:
+		return &Filter{Input: input, Cond: node.Cond}, nil
+	case *Project:
+		return &Project{Input: input, Items: node.Items, Hidden: node.Hidden, out: node.out}, nil
+	case *Aggregate:
+		return &Aggregate{Input: input, GroupBy: node.GroupBy, Aggs: node.Aggs, out: node.out}, nil
+	case *StripProject:
+		return &StripProject{Input: input, Keep: node.Keep, out: node.out}, nil
+	case *Distinct:
+		return &Distinct{Input: input, KeyCols: node.KeyCols}, nil
+	case *Sort:
+		return &Sort{Input: input, Items: node.Items}, nil
+	case *Limit:
+		return &Limit{Input: input, N: node.N, Offset: node.Offset}, nil
+	default:
+		return nil, fmt.Errorf("logical: cannot rebuild %T over a cached relation", n)
+	}
+}
+
+// CachedScan is the leaf of a residual plan: it reads a relation the
+// result cache materialized earlier instead of any base table. Source
+// and Stamp identify the producing cache entry (its exact-match key);
+// Rel is attached immediately before execution, after the residual plan
+// has won costing — the entry may have been evicted in between, in
+// which case the session falls back to fresh execution.
+type CachedScan struct {
+	Label  string // FROM-tree label of the producing plan
+	Source string // exact-match fingerprint of the producing entry
+	Stamp  string // per-table epoch stamp the entry is valid under
+	Rows   int    // cached cardinality, for costing
+	Rel    *schema.Relation
+	out    *schema.Schema
+}
+
+// NewCachedScan builds a cached-relation leaf with the producer's output
+// schema.
+func NewCachedScan(label, source, stamp string, rows int, out *schema.Schema) *CachedScan {
+	return &CachedScan{Label: label, Source: source, Stamp: stamp, Rows: rows, out: out}
+}
+
+// Schema implements Node.
+func (c *CachedScan) Schema() *schema.Schema { return c.out }
+
+// Children implements Node.
+func (c *CachedScan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (c *CachedScan) Describe() string {
+	return fmt.Sprintf("residual over cached(%s) [%d rows]", c.Label, c.Rows)
+}
+
+// FindCachedScan returns the plan's CachedScan leaf, or nil when the
+// plan executes against base tables.
+func FindCachedScan(n Node) *CachedScan {
+	if cs, ok := n.(*CachedScan); ok {
+		return cs
+	}
+	for _, c := range n.Children() {
+		if cs := FindCachedScan(c); cs != nil {
+			return cs
+		}
+	}
+	return nil
+}

@@ -211,6 +211,11 @@ func (e *estimator) node(n logical.Node) NodeEstimate {
 		e.work += done
 		return e.record(n, NodeEstimate{Rows: rows, Prompts: pages, Start: listLat, Done: done})
 
+	case *logical.CachedScan:
+		// A residual plan's leaf: the relation is already resident in
+		// the result cache — zero prompts, zero latency, exact rows.
+		return e.record(n, NodeEstimate{Rows: float64(node.Rows)})
+
 	case *logical.FetchAttr:
 		in := e.node(node.Input)
 		prompts := in.Rows

@@ -42,6 +42,23 @@ type choicePoint struct {
 //     merged into the retrieval prompt vs staged;
 //   - filter chains are always reordered most-selective-first using st.
 func ChooseBest(factory func() (logical.Node, error), base Options, st *Statistics, p CostParams) (logical.Node, *PlanCost, []ChoiceSummary, error) {
+	return ChooseBestExtra(factory, base, st, p, nil)
+}
+
+// ExtraPlan is a pre-built candidate injected into ChooseBestExtra's
+// comparison from outside the rewrite space — the session's residual
+// plans over cached relations. Extras are priced with the same Estimate
+// and compete under the same order as enumerated candidates, so cache
+// answering and plan selection unify: a residual plan wins exactly when
+// it is estimated strictly cheaper than every fresh execution.
+type ExtraPlan struct {
+	Plan  logical.Node
+	Label string
+}
+
+// ChooseBestExtra is ChooseBest with externally supplied extra
+// candidates joining the enumeration.
+func ChooseBestExtra(factory func() (logical.Node, error), base Options, st *Statistics, p CostParams, extras []ExtraPlan) (logical.Node, *PlanCost, []ChoiceSummary, error) {
 	if st == nil {
 		st = NewStatistics()
 	}
@@ -167,6 +184,14 @@ func ChooseBest(factory func() (logical.Node, error), base Options, st *Statisti
 			bestIdx = len(summaries) - 1
 		}
 	}
+	for _, ex := range extras {
+		cost := Estimate(ex.Plan, st, p)
+		summaries = append(summaries, ChoiceSummary{Label: ex.Label, Prompts: cost.Prompts, Latency: cost.Latency})
+		if less(cost, best.cost) {
+			best = &scored{plan: ex.Plan, cost: cost, label: ex.Label}
+			bestIdx = len(summaries) - 1
+		}
+	}
 	if best == nil { // no candidates — cannot happen, mask 0 always runs
 		return nil, nil, nil, fmt.Errorf("optimizer: no candidate plans")
 	}
@@ -175,6 +200,12 @@ func ChooseBest(factory func() (logical.Node, error), base Options, st *Statisti
 	best.cost.Choice = best.label
 	return best.plan, best.cost, summaries, nil
 }
+
+// Cheaper reports whether a costs strictly less than b under the
+// planner's order. Sessions running without cost-based enumeration use
+// it to decide whether a residual plan over a cached relation beats the
+// fixed-heuristic plan; strictness means fresh execution wins full ties.
+func Cheaper(a, b *PlanCost) bool { return less(a, b) }
 
 // less orders candidate costs: prompts dominate (they are the money and
 // the wall-clock), the estimated makespan breaks ties. Strict comparison

@@ -506,6 +506,51 @@ func bindingName(n logical.Node, lower string) string {
 	return lower
 }
 
+// ResidualLocalSafe reports whether direct execution is guaranteed to
+// evaluate conjunct c as a plain in-memory comparison in every candidate
+// plan over the given FROM tree. Simple column-vs-literal comparisons on
+// non-key attributes of LLM-backed scans are NOT safe: the engine may
+// lower them to per-key boolean prompts (LLMFilter), whose semantic
+// judgment is authoritative and need not agree with a literal comparison
+// against fetched attribute values. The semantic result cache therefore
+// refuses to evaluate such a conjunct locally in a residual plan —
+// subsumption only fires when the cached producer already applied them.
+func ResidualLocalSafe(c ast.Expr, from logical.Node) bool {
+	o := &optimizer{bindings: map[string]scanInfo{}}
+	o.collectBindings(from)
+	bin, ok := c.(*ast.Binary)
+	if !ok {
+		return true
+	}
+	switch bin.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return true
+	}
+	ref, refLeft := bin.Left.(*ast.ColumnRef)
+	_, litRight := bin.Right.(*ast.Literal)
+	if !refLeft || !litRight {
+		ref2, ok2 := bin.Right.(*ast.ColumnRef)
+		_, ok3 := bin.Left.(*ast.Literal)
+		if !ok2 || !ok3 {
+			return true
+		}
+		ref = ref2
+	}
+	binding, ok := o.bindingOf(ref)
+	if !ok {
+		// Unresolvable or ambiguous reference: refuse rather than guess.
+		return false
+	}
+	info := o.bindings[binding]
+	if info.source != "LLM" {
+		return true
+	}
+	// The key column is materialized by every LLM scan, so a predicate on
+	// it always runs as a local filter.
+	return strings.EqualFold(ref.Name, info.def.KeyColumn)
+}
+
 // asLLMFilterPred checks whether conjunct c can run as a per-key boolean
 // prompt: a comparison between one column of an LLM binding (non-key,
 // not yet fetched) and a literal. It returns the normalized binary with

@@ -31,6 +31,18 @@ func Compile(n logical.Node, env *Env) (Operator, error) {
 		}
 		return NewMemScan(node.Schema(), rel), nil
 
+	case *logical.CachedScan:
+		// Residual execution over a relation the result cache
+		// materialized earlier: no data source, no scheduler, no
+		// prompts — just an in-memory scan under the producer's schema.
+		// Rel is nil during candidate validation (the session compiles
+		// against an empty stand-in) and attached before execution.
+		rel := node.Rel
+		if rel == nil {
+			rel = schema.NewRelation(node.Schema())
+		}
+		return NewMemScan(node.Schema(), rel), nil
+
 	case *logical.FetchAttr:
 		input, err := Compile(node.Input, env)
 		if err != nil {

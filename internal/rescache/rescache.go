@@ -1,17 +1,27 @@
 // Package rescache implements the relation-level result cache: the tier
 // above the prompt cache. Where the prompt cache dedups individual model
 // calls, this cache stores whole result relations keyed by a canonical
-// plan fingerprint plus the runtime's binding epoch, so an identical
-// query arriving again costs zero prompts *and* zero planning.
+// plan fingerprint plus the per-table epoch stamp of the bindings the
+// plan reads, so an identical query arriving again costs zero prompts
+// *and* zero planning.
+//
+// Beyond exact matches the cache is *semantic*: entries whose plan was a
+// plain filtered projection (shape Project(Filter*(FROM))) retain their
+// producing plan's canonical decomposition (Producer), and Candidates
+// exposes them — indexed by the exact table set they read — so the
+// session can answer a subsumed query (stricter filters, column subset,
+// added LIMIT/ORDER BY/DISTINCT) by evaluating a residual plan over the
+// cached relation, again for zero prompts.
 //
 // Correctness hinges on invalidation: a cached relation is only valid
-// for the binding/statistics state it was computed under. The runtime
-// owns a monotonically increasing epoch, bumped by every operation that
-// can change what a query would observe (BindLLMTable, AttachDB,
-// PrimeTableKeys); the epoch is part of every cache key, so an entry
-// populated before a bump can never satisfy a lookup issued after it.
-// Stale epochs are additionally evicted eagerly so they do not occupy
-// LRU capacity waiting to age out.
+// for the binding state it was computed under. The runtime keeps one
+// epoch per component ("llm:<table>" per LLM binding, "db" for the
+// attached store); every key carries the stamp — the serialized epochs
+// of exactly the components its plan reads — so rebinding one table
+// invalidates only the entries reading it, and unrelated entries
+// survive. InvalidateComponent additionally evicts eagerly, and the
+// CurrentStamp validator drops inserts whose execution straddled a bump,
+// so a stale relation can never resurrect.
 //
 // A singleflight layer collapses K concurrent identical queries into one
 // execution: one leader runs the plan, the other K-1 block on its flight
@@ -24,6 +34,8 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/schema"
@@ -41,10 +53,29 @@ type Key struct {
 	// session option that can change the result — see
 	// core.Session's result fingerprint.
 	Fingerprint string
-	// Epoch is the runtime's binding epoch at lookup time. Rebinding a
-	// table, attaching a store, or priming statistics bumps it, so
-	// entries populated under an older epoch are unreachable.
-	Epoch uint64
+	// Stamp serializes the per-component binding epochs of exactly the
+	// tables the plan reads, captured at lookup time. Rebinding one of
+	// them changes the stamp, so entries populated under the old epochs
+	// are unreachable — while entries over other tables keep matching.
+	Stamp string
+}
+
+// Producer is the canonical decomposition of the plan that populated an
+// entry, retained so the entry can answer subsumed queries. Only plans
+// shaped Project(Filter*(FROM)) qualify — their relations keep the base
+// scan's row order and full row set (see logical.Shape.Producer).
+type Producer struct {
+	// Opts is the result-affecting session-option prefix the producing
+	// session ran under; a consumer must match it exactly.
+	Opts string
+	// FromKey is the canonical serialization of the producing plan's
+	// FROM tree; FromLabel its human rendering.
+	FromKey   string
+	FromLabel string
+	// Conjuncts are the canonical texts of the base-filter predicates
+	// the producer applied. A consumer whose conjunct set contains all
+	// of them is answerable from this entry.
+	Conjuncts []string
 }
 
 // Entry is one cached query result.
@@ -55,20 +86,71 @@ type Entry struct {
 	// Plan is the EXPLAIN rendering of the plan the populating run
 	// executed, served on hits so ?plan=1 responses stay meaningful.
 	Plan string
+	// Tables are the sorted invalidation components the plan reads
+	// ("llm:city", "db"); InvalidateComponent matches against them.
+	Tables []string
+	// Prod is non-nil when this entry can answer subsumed queries.
+	Prod *Producer
 }
 
 // clone deep-copies an entry so cache-resident relations never alias
 // caller-visible ones.
 func (e *Entry) clone() *Entry {
-	return &Entry{Rel: e.Rel.Clone(), Plan: e.Plan}
+	out := &Entry{Rel: e.Rel.Clone(), Plan: e.Plan, Tables: append([]string(nil), e.Tables...)}
+	if e.Prod != nil {
+		p := *e.Prod
+		p.Conjuncts = append([]string(nil), p.Conjuncts...)
+		out.Prod = &p
+	}
+	return out
+}
+
+// approxBytes estimates an entry's resident size: tuples, strings,
+// schema and producer metadata, with flat per-object overheads. It is an
+// approximation by design — the byte budget is a cap on growth, not an
+// allocator accounting.
+func approxBytes(e *Entry) int {
+	const entryOverhead, tupleOverhead, valueOverhead, colOverhead = 128, 48, 32, 16
+	n := entryOverhead + len(e.Plan)
+	for _, c := range e.Rel.Schema.Columns {
+		n += colOverhead + len(c.Table) + len(c.Name)
+	}
+	for _, row := range e.Rel.Rows {
+		n += tupleOverhead
+		for _, v := range row {
+			n += valueOverhead + len(v.String())
+		}
+	}
+	for _, t := range e.Tables {
+		n += len(t)
+	}
+	if e.Prod != nil {
+		n += len(e.Prod.Opts) + len(e.Prod.FromKey) + len(e.Prod.FromLabel)
+		for _, c := range e.Prod.Conjuncts {
+			n += len(c)
+		}
+	}
+	return n
 }
 
 // Stats is a snapshot of a cache's lifetime counters.
 type Stats struct {
-	Hits    int // served from memory or from a concurrent in-flight execution
-	Misses  int // required a full plan + execution
-	Entries int // relations currently resident
+	Hits int // exact hits: served from memory or a concurrent in-flight execution
+	// SubsumedHits counts queries answered by a residual plan over a
+	// cached relation. They are a subset of neither Hits nor Misses:
+	// an exact-miss query answered via subsumption counts one Miss
+	// (the exact key was absent) and one SubsumedHit (zero prompts
+	// were spent anyway).
+	SubsumedHits int
+	Misses       int // exact misses: required planning (subsumed or full execution)
+	Entries      int // relations currently resident
+	Bytes        int // approximate resident bytes across all entries
 }
+
+// TablesKey canonicalizes a component set into the index key Candidates
+// looks up by. Components must already be sorted (logical.Components
+// sorts them).
+func TablesKey(tables []string) string { return strings.Join(tables, ",") }
 
 // flight is one in-flight execution shared by every concurrent caller of
 // the same key; done is closed once entry/err are set.
@@ -80,37 +162,60 @@ type flight struct {
 
 // cacheItem is one resident result, stored inside the LRU list.
 type cacheItem struct {
-	key   Key
-	entry *Entry
+	key       Key
+	entry     *Entry
+	bytes     int
+	tablesKey string
 }
 
-// Cache is a concurrency-safe LRU of result relations with epoch-aware
-// keys and a singleflight layer. A runtime shares one Cache across all
-// its sessions.
+// Config configures a Cache.
+type Config struct {
+	// Capacity caps resident relations (0 or negative: DefaultSize).
+	Capacity int
+	// MaxBytes caps the approximate resident bytes (0: unlimited). The
+	// LRU evicts from the cold end until under budget; an entry larger
+	// than the whole budget is not cached at all.
+	MaxBytes int
+	// CurrentStamp, when non-nil, returns the owner's current epoch
+	// stamp for a component set. Inserts whose key stamp no longer
+	// matches are dropped — an execution that straddled a bump cannot
+	// resurrect a stale relation — and InvalidateComponent keeps
+	// entries that are still current.
+	CurrentStamp func(tables []string) string
+}
+
+// Cache is a concurrency-safe LRU of result relations with per-table
+// epoch stamps, a subsumption index by table set, and a singleflight
+// layer. A runtime shares one Cache across all its sessions.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	// minEpoch is the newest epoch EvictEpochsBelow has seen: entries
-	// below it are gone and late inserts below it are dropped, so an
-	// execution that straddled a bump cannot resurrect a stale epoch.
-	minEpoch uint64
+	maxBytes int
+	current  func([]string) string
 	entries  map[Key]*list.Element
 	order    *list.List // front = most recently used
+	// sets indexes resident entries by the exact table set they read,
+	// so Candidates scans only plausibly-matching entries.
+	sets     map[string]map[*list.Element]bool
 	flights  map[Key]*flight
 	hits     int
+	subsumed int
 	misses   int
+	bytes    int
 }
 
-// New builds a cache retaining at most capacity relations (0 or negative
-// means DefaultSize).
-func New(capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultSize
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultSize
 	}
 	return &Cache{
-		capacity: capacity,
+		capacity: cfg.Capacity,
+		maxBytes: cfg.MaxBytes,
+		current:  cfg.CurrentStamp,
 		entries:  map[Key]*list.Element{},
 		order:    list.New(),
+		sets:     map[string]map[*list.Element]bool{},
 		flights:  map[Key]*flight{},
 	}
 }
@@ -126,47 +231,150 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+	return Stats{Hits: c.hits, SubsumedHits: c.subsumed, Misses: c.misses,
+		Entries: c.order.Len(), Bytes: c.bytes}
 }
 
-// EvictEpochsBelow drops every entry whose key epoch is below epoch and
-// refuses future inserts below it. The runtime calls this on every epoch
-// bump so invalidated relations free their memory immediately instead of
-// aging out of the LRU.
-func (c *Cache) EvictEpochsBelow(epoch uint64) {
+// removeLocked drops one resident entry and its index records.
+func (c *Cache) removeLocked(el *list.Element) {
+	item := el.Value.(*cacheItem)
+	c.order.Remove(el)
+	delete(c.entries, item.key)
+	c.bytes -= item.bytes
+	if set := c.sets[item.tablesKey]; set != nil {
+		delete(set, el)
+		if len(set) == 0 {
+			delete(c.sets, item.tablesKey)
+		}
+	}
+}
+
+// InvalidateComponent evicts every entry whose plan reads the given
+// component ("llm:<table>" or "db") and whose stamp is no longer
+// current. The runtime calls this on every rebind so invalidated
+// relations free their memory immediately — and entries over other
+// tables are untouched.
+func (c *Cache) InvalidateComponent(comp string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if epoch > c.minEpoch {
-		c.minEpoch = epoch
-	}
-	for el := c.order.Front(); el != nil; {
-		next := el.Next()
-		if item := el.Value.(*cacheItem); item.key.Epoch < c.minEpoch {
-			c.order.Remove(el)
-			delete(c.entries, item.key)
+	var victims []*list.Element
+	for tk, set := range c.sets {
+		if !tablesKeyHas(tk, comp) {
+			continue
 		}
-		el = next
+		for el := range set {
+			item := el.Value.(*cacheItem)
+			// An insert that raced the bump and landed already
+			// re-stamped is still valid; keep it.
+			if c.current != nil && c.current(item.entry.Tables) == item.key.Stamp {
+				continue
+			}
+			victims = append(victims, el)
+		}
 	}
+	for _, el := range victims {
+		c.removeLocked(el)
+	}
+}
+
+// tablesKeyHas reports whether the comma-joined component set contains
+// comp.
+func tablesKeyHas(tablesKey, comp string) bool {
+	for _, t := range strings.Split(tablesKey, ",") {
+		if t == comp {
+			return true
+		}
+	}
+	return false
 }
 
 // insertLocked stores an entry (already cloned by the caller), evicting
-// the least recently used item when over capacity. Inserts under an
-// evicted epoch are dropped.
+// from the LRU's cold end while over the entry capacity or the byte
+// budget. Inserts whose stamp is no longer current are dropped.
 func (c *Cache) insertLocked(key Key, entry *Entry) {
-	if key.Epoch < c.minEpoch {
+	if c.current != nil && c.current(entry.Tables) != key.Stamp {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheItem).entry = entry
+		item := el.Value.(*cacheItem)
+		b := approxBytes(entry)
+		c.bytes += b - item.bytes
+		item.entry, item.bytes = entry, b
 		c.order.MoveToFront(el)
-		return
+	} else {
+		item := &cacheItem{key: key, entry: entry, bytes: approxBytes(entry), tablesKey: TablesKey(entry.Tables)}
+		el := c.order.PushFront(item)
+		c.entries[key] = el
+		if c.sets[item.tablesKey] == nil {
+			c.sets[item.tablesKey] = map[*list.Element]bool{}
+		}
+		c.sets[item.tablesKey][el] = true
+		c.bytes += item.bytes
 	}
-	c.entries[key] = c.order.PushFront(&cacheItem{key: key, entry: entry})
-	for c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheItem).key)
+	// Byte eviction may consume the whole list: a single relation larger
+	// than the budget is simply not cached.
+	for c.order.Len() > 0 && (c.order.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.removeLocked(c.order.Back())
 	}
+}
+
+// Candidate is the cheap metadata view of one subsumption-capable entry,
+// returned by Candidates so the session can match and cost residual
+// plans without cloning any relation.
+type Candidate struct {
+	Key Key
+	// Rows is the cached cardinality; Schema the cached relation's
+	// output schema (cloned — safe to hold).
+	Rows   int
+	Schema *schema.Schema
+	Prod   Producer
+}
+
+// Candidates returns the subsumption-capable entries reading exactly the
+// given table set under the given stamp, fewest rows first (a smaller
+// cached relation makes a cheaper residual scan), fingerprint-ordered on
+// ties so candidate order — and therefore plan choice on cost ties — is
+// deterministic.
+func (c *Cache) Candidates(tablesKey, stamp string) []Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Candidate
+	for el := range c.sets[tablesKey] {
+		item := el.Value.(*cacheItem)
+		if item.key.Stamp != stamp || item.entry.Prod == nil {
+			continue
+		}
+		p := *item.entry.Prod
+		p.Conjuncts = append([]string(nil), p.Conjuncts...)
+		out = append(out, Candidate{
+			Key:    item.key,
+			Rows:   item.entry.Rel.Cardinality(),
+			Schema: item.entry.Rel.Schema.Clone(),
+			Prod:   p,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rows != out[j].Rows {
+			return out[i].Rows < out[j].Rows
+		}
+		return out[i].Key.Fingerprint < out[j].Key.Fingerprint
+	})
+	return out
+}
+
+// Subsumed fetches the entry a winning residual plan reads, counting a
+// subsumption hit. The entry may have been evicted since Candidates ran;
+// the caller falls back to fresh execution then.
+func (c *Cache) Subsumed(key Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.subsumed++
+	return el.Value.(*cacheItem).entry.clone(), true
 }
 
 // Fetch returns the result for key: from the cache when resident, from a

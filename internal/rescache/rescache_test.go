@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,6 +25,13 @@ func rel(cells ...string) *schema.Relation {
 
 func entry(cells ...string) *Entry { return &Entry{Rel: rel(cells...), Plan: "plan"} }
 
+// entryT is entry with an explicit (sorted) component set.
+func entryT(tables []string, cells ...string) *Entry {
+	e := entry(cells...)
+	e.Tables = tables
+	return e
+}
+
 func fetch(t *testing.T, c *Cache, key Key, e *Entry) (*Entry, bool) {
 	t.Helper()
 	got, cached, err := c.Fetch(context.Background(), key, func() (*Entry, error) { return e, nil })
@@ -33,9 +41,35 @@ func fetch(t *testing.T, c *Cache, key Key, e *Entry) (*Entry, bool) {
 	return got, cached
 }
 
+// epochs is a test stand-in for the runtime's per-component epoch store:
+// current renders a stamp, bump advances one component and invalidates.
+type epochs struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func newEpochs() *epochs { return &epochs{m: map[string]uint64{}} }
+
+func (e *epochs) current(tables []string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b strings.Builder
+	for _, t := range tables {
+		fmt.Fprintf(&b, "%s=%d;", t, e.m[t])
+	}
+	return b.String()
+}
+
+func (e *epochs) bump(c *Cache, comp string) {
+	e.mu.Lock()
+	e.m[comp]++
+	e.mu.Unlock()
+	c.InvalidateComponent(comp)
+}
+
 func TestFetchPopulatesAndHits(t *testing.T) {
-	c := New(4)
-	key := Key{Fingerprint: "q1", Epoch: 0}
+	c := New(Config{Capacity: 4})
+	key := Key{Fingerprint: "q1"}
 
 	got, cached := fetch(t, c, key, entry("a", "b"))
 	if cached {
@@ -56,13 +90,16 @@ func TestFetchPopulatesAndHits(t *testing.T) {
 	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
 		t.Errorf("stats = %+v, want 1/1/1", st)
 	}
+	if st.Bytes <= 0 {
+		t.Errorf("resident bytes = %d, want > 0", st.Bytes)
+	}
 }
 
 // TestHitsAreIsolatedCopies: mutating a relation handed out by the cache
 // (or the one the populating caller kept) must not corrupt later hits.
 func TestHitsAreIsolatedCopies(t *testing.T) {
-	c := New(4)
-	key := Key{Fingerprint: "q", Epoch: 0}
+	c := New(Config{Capacity: 4})
+	key := Key{Fingerprint: "q"}
 
 	leaderRel, _ := fetch(t, c, key, entry("clean"))
 	leaderRel.Rel.Rows[0][0] = value.Text("dirty-leader")
@@ -78,39 +115,93 @@ func TestHitsAreIsolatedCopies(t *testing.T) {
 	}
 }
 
-func TestEpochKeysAreDistinct(t *testing.T) {
-	c := New(4)
-	if _, cached := fetch(t, c, Key{Fingerprint: "q", Epoch: 0}, entry("old")); cached {
+func TestStampKeysAreDistinct(t *testing.T) {
+	c := New(Config{Capacity: 4})
+	if _, cached := fetch(t, c, Key{Fingerprint: "q", Stamp: "llm:city=0;"}, entry("old")); cached {
 		t.Fatal("unexpected hit")
 	}
-	// Same fingerprint, newer epoch: must miss and recompute.
-	got, cached := fetch(t, c, Key{Fingerprint: "q", Epoch: 1}, entry("new"))
+	// Same fingerprint, newer stamp: must miss and recompute.
+	got, cached := fetch(t, c, Key{Fingerprint: "q", Stamp: "llm:city=1;"}, entry("new"))
 	if cached {
-		t.Error("lookup at a newer epoch hit a stale entry")
+		t.Error("lookup at a newer stamp hit a stale entry")
 	}
 	if got.Rel.Rows[0][0].String() != "new" {
 		t.Errorf("got %q", got.Rel.Rows[0][0].String())
 	}
 }
 
-func TestEvictEpochsBelow(t *testing.T) {
-	c := New(8)
-	fetch(t, c, Key{Fingerprint: "a", Epoch: 0}, entry("a"))
-	fetch(t, c, Key{Fingerprint: "b", Epoch: 1}, entry("b"))
-	c.EvictEpochsBelow(1)
-	if c.Len() != 1 {
-		t.Errorf("after eviction len = %d, want 1 (only the epoch-1 entry)", c.Len())
+// TestInvalidateComponentSelective: rebinding one table must evict only
+// the entries reading it; entries over other tables keep hitting.
+func TestInvalidateComponentSelective(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 8, CurrentStamp: ep.current})
+	city, country := []string{"llm:city"}, []string{"llm:country"}
+	both := []string{"llm:city", "llm:country"}
+
+	fetch(t, c, Key{Fingerprint: "city", Stamp: ep.current(city)}, entryT(city, "c"))
+	fetch(t, c, Key{Fingerprint: "country", Stamp: ep.current(country)}, entryT(country, "n"))
+	fetch(t, c, Key{Fingerprint: "join", Stamp: ep.current(both)}, entryT(both, "j"))
+
+	ep.bump(c, "llm:city")
+	if got := c.Len(); got != 1 {
+		t.Fatalf("after bumping llm:city len = %d, want 1 (only the country entry)", got)
 	}
-	// A late insert under an evicted epoch must be dropped: an execution
-	// that straddled the bump cannot resurrect a stale epoch.
-	fetch(t, c, Key{Fingerprint: "late", Epoch: 0}, entry("late"))
-	if _, cached := fetch(t, c, Key{Fingerprint: "late", Epoch: 0}, entry("recomputed")); cached {
-		t.Error("stale-epoch insert was retained")
+	if _, cached := fetch(t, c, Key{Fingerprint: "country", Stamp: ep.current(country)}, entry("MUST NOT RUN")); !cached {
+		t.Error("country entry was invalidated by a city rebind")
+	}
+	// City and join lookups at the new stamp must recompute.
+	if _, cached := fetch(t, c, Key{Fingerprint: "city", Stamp: ep.current(city)}, entryT(city, "c2")); cached {
+		t.Error("city entry survived its component bump")
+	}
+	if _, cached := fetch(t, c, Key{Fingerprint: "join", Stamp: ep.current(both)}, entryT(both, "j2")); cached {
+		t.Error("join entry survived its component bump")
+	}
+}
+
+// TestStaleInsertDropped: an execution that straddles a bump must not
+// resurrect a stale relation — its insert is validated against the
+// current stamp and dropped.
+func TestStaleInsertDropped(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 8, CurrentStamp: ep.current})
+	city := []string{"llm:city"}
+	key := Key{Fingerprint: "q", Stamp: ep.current(city)}
+
+	got, cached, err := c.Fetch(context.Background(), key, func() (*Entry, error) {
+		// The bump lands while this execution is in flight.
+		ep.bump(c, "llm:city")
+		return entryT(city, "stale"), nil
+	})
+	if err != nil || cached {
+		t.Fatalf("leader fetch: cached=%v err=%v", cached, err)
+	}
+	if got.Rel.Rows[0][0].String() != "stale" {
+		t.Fatalf("leader must still receive its own result, got %q", got.Rel.Rows[0][0].String())
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale insert was retained (len = %d)", c.Len())
+	}
+}
+
+// TestInvalidateKeepsCurrentEntries: an insert that raced the bump but
+// landed already re-stamped is valid and must survive the invalidation
+// scan.
+func TestInvalidateKeepsCurrentEntries(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 8, CurrentStamp: ep.current})
+	city := []string{"llm:city"}
+	ep.m["llm:city"] = 3
+	fetch(t, c, Key{Fingerprint: "q", Stamp: ep.current(city)}, entryT(city, "fresh"))
+	// A bump-less invalidation scan (as if the epoch write already
+	// happened before the insert): the entry's stamp is current, keep it.
+	c.InvalidateComponent("llm:city")
+	if c.Len() != 1 {
+		t.Errorf("current-stamp entry was evicted (len = %d)", c.Len())
 	}
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(2)
+	c := New(Config{Capacity: 2})
 	fetch(t, c, Key{Fingerprint: "a"}, entry("a"))
 	fetch(t, c, Key{Fingerprint: "b"}, entry("b"))
 	// Touch a so b is the LRU victim.
@@ -127,9 +218,98 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// TestByteBudgetEviction: the byte cap evicts from the LRU cold end even
+// when the entry capacity is not reached, and a single entry larger than
+// the whole budget is not cached at all.
+func TestByteBudgetEviction(t *testing.T) {
+	// Measure one entry's approximate size through a throwaway cache.
+	probe := New(Config{Capacity: 4})
+	fetch(t, probe, Key{Fingerprint: "probe"}, entry("xxxxxxxxxxxxxxxx"))
+	one := probe.Stats().Bytes
+	if one <= 0 {
+		t.Fatalf("probe bytes = %d", one)
+	}
+
+	c := New(Config{Capacity: 16, MaxBytes: one + one/2})
+	fetch(t, c, Key{Fingerprint: "a"}, entry("xxxxxxxxxxxxxxxx"))
+	fetch(t, c, Key{Fingerprint: "b"}, entry("xxxxxxxxxxxxxxxx"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (byte budget holds one entry)", c.Len())
+	}
+	if _, cached := fetch(t, c, Key{Fingerprint: "b"}, entry("MUST NOT RUN")); !cached {
+		t.Error("newest entry was the byte-eviction victim")
+	}
+	if st := c.Stats(); st.Bytes > one+one/2 {
+		t.Errorf("resident bytes %d exceed the budget %d", st.Bytes, one+one/2)
+	}
+
+	tiny := New(Config{Capacity: 16, MaxBytes: one - 1})
+	fetch(t, tiny, Key{Fingerprint: "big"}, entry("xxxxxxxxxxxxxxxx"))
+	if tiny.Len() != 0 {
+		t.Errorf("oversized entry was cached (len = %d)", tiny.Len())
+	}
+}
+
+// TestCandidatesAndSubsumed: the subsumption index returns only
+// producer-capable entries of the exact table set and stamp, smallest
+// relation first, and Subsumed counts its own statistic.
+func TestCandidatesAndSubsumed(t *testing.T) {
+	c := New(Config{Capacity: 8})
+	city := []string{"llm:city"}
+	prod := func(conjs ...string) *Producer {
+		return &Producer{Opts: "o|", FromKey: "from", FromLabel: "LLM.city AS c", Conjuncts: conjs}
+	}
+	big := entryT(city, "a", "b", "c")
+	big.Prod = prod()
+	small := entryT(city, "a")
+	small.Prod = prod("c.pop > 5")
+	plain := entryT(city, "x") // no producer: exact-only entry
+	other := entryT([]string{"llm:country"}, "y")
+	other.Prod = prod()
+
+	fetch(t, c, Key{Fingerprint: "big", Stamp: "s"}, big)
+	fetch(t, c, Key{Fingerprint: "small", Stamp: "s"}, small)
+	fetch(t, c, Key{Fingerprint: "plain", Stamp: "s"}, plain)
+	fetch(t, c, Key{Fingerprint: "stale", Stamp: "old"}, big.clone())
+	fetch(t, c, Key{Fingerprint: "other", Stamp: "s"}, other)
+
+	got := c.Candidates(TablesKey(city), "s")
+	if len(got) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(got))
+	}
+	if got[0].Key.Fingerprint != "small" || got[1].Key.Fingerprint != "big" {
+		t.Errorf("candidate order = %q, %q; want small, big", got[0].Key.Fingerprint, got[1].Key.Fingerprint)
+	}
+	if got[0].Rows != 1 || got[1].Rows != 3 {
+		t.Errorf("candidate rows = %d, %d", got[0].Rows, got[1].Rows)
+	}
+	if got[1].Prod.FromLabel != "LLM.city AS c" {
+		t.Errorf("producer metadata lost: %+v", got[1].Prod)
+	}
+
+	e, ok := c.Subsumed(Key{Fingerprint: "big", Stamp: "s"})
+	if !ok || e.Rel.Cardinality() != 3 {
+		t.Fatalf("Subsumed: ok=%v entry=%v", ok, e)
+	}
+	e.Rel.Rows[0][0] = value.Text("dirty")
+	if e2, _ := c.Subsumed(Key{Fingerprint: "big", Stamp: "s"}); e2.Rel.Rows[0][0].String() != "a" {
+		t.Error("Subsumed handed out an aliased relation")
+	}
+	if _, ok := c.Subsumed(Key{Fingerprint: "gone", Stamp: "s"}); ok {
+		t.Error("Subsumed found a nonexistent entry")
+	}
+	st := c.Stats()
+	if st.SubsumedHits != 2 {
+		t.Errorf("subsumed hits = %d, want 2", st.SubsumedHits)
+	}
+	if st.Hits != 0 {
+		t.Errorf("exact hits = %d, want 0 (Subsumed must not count as exact)", st.Hits)
+	}
+}
+
 // TestSingleflight: concurrent identical fetches share one computation.
 func TestSingleflight(t *testing.T) {
-	c := New(4)
+	c := New(Config{Capacity: 4})
 	var calls atomic.Int32
 	release := make(chan struct{})
 	const k = 16
@@ -172,7 +352,7 @@ func TestSingleflight(t *testing.T) {
 // TestLeaderErrorNotCachedAndJoinersRetry: errors are never cached, and
 // a joiner whose leader failed retries instead of inheriting the error.
 func TestLeaderErrorNotCachedAndJoinersRetry(t *testing.T) {
-	c := New(4)
+	c := New(Config{Capacity: 4})
 	boom := errors.New("boom")
 	if _, _, err := c.Fetch(context.Background(), Key{Fingerprint: "q"}, func() (*Entry, error) {
 		return nil, boom
@@ -191,7 +371,7 @@ func TestLeaderErrorNotCachedAndJoinersRetry(t *testing.T) {
 // flight (joiners retry) instead of leaving the key blocked forever,
 // and the panic must reach the leader's caller.
 func TestLeaderPanicDoesNotPoisonKey(t *testing.T) {
-	c := New(4)
+	c := New(Config{Capacity: 4})
 	key := Key{Fingerprint: "q"}
 
 	func() {
@@ -222,7 +402,7 @@ func TestLeaderPanicDoesNotPoisonKey(t *testing.T) {
 }
 
 func TestFetchContextCancelled(t *testing.T) {
-	c := New(4)
+	c := New(Config{Capacity: 4})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
@@ -243,30 +423,50 @@ func TestFetchContextCancelled(t *testing.T) {
 	close(release)
 }
 
-// TestConcurrentMixedKeys hammers the cache from many goroutines under
-// -race: distinct keys, shared keys, and epoch evictions interleaved.
-func TestConcurrentMixedKeys(t *testing.T) {
-	c := New(16)
+// TestConcurrentInvalidationStorm hammers the cache from many goroutines
+// under -race: fetches over per-component stamps, subsumption lookups,
+// and component bumps interleaved. Invariant: a fetch keyed at the
+// current stamp never observes a relation computed for another
+// component's state, and nothing deadlocks.
+func TestConcurrentInvalidationStorm(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 16, CurrentStamp: ep.current})
+	comps := []string{"llm:a", "llm:b", "llm:c"}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				key := Key{Fingerprint: fmt.Sprintf("q%d", i%5), Epoch: uint64(i % 3)}
+			for i := 0; i < 200; i++ {
+				comp := comps[i%len(comps)]
+				tables := []string{comp}
+				key := Key{Fingerprint: fmt.Sprintf("q%d", i%5), Stamp: ep.current(tables)}
+				want := key.Fingerprint + "@" + key.Stamp
 				got, _, err := c.Fetch(context.Background(), key, func() (*Entry, error) {
-					return entry(key.Fingerprint), nil
+					e := entryT(tables, want)
+					e.Prod = &Producer{Opts: "o|", FromKey: key.Fingerprint, FromLabel: comp}
+					return e, nil
 				})
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if got.Rel.Rows[0][0].String() != key.Fingerprint {
-					t.Errorf("wrong relation for %v", key)
+				if got.Rel.Rows[0][0].String() != want {
+					t.Errorf("stale relation for %v: got %q", key, got.Rel.Rows[0][0].String())
 					return
 				}
-				if i%17 == 0 {
-					c.EvictEpochsBelow(uint64(i % 3))
+				switch {
+				case i%31 == 0:
+					ep.bump(c, comp)
+				case i%7 == 0:
+					for _, cand := range c.Candidates(TablesKey(tables), ep.current(tables)) {
+						if e, ok := c.Subsumed(cand.Key); ok {
+							if e.Rel.Rows[0][0].String() != cand.Key.Fingerprint+"@"+cand.Key.Stamp {
+								t.Errorf("subsumption served a mismatched relation")
+								return
+							}
+						}
+					}
 				}
 			}
 		}(g)
