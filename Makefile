@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos serve fuzz cover
 
 check: vet build race
 
@@ -44,6 +44,13 @@ bench-resultcache:
 # queries from cached relations, with a per-table invalidation probe.
 bench-semcache:
 	$(GO) test -run '^$$' -bench BenchmarkSemanticCacheComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_chaos.json artifact (deterministic):
+# the seeded chaos differential — corpus under transient/malformed fault
+# profiles with retries vs fault-free, the no-retry availability control,
+# and the breaker lifecycle under a total outage.
+bench-chaos:
+	$(GO) test -run '^$$' -bench BenchmarkChaosComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

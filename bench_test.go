@@ -340,6 +340,38 @@ func BenchmarkConcurrencyComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkChaosComparison runs the seeded chaos differential through
+// the fault-tolerant LLM transport — the corpus under transient and
+// malformed-output fault profiles with retries (relations, prompt counts
+// and simulated makespan must stay bit-identical to fault-free), the
+// no-retry availability control, and the breaker lifecycle under a total
+// outage — and writes the machine-readable BENCH_chaos.json artifact
+// (the report is deterministic, so the committed artifact is
+// reproducible):
+//
+//	go test -run '^$' -bench BenchmarkChaosComparison -benchtime=1x .
+func BenchmarkChaosComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.ChaosReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.ChaosComparison(ctx, simllm.ChatGPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Transient.Faults), "injected_faults")
+	b.ReportMetric(float64(rep.Transient.Retries), "healing_retries")
+	b.ReportMetric(float64(rep.NoRetry.FailedQueries), "no_retry_lost_queries")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteChaosArtifact("BENCH_chaos.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkResultCacheComparison measures the semantic result
 // cache on repeated corpus traffic — one cold pass (where subsumption
 // already answers some queries from earlier results), two hot passes,

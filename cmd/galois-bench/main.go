@@ -12,7 +12,7 @@
 //	galois-bench -figure 3      # the lowered plan for q'
 //	galois-bench -figure 4      # the few-shot prompt
 //	galois-bench -latency
-//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache
+//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache|chaos
 package main
 
 import (
@@ -41,7 +41,7 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
@@ -104,7 +104,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -213,6 +213,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printConcurrency(ctx, r, p)
 	case "resultcache":
 		return printResultCache(ctx, r, p)
+	case "chaos":
+		return printChaos(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -304,6 +306,28 @@ func printResultCache(ctx context.Context, r *bench.Runner, p simllm.Profile) er
 		rep.ResultCacheHits, rep.ResultCacheSubsumedHits, rep.ResultCacheMisses, rep.ResultCacheEntries)
 	fmt.Printf("  per-table bump (ANALYZE): primed table re-executed: %v, unrelated tables retained: %v, relations still identical: %v\n\n",
 		rep.InvalidationReexecuted, rep.InvalidationRetained, rep.InvalidationIdentical)
+	return nil
+}
+
+func printChaos(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.ChaosComparison(ctx, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation J: fault-tolerant LLM transport (seeded chaos differential)")
+	fmt.Printf("  corpus of %d queries per arm; identical = relations/prompts/makespan bit-identical to fault-free\n", rep.Queries)
+	for _, arm := range []bench.ChaosArm{rep.Transient, rep.Malformed} {
+		fmt.Printf("  %-20s %3d faults healed by %3d retries, %d queries lost, identical: %v/%v/%v (hot pass: %v)\n",
+			arm.Config, arm.Faults, arm.Retries, arm.FailedQueries,
+			arm.ResultsIdentical, arm.PromptsIdentical, arm.MakespanIdentical, arm.HotIdentical)
+	}
+	fmt.Printf("  %-20s %d of %d queries lost without retries (all failures classified: %v)\n",
+		rep.NoRetry.Config, rep.NoRetry.FailedQueries, rep.NoRetry.Queries, rep.NoRetry.FailuresClassified)
+	o := rep.Outage
+	fmt.Printf("  outage: breaker opened after %d classified failures, shed fast while open: %v, cache kept serving: %v\n",
+		o.FailedDuringOutage, o.FastFailed && o.ShedClassified, o.CacheServedDuringOutage)
+	fmt.Printf("  recovery: half-open probe healed: %v, post-recovery identical (no stale cache entries): %v\n\n",
+		o.ProbeHealed, o.PostRecoveryOK && o.PostRecoveryIdentical)
 	return nil
 }
 

@@ -70,6 +70,13 @@ func run() error {
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection")
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "max time to drain in-flight queries on SIGINT/SIGTERM")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for an execution slot; past it requests are shed with 503 + Retry-After (0 = 4x max-concurrent)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-imposed deadline per query; expiry answers 504 (0 = none)")
+	resilient := flag.Bool("resilient", true, "enable the fault-tolerant LLM transport (deadlines, retries, circuit breaker, retry budget)")
+	retries := flag.Int("retries", 0, "max retries per prompt after a retryable failure (0 = default 3, negative = never retry)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff ceiling before the first retry; doubles per attempt with deterministic full jitter (0 = default 100ms)")
+	promptTimeout := flag.Duration("prompt-timeout", 0, "per-attempt deadline on each model call; expiry is retried (0 = no per-attempt deadline)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failed prompts that open an endpoint's circuit breaker (0 = default 5, negative = no breaker)")
 	flag.Parse()
 
 	profile, ok := simllm.ProfileByName(*model)
@@ -91,12 +98,22 @@ func run() error {
 	opts.ResultCacheBytes = *resultCacheBytes
 	opts.Pipelined = *pipeline
 	opts.BatchWorkers = *workers
+	opts.Resilient = *resilient
+	opts.Retries = *retries
+	opts.RetryBackoff = *retryBackoff
+	opts.PromptTimeout = *promptTimeout
+	opts.BreakerThreshold = *breakerThreshold
 	rt, err := runner.Runtime(runner.Model(profile), opts)
 	if err != nil {
 		return err
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(rt, *maxConcurrent)}
+	handler := newServer(rt, serverConfig{
+		maxConcurrent: *maxConcurrent,
+		maxQueue:      *maxQueue,
+		queryTimeout:  *queryTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -55,7 +55,7 @@ func TestServeConcurrentQueries(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.CacheEnabled = false
 	_, rt := testRuntime(t, opts)
-	ts := httptest.NewServer(newServer(rt, 8))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 8}))
 	defer ts.Close()
 
 	queries := []string{
@@ -137,7 +137,9 @@ func TestServeAdmissionGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(rt, 2)
+	// maxQueue is raised past the burst: this test exercises the ordered
+	// drain of the gate, not load shedding (see TestServeQueueSaturation).
+	srv := newServer(rt, serverConfig{maxConcurrent: 2, maxQueue: 16})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -166,7 +168,7 @@ func TestServeAdmissionGate(t *testing.T) {
 // statement likewise.
 func TestServeErrors(t *testing.T) {
 	_, rt := testRuntime(t, core.DefaultOptions())
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("SELEC nonsense"))
@@ -213,7 +215,7 @@ func TestServeBackendFailureIs5xx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
@@ -227,7 +229,7 @@ func TestServeBackendFailureIs5xx(t *testing.T) {
 // type) both work.
 func TestServeFormEncodedQuery(t *testing.T) {
 	_, rt := testRuntime(t, core.DefaultOptions())
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	const sql = `SELECT name FROM country WHERE continent = 'Europe'`
@@ -266,7 +268,7 @@ func TestServeFormEncodedQuery(t *testing.T) {
 // served queries and the shared cache.
 func TestServeHealthzAndStats(t *testing.T) {
 	_, rt := testRuntime(t, core.DefaultOptions())
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -322,7 +324,7 @@ func TestServeQueuedClientDisconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(rt, 1)
+	srv := newServer(rt, serverConfig{maxConcurrent: 1})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -361,7 +363,7 @@ func TestServeQueuedClientDisconnect(t *testing.T) {
 // every other verb is a 405 with an Allow header and runs nothing.
 func TestServeMethodNotAllowed(t *testing.T) {
 	_, rt := testRuntime(t, core.DefaultOptions())
-	srv := newServer(rt, 4)
+	srv := newServer(rt, serverConfig{maxConcurrent: 4})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -405,7 +407,7 @@ func TestServeMethodNotAllowed(t *testing.T) {
 // silent "no plan".
 func TestServePlanParam(t *testing.T) {
 	_, rt := testRuntime(t, core.DefaultOptions())
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	get := func(t *testing.T, plan string) (*http.Response, queryResponse) {
@@ -461,7 +463,9 @@ func TestServeCancelledQueuedCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(rt, 1)
+	// maxQueue must exceed the cancelled burst: every request is meant to
+	// queue (then be abandoned), not be shed up front.
+	srv := newServer(rt, serverConfig{maxConcurrent: 1, maxQueue: 16})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -532,7 +536,7 @@ func TestServeResultCache(t *testing.T) {
 	opts.CacheEnabled = false
 	opts.ResultCacheEnabled = true
 	r, rt := testRuntime(t, opts)
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	const sql = `SELECT name FROM country WHERE continent = 'Europe'`
@@ -601,7 +605,7 @@ func TestServeResultCacheSubsumption(t *testing.T) {
 	opts.CacheEnabled = false
 	opts.ResultCacheEnabled = true
 	_, rt := testRuntime(t, opts)
-	ts := httptest.NewServer(newServer(rt, 4))
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
 	defer ts.Close()
 
 	// The parent populates the cache with a producer-shaped relation.

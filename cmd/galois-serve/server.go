@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/llm"
 	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
 )
@@ -28,26 +29,48 @@ type server struct {
 	rt            *core.Runtime
 	gate          chan struct{}
 	maxConcurrent int
+	maxQueue      int
+	queryTimeout  time.Duration
 	mux           *http.ServeMux
 
 	queries   atomic.Int64 // completed (ok or failed) queries
 	active    atomic.Int64 // currently executing (inside the gate)
 	maxActive atomic.Int64 // high-water mark of active
 	waiting   atomic.Int64 // admitted requests waiting for a slot
+	shed      atomic.Int64 // requests refused with 503 (queue full / breaker)
+	timeouts  atomic.Int64 // queries answered 504 (deadline expired)
 }
 
-// newServer wires the routes over the runtime. maxConcurrent bounds
-// simultaneously executing queries (0 or negative means 2× the
-// scheduler's per-endpoint worker budget — enough to keep the pool busy
-// without unbounded overcommit).
-func newServer(rt *core.Runtime, maxConcurrent int) *server {
-	if maxConcurrent <= 0 {
-		maxConcurrent = 2 * rt.Options().BatchWorkers
+// serverConfig tunes the front end's degradation behavior alongside the
+// admission gate.
+type serverConfig struct {
+	// maxConcurrent bounds simultaneously executing queries (0 or
+	// negative means 2× the scheduler's per-endpoint worker budget —
+	// enough to keep the pool busy without unbounded overcommit).
+	maxConcurrent int
+	// maxQueue bounds requests waiting for an execution slot; one past
+	// it is refused immediately with 503 + Retry-After instead of
+	// queueing without bound (0 or negative means 4× maxConcurrent).
+	maxQueue int
+	// queryTimeout bounds one query end to end; expiry answers 504
+	// (0 means no server-imposed deadline).
+	queryTimeout time.Duration
+}
+
+// newServer wires the routes over the runtime.
+func newServer(rt *core.Runtime, cfg serverConfig) *server {
+	if cfg.maxConcurrent <= 0 {
+		cfg.maxConcurrent = 2 * rt.Options().BatchWorkers
+	}
+	if cfg.maxQueue <= 0 {
+		cfg.maxQueue = 4 * cfg.maxConcurrent
 	}
 	s := &server{
 		rt:            rt,
-		gate:          make(chan struct{}, maxConcurrent),
-		maxConcurrent: maxConcurrent,
+		gate:          make(chan struct{}, cfg.maxConcurrent),
+		maxConcurrent: cfg.maxConcurrent,
+		maxQueue:      cfg.maxQueue,
+		queryTimeout:  cfg.queryTimeout,
 		mux:           http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -122,10 +145,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission gate: at most maxConcurrent queries execute at once;
-	// the rest wait here and give up when their client does.
+	// Admission gate: at most maxConcurrent queries execute at once, at
+	// most maxQueue wait for a slot; anything past both is shed
+	// immediately — an overloaded server must answer "come back later"
+	// fast, not queue without bound until everything times out.
 	ctx := r.Context()
-	s.waiting.Add(1)
+	if n := s.waiting.Add(1); n > int64(s.maxQueue) {
+		s.waiting.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("admission queue saturated (%d executing, %d waiting); retry later", s.maxConcurrent, s.maxQueue))
+		return
+	}
 	select {
 	case s.gate <- struct{}{}:
 		s.waiting.Add(-1)
@@ -169,14 +201,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The server-imposed per-query deadline: a query that outlives it
+	// answers 504 instead of holding its execution slot indefinitely.
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+
 	sess := s.rt.NewSession()
 	rel, rep, err := sess.Query(ctx, sql)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		s.writeQueryError(w, err)
 		return
 	}
 
@@ -258,9 +294,69 @@ func querySQL(r *http.Request) (string, error) {
 	return "", fmt.Errorf("missing SQL: pass ?q= or a request body")
 }
 
+// writeQueryError maps an execution failure onto the HTTP status retry
+// policies expect: 504 when a deadline (the server's -query-timeout or
+// the client's own) expired mid-query, 503 + Retry-After when the model
+// endpoint's circuit breaker shed the call, 503 when the client
+// disconnected mid-flight, 500 for everything else.
+func (s *server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case llm.Classify(err) == llm.ClassBreakerOpen:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", s.breakerRetryAfter())
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// breakerRetryAfter renders the Retry-After a breaker-shed client
+// should honor: the breaker's own cooldown, floored at one second.
+func (s *server) breakerRetryAfter() string {
+	cooldown := s.rt.Options().BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = llm.DefaultBreakerCooldown
+	}
+	secs := int(cooldown / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// healthResponse is the /healthz JSON: overall readiness plus the
+// breaker position of every resilient model endpoint.
+type healthResponse struct {
+	Status    string                `json:"status"`
+	Endpoints []core.EndpointHealth `json:"endpoints,omitempty"`
+}
+
+// handleHealthz reports liveness and readiness. The server is "ok" when
+// no breaker is open, "degraded" (still 200 — some backends answer)
+// when some are, and "unavailable" with 503 when every model endpoint's
+// breaker is open: a probe should stop routing traffic here, because no
+// query touching the model can succeed until a cooldown probe heals one.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	eps := s.rt.ResilienceHealth()
+	open := 0
+	for _, ep := range eps {
+		if ep.Breaker == llm.BreakerOpen.String() {
+			open++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case len(eps) > 0 && open == len(eps):
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case open > 0:
+		status = "degraded"
+	}
+	writeJSON(w, code, healthResponse{Status: status, Endpoints: eps})
 }
 
 // serverStats is the /stats JSON: serving counters plus the shared
@@ -287,6 +383,14 @@ type serverStats struct {
 	ResultCacheBytes        int               `json:"result_cache_bytes"`
 	Epoch                   uint64            `json:"epoch"`
 	TableEpochs             map[string]uint64 `json:"table_epochs"`
+	// Degradation counters and the per-endpoint resilience snapshot:
+	// requests shed with 503 (saturated queue or open breaker), queries
+	// answered 504, the queue bound, and each model endpoint's breaker
+	// state with its retry/fault accounting.
+	MaxQueue   int                   `json:"max_queue"`
+	Shed       int64                 `json:"shed"`
+	Timeouts   int64                 `json:"timeouts"`
+	Resilience []core.EndpointHealth `json:"resilience,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -309,6 +413,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ResultCacheBytes:        rcs.Bytes,
 		Epoch:                   s.rt.Epoch(),
 		TableEpochs:             s.rt.TableEpochs(),
+		MaxQueue:                s.maxQueue,
+		Shed:                    s.shed.Load(),
+		Timeouts:                s.timeouts.Load(),
+		Resilience:              s.rt.ResilienceHealth(),
 	})
 }
 

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestChaosComparison is the acceptance gate of the fault-tolerant LLM
+// transport: under seeded transient and malformed-output fault profiles
+// with retries enabled, every corpus query must heal with relations,
+// recorded prompt counts and simulated makespan bit-identical to the
+// fault-free run (on the cold pass and the cache-hot pass alike); with
+// retries disabled the same faults must lose queries, all surfaced
+// through the error taxonomy; and a total outage must walk the breaker
+// through open -> shed -> half-open probe -> closed with no stale cache
+// entries. Runs under -race in CI.
+func TestChaosComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ChaosComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("transient: %d faults healed by %d retries over %d queries (no-retry control lost %d)",
+		rep.Transient.Faults, rep.Transient.Retries, rep.Transient.Queries, rep.NoRetry.FailedQueries)
+}
+
+// TestChaosDeterministic pins the artifact's reproducibility: two fresh
+// comparisons must agree on every number CI diffs.
+func TestChaosDeterministic(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.ChaosComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ChaosComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("chaos comparison not deterministic:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/clean"
 	"repro/internal/llm"
@@ -100,6 +101,34 @@ type Options struct {
 	// result cache's relations; the LRU evicts past it (0 means
 	// unlimited — only ResultCacheSize bounds it).
 	ResultCacheBytes int
+	// Resilient turns on the fault-tolerant LLM transport: the runtime
+	// wraps its primary client — and, memoized, any session verifier —
+	// in an llm.ResilientClient adding per-attempt deadlines, bounded
+	// deterministic-jitter retries, a per-endpoint circuit breaker and a
+	// token-bucket retry budget. Retries happen inside one recorded
+	// call, so fault-free accounting (prompts, cache counters, simulated
+	// makespan) is bit-identical with or without the wrapper. Runtime-
+	// tier, fixed at NewRuntime. Default on (DefaultOptions); off
+	// reproduces the fail-fast transport of the earlier engine.
+	Resilient bool
+	// Retries bounds resubmissions per prompt after a retryable failure
+	// (0 means llm.DefaultMaxRetries; negative disables retries).
+	Retries int
+	// RetryBackoff is the first retry's backoff ceiling; the ceiling
+	// doubles per attempt and the actual sleep is deterministic full
+	// jitter (0 means llm.DefaultBaseBackoff).
+	RetryBackoff time.Duration
+	// PromptTimeout bounds each individual model-call attempt; an
+	// expired attempt is retried as llm.ClassDeadline (0 means no
+	// per-attempt deadline).
+	PromptTimeout time.Duration
+	// BreakerThreshold is the run of consecutive failed prompts that
+	// opens an endpoint's circuit breaker (0 means
+	// llm.DefaultBreakerThreshold; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before probing
+	// (0 means llm.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string
@@ -137,6 +166,19 @@ func DefaultOptions() Options {
 		DefaultSource:     "LLM",
 		Pipelined:         true,
 		CacheEnabled:      true,
+		Resilient:         true,
+	}
+}
+
+// resilientConfig maps the options' resilience knobs onto the transport
+// wrapper's configuration (zero fields select the llm defaults).
+func (o *Options) resilientConfig() llm.ResilientConfig {
+	return llm.ResilientConfig{
+		MaxRetries:       o.Retries,
+		BaseBackoff:      o.RetryBackoff,
+		PromptTimeout:    o.PromptTimeout,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
 	}
 }
 

@@ -29,6 +29,12 @@ func ExplainText(plan logical.Node, cost *optimizer.PlanCost, m *physical.Metric
 	if analyzed {
 		fmt.Fprintf(&b, "actual:    prompts=%d latency=%s cache_hits=%d (simulated)\n",
 			stats.Prompts, stats.SimulatedLatency.Round(time.Millisecond), stats.CacheHits)
+		// Resilience counters appear only when fault recovery actually
+		// happened, so fault-free EXPLAIN ANALYZE output is unchanged.
+		if stats.Retries > 0 || stats.Faults > 0 || stats.BreakerFastFails > 0 {
+			fmt.Fprintf(&b, "resilience: retries=%d faults=%d breaker_fast_fails=%d\n",
+				stats.Retries, stats.Faults, stats.BreakerFastFails)
+		}
 	}
 	return b.String()
 }

@@ -83,6 +83,13 @@ type Runtime struct {
 	schedOnce sync.Once
 	sched     *llm.Scheduler
 
+	// resMu guards resVerifiers: the runtime-memoized resilient wrappers
+	// around session verifier clients, one per distinct verifier, so
+	// breaker state and resilience counters persist across the sessions
+	// and queries that share a verifier endpoint.
+	resMu        sync.Mutex
+	resVerifiers map[llm.Client]*llm.ResilientClient
+
 	// mu guards the table bindings and the attached store: BindLLMTable /
 	// AttachDB write, concurrent session planners read through
 	// ResolveTable.
@@ -97,6 +104,15 @@ type Runtime struct {
 // shared scheduler's per-endpoint budget) are fixed here.
 func NewRuntime(client llm.Client, opts Options) *Runtime {
 	opts.normalize()
+	if opts.Resilient {
+		// Wrap the transport unless the caller already did: the chaos
+		// bench hands in a pre-built ResilientClient to control its test
+		// seams (fake clock, instant sleep), and double-wrapping would
+		// hide its breaker from the health surfaces.
+		if _, ok := client.(*llm.ResilientClient); !ok {
+			client = llm.NewResilient(client, opts.resilientConfig())
+		}
+	}
 	rt := &Runtime{
 		client:     client,
 		llmDefs:    map[string]*schema.TableDef{},
@@ -200,6 +216,63 @@ func (rt *Runtime) scheduler() *llm.Scheduler {
 
 // Statistics exposes the planner's statistics store (never nil).
 func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
+
+// Client exposes the runtime's (possibly resilience-wrapped) transport.
+func (rt *Runtime) Client() llm.Client { return rt.client }
+
+// resilientVerifier returns the runtime's resilient wrapper for a
+// session's verifier endpoint, memoized per distinct client so breaker
+// state and counters survive across queries and sessions. Pass-through
+// when resilience is off or the caller pre-wrapped the client.
+func (rt *Runtime) resilientVerifier(v llm.Client) llm.Client {
+	if v == nil || !rt.opts.Resilient {
+		return v
+	}
+	if _, ok := v.(*llm.ResilientClient); ok {
+		return v
+	}
+	rt.resMu.Lock()
+	defer rt.resMu.Unlock()
+	if rt.resVerifiers == nil {
+		rt.resVerifiers = map[llm.Client]*llm.ResilientClient{}
+	}
+	rc, ok := rt.resVerifiers[v]
+	if !ok {
+		rc = llm.NewResilient(v, rt.opts.resilientConfig())
+		rt.resVerifiers[v] = rc
+	}
+	return rc
+}
+
+// EndpointHealth is one model endpoint's resilience snapshot: breaker
+// position plus lifetime fault-recovery counters. Serve's /healthz and
+// /stats render these.
+type EndpointHealth struct {
+	Endpoint string                 `json:"endpoint"`
+	Breaker  string                 `json:"breaker"`
+	Counters llm.ResilienceCounters `json:"counters"`
+}
+
+// ResilienceHealth snapshots every resilient endpoint the runtime
+// manages — the primary transport plus any memoized verifier wrappers —
+// sorted by endpoint name. Empty when resilience is off.
+func (rt *Runtime) ResilienceHealth() []EndpointHealth {
+	var clients []*llm.ResilientClient
+	if rc, ok := rt.client.(*llm.ResilientClient); ok {
+		clients = append(clients, rc)
+	}
+	rt.resMu.Lock()
+	for _, rc := range rt.resVerifiers {
+		clients = append(clients, rc)
+	}
+	rt.resMu.Unlock()
+	out := make([]EndpointHealth, 0, len(clients))
+	for _, rc := range clients {
+		out = append(out, EndpointHealth{Endpoint: rc.Name(), Breaker: rc.State().String(), Counters: rc.Counters()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
 
 // PrimeTableKeys seeds the planner's cardinality estimate for one table
 // — the engine's ANALYZE equivalent for operators who know their data's

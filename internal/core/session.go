@@ -573,10 +573,14 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 	}
 
 	recorder := llm.NewRecorder(s.rt.client)
+	// The resilience layer sits below the recorder (retries happen inside
+	// one recorded call), so it attributes per-query faults and retries
+	// through the context rather than the call chain.
+	ctx = llm.WithRecorder(ctx, recorder)
 	var verifyRecorder *llm.Recorder
 	var verifier llm.Client
 	if s.opts.Verifier != nil {
-		verifyRecorder = llm.NewRecorder(s.opts.Verifier)
+		verifyRecorder = llm.NewRecorder(s.rt.resilientVerifier(s.opts.Verifier))
 		verifier = verifyRecorder
 	}
 	metrics := physical.NewMetrics()

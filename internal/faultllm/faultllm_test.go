@@ -1,0 +1,170 @@
+package faultllm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+type echo struct{}
+
+func (echo) Name() string { return "echo" }
+func (echo) Complete(ctx context.Context, prompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return "echo: " + prompt, nil
+}
+
+// TestInjectorDeterministic: two injectors with the same seed inject
+// identical faults for identical (prompt, attempt) pairs, and a
+// different seed injects a different pattern.
+func TestInjectorDeterministic(t *testing.T) {
+	p := Profile{Seed: 7, TransientRate: 0.3, TimeoutRate: 0.1, MalformedRate: 0.1}
+	a, b := Wrap(echo{}, p), Wrap(echo{}, p)
+	c := Wrap(echo{}, Profile{Seed: 8, TransientRate: 0.3, TimeoutRate: 0.1, MalformedRate: 0.1})
+
+	outcome := func(in *Injector, prompt string, attempt int) string {
+		ctx := llm.WithAttempt(context.Background(), attempt)
+		out, err := in.Complete(ctx, prompt)
+		if err != nil {
+			return "err:" + llm.Classify(err).String()
+		}
+		return out
+	}
+
+	var differs bool
+	for i := 0; i < 200; i++ {
+		prompt := fmt.Sprintf("prompt %d", i)
+		for attempt := 0; attempt < 2; attempt++ {
+			oa, ob := outcome(a, prompt, attempt), outcome(b, prompt, attempt)
+			if oa != ob {
+				t.Fatalf("same seed diverged on (%q, %d): %q vs %q", prompt, attempt, oa, ob)
+			}
+			if oa != outcome(c, prompt, attempt) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical fault patterns — hashing broken")
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("same-seed counters diverged: %+v vs %+v", a.Counters(), b.Counters())
+	}
+	if a.Counters().Transient == 0 || a.Counters().Timeouts == 0 || a.Counters().Malformed == 0 {
+		t.Fatalf("profile injected nothing: %+v", a.Counters())
+	}
+}
+
+// TestInjectorFailAttemptsBound: with the default bound, attempts past
+// FailAttempts are never faulted — the eventual-success guarantee the
+// differential suite builds on.
+func TestInjectorFailAttemptsBound(t *testing.T) {
+	in := Wrap(echo{}, Profile{Seed: 1, TransientRate: 1.0})
+	for i := 0; i < 50; i++ {
+		prompt := fmt.Sprintf("p%d", i)
+		for attempt := 0; attempt < 2; attempt++ {
+			if _, err := in.Complete(llm.WithAttempt(context.Background(), attempt), prompt); err == nil {
+				t.Fatalf("attempt %d of %q: want injected fault", attempt, prompt)
+			}
+		}
+		out, err := in.Complete(llm.WithAttempt(context.Background(), 2), prompt)
+		if err != nil || out != "echo: "+prompt {
+			t.Fatalf("attempt 2 of %q: out=%q err=%v, want clean pass-through", prompt, out, err)
+		}
+	}
+}
+
+// TestInjectorThroughResilient: the injector under a ResilientClient —
+// the deployment shape of the chaos harness — heals every prompt within
+// the retry budget, the validator repels malformed completions, and the
+// outputs are bit-identical to a fault-free run.
+func TestInjectorThroughResilient(t *testing.T) {
+	in := Wrap(echo{}, Profile{Seed: 42, TransientRate: 0.3, TimeoutRate: 0.1, MalformedRate: 0.2})
+	rc := llm.NewResilient(in, llm.ResilientConfig{
+		MaxRetries:         3,
+		BreakerThreshold:   -1,
+		RetryBudgetReserve: 1000,
+		Sleep:              func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+		Validate:           Validator(),
+	})
+	for i := 0; i < 200; i++ {
+		prompt := fmt.Sprintf("prompt %d", i)
+		out, err := rc.Complete(context.Background(), prompt)
+		if err != nil {
+			t.Fatalf("prompt %d failed through resilience: %v", i, err)
+		}
+		if out != "echo: "+prompt {
+			t.Fatalf("prompt %d: out=%q — a malformed completion escaped", i, out)
+		}
+	}
+	c := in.Counters()
+	if c.Transient == 0 || c.Timeouts == 0 || c.Malformed == 0 {
+		t.Fatalf("profile injected nothing through the stack: %+v", c)
+	}
+	rcc := rc.Counters()
+	if rcc.Retries == 0 || rcc.Faults == 0 {
+		t.Fatalf("resilience saw no faults: %+v", rcc)
+	}
+}
+
+func TestInjectorOutageAndRecovery(t *testing.T) {
+	in := Wrap(echo{}, Profile{Seed: 3})
+	in.SetOutage(true)
+	_, err := in.Complete(context.Background(), "p")
+	if err == nil || llm.Classify(err) != llm.ClassTransient {
+		t.Fatalf("outage err = %v, want transient", err)
+	}
+	in.SetOutage(false)
+	out, err := in.Complete(context.Background(), "p")
+	if err != nil || out != "echo: p" {
+		t.Fatalf("after recovery: out=%q err=%v", out, err)
+	}
+	if got := in.Counters().Outage; got != 1 {
+		t.Fatalf("outage counter = %d, want 1", got)
+	}
+}
+
+func TestValidatorRejectsMarker(t *testing.T) {
+	v := Validator()
+	if err := v("p", MalformedMarker+" junk"); err == nil {
+		t.Fatal("validator accepted a marked completion")
+	}
+	if err := v("p", "clean completion"); err != nil {
+		t.Fatalf("validator rejected a clean completion: %v", err)
+	}
+}
+
+// TestInjectorCancelPassthrough: a cancelled context short-circuits
+// before any fault decision and surfaces as the caller's own error.
+func TestInjectorCancelPassthrough(t *testing.T) {
+	in := Wrap(echo{}, Profile{Seed: 1, TransientRate: 1.0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := in.Complete(ctx, "p")
+	if !errors.Is(err, context.Canceled) || !llm.IsCancellation(err) {
+		t.Fatalf("err = %v, want caller cancellation", err)
+	}
+	if got := in.Counters().Calls; got != 0 {
+		t.Fatalf("cancelled call counted: %d", got)
+	}
+}
+
+// TestInjectorMalformedShape: malformed completions carry the marker so
+// they can never be mistaken for real output.
+func TestInjectorMalformedShape(t *testing.T) {
+	in := Wrap(echo{}, Profile{Seed: 5, MalformedRate: 1.0})
+	out, err := in.Complete(context.Background(), "p")
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if !strings.Contains(out, MalformedMarker) {
+		t.Fatalf("malformed completion missing marker: %q", out)
+	}
+}

@@ -53,6 +53,19 @@ type Stats struct {
 	// spread over the shared worker budget. Cached prompts cost nothing
 	// in both models.
 	SimulatedLatency time.Duration
+	// Retries counts prompt attempts resubmitted by the resilience layer
+	// after a retryable failure. Retries never inflate Prompts or
+	// SimulatedLatency — the recorder sees one completed call per
+	// success — so these counters are the only trace fault recovery
+	// leaves in a query's stats.
+	Retries int
+	// Faults counts failed attempts the resilience layer observed on this
+	// query's behalf: transient backend errors, expired per-attempt
+	// deadlines, and rejected malformed completions.
+	Faults int
+	// BreakerFastFails counts calls shed without touching the backend
+	// because the endpoint's circuit breaker was open.
+	BreakerFastFails int
 }
 
 // Add merges other into s.
@@ -63,12 +76,20 @@ func (s *Stats) Add(other Stats) {
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
 	s.SimulatedLatency += other.SimulatedLatency
+	s.Retries += other.Retries
+	s.Faults += other.Faults
+	s.BreakerFastFails += other.BreakerFastFails
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Resilience counters appear only
+// when a fault actually occurred, so fault-free output is unchanged.
 func (s Stats) String() string {
-	return fmt.Sprintf("prompts=%d prompt_tokens=%d completion_tokens=%d cache_hits=%d cache_misses=%d simulated_latency=%s",
+	out := fmt.Sprintf("prompts=%d prompt_tokens=%d completion_tokens=%d cache_hits=%d cache_misses=%d simulated_latency=%s",
 		s.Prompts, s.PromptTokens, s.CompletionTokens, s.CacheHits, s.CacheMisses, s.SimulatedLatency.Round(time.Millisecond))
+	if s.Retries > 0 || s.Faults > 0 || s.BreakerFastFails > 0 {
+		out += fmt.Sprintf(" retries=%d faults=%d breaker_fast_fails=%d", s.Retries, s.Faults, s.BreakerFastFails)
+	}
+	return out
 }
 
 // CountTokens approximates a tokenizer with whitespace splitting; good
@@ -163,6 +184,18 @@ func (r *Recorder) recordCache(hits, misses int) {
 	r.mu.Unlock()
 }
 
+// recordResilience attributes fault-recovery work to this query. The
+// resilience layer sits below the recorder (retries happen inside one
+// recorded call), so it reports through the context instead of the call
+// chain; see WithRecorder.
+func (r *Recorder) recordResilience(retries, faults, fastFails int) {
+	r.mu.Lock()
+	r.stats.Retries += retries
+	r.stats.Faults += faults
+	r.stats.BreakerFastFails += fastFails
+	r.mu.Unlock()
+}
+
 // recordBatch accounts a batch of prompts: tokens add up, latency is the
 // slowest prompt of each wave of `workers` concurrent calls.
 func (r *Recorder) recordBatch(prompts, outputs []string, workers int) {
@@ -241,6 +274,7 @@ func CompleteBatchCached(ctx context.Context, client Client, cache *Cache, promp
 		workers = len(distinct)
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -285,7 +319,7 @@ func CompleteBatchCached(ctx context.Context, client Client, cache *Cache, promp
 	close(jobs)
 	wg.Wait()
 
-	if err := joinDistinct(errs); err != nil {
+	if err := joinBatchErrors(parent, errs); err != nil {
 		return nil, err
 	}
 	// All dispatched jobs succeeded, but the parent context may have been
@@ -319,6 +353,38 @@ func CompleteBatchCached(ctx context.Context, client Client, cache *Cache, promp
 		full[i] = outputs[slot[p]]
 	}
 	return full, nil
+}
+
+// joinBatchErrors reduces a batch's per-job errors to the one the
+// caller should see, keeping cancellation and backend failure apart.
+// The first failing job cancels the batch context, so sibling jobs die
+// with context.Canceled through no fault of the backend; joining those
+// secondary cancellations into the report would misattribute them. Real
+// failures therefore mask cancellations entirely, and a batch that died
+// only of cancellation reports the parent context's own error — the
+// caller's cancel or deadline — never a backend failure.
+func joinBatchErrors(parent context.Context, errs []error) error {
+	var failures, cancels []error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if IsCancellation(err) {
+			cancels = append(cancels, err)
+		} else {
+			failures = append(failures, err)
+		}
+	}
+	if len(failures) > 0 {
+		return joinDistinct(failures)
+	}
+	if len(cancels) == 0 {
+		return nil
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return joinDistinct(cancels)
 }
 
 // joinDistinct joins the distinct non-nil errors (by message) so callers

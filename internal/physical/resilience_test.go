@@ -1,0 +1,82 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// flakyOnceLLM fails the first call for every distinct prompt with a
+// transient error, then delegates — the minimal blip a resilient
+// transport must absorb without the executor noticing.
+type flakyOnceLLM struct {
+	inner llm.Client
+	mu    sync.Mutex
+	seen  map[string]bool
+}
+
+func (f *flakyOnceLLM) Name() string { return f.inner.Name() }
+
+func (f *flakyOnceLLM) Complete(ctx context.Context, p string) (string, error) {
+	f.mu.Lock()
+	first := !f.seen[p]
+	f.seen[p] = true
+	f.mu.Unlock()
+	if first {
+		return "", llm.Transient(errors.New("first-call blip"))
+	}
+	return f.inner.Complete(ctx, p)
+}
+
+// TestPipelinedThroughResilientTransport: the streaming executor over a
+// ResilientClient must absorb a transient blip on every prompt and
+// produce the same relation as the fault-free run — the physical layer
+// never sees a fault.
+func TestPipelinedThroughResilientTransport(t *testing.T) {
+	clean, err := Run(pipelinedCtx(context.Background(), townClient(), 2, 4), townTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc := llm.NewResilient(
+		&flakyOnceLLM{inner: townClient(), seen: map[string]bool{}},
+		llm.ResilientConfig{
+			BreakerThreshold: -1,
+			Sleep:            func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		})
+	got, err := Run(pipelinedCtx(context.Background(), rc, 2, 4), townTree(t))
+	if err != nil {
+		t.Fatalf("pipelined run through resilient transport: %v", err)
+	}
+	if got.String() != clean.String() {
+		t.Errorf("relation diverged under transient faults:\nfault-free:\n%s\ngot:\n%s", clean, got)
+	}
+	if c := rc.Counters(); c.Retries == 0 || c.Faults == 0 {
+		t.Errorf("transport absorbed nothing (retries=%d faults=%d) — flaky client inert", c.Retries, c.Faults)
+	}
+}
+
+// TestPipelinedFailureGoroutineHygiene: a pipelined query aborted by a
+// mid-flight model failure must wind down every operator and worker
+// goroutine it started.
+func TestPipelinedFailureGoroutineHygiene(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	client := townClient()
+	client.failOn = "population of the town Beta"
+	if _, err := Run(pipelinedCtx(context.Background(), client, 2, 4), townTree(t)); err == nil {
+		t.Fatal("pipelined model failure must propagate")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after pipelined failure: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

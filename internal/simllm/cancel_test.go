@@ -1,0 +1,34 @@
+package simllm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCompleteHonorsDeadContext: a call whose context is already
+// cancelled or expired must report the context error, never a
+// completion — before and after the simulated work. The resilient
+// transport's per-attempt deadlines rely on a dead attempt never
+// yielding a completion that could be recorded or cached.
+func TestCompleteHonorsDeadContext(t *testing.T) {
+	m := newModel(t, ChatGPT)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out, err := m.Complete(cancelled, "What is the capital of France?"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: got (%q, %v), want context.Canceled", out, err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	if out, err := m.Complete(expired, "What is the capital of France?"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired ctx: got (%q, %v), want context.DeadlineExceeded", out, err)
+	}
+
+	// A live context still completes.
+	if out, err := m.Complete(context.Background(), "What is the capital of France?"); err != nil || out == "" {
+		t.Errorf("live ctx: got (%q, %v), want a completion", out, err)
+	}
+}

@@ -54,7 +54,15 @@ func (m *Model) Complete(ctx context.Context, promptText string) (string, error)
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	return m.dispatch(promptText), nil
+	out := m.dispatch(promptText)
+	// Re-check after the simulated work: a per-attempt deadline that
+	// fired while the completion was being produced must win over the
+	// completion, or the transport above would see a success from an
+	// attempt it has already written off (and let a cache store it).
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return out, nil
 }
 
 // ------------------------------------------------------------ determinism
