@@ -208,3 +208,51 @@ func TestServeQueueSaturation(t *testing.T) {
 		t.Fatal("/stats missing resilience endpoint snapshot")
 	}
 }
+
+// TestServeIdleBurstNotShed: a simultaneous burst of maxConcurrent
+// arrivals on an idle server must all be admitted straight into free
+// execution slots — the queue bound applies only to requests that
+// actually have to wait, so even maxQueue=1 must not shed any of them.
+func TestServeIdleBurstNotShed(t *testing.T) {
+	r, err := bench.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	release := make(chan struct{})
+	rt, err := r.Runtime(&gatedTestLLM{inner: r.Model(simllm.ChatGPT), release: release}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(rt, serverConfig{maxConcurrent: 4, maxQueue: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Four requests land at once; the gated backend holds all of them
+	// mid-execution so the burst genuinely overlaps.
+	var wg sync.WaitGroup
+	codes := make([]int, 4)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postQuery(t, ts, `SELECT name FROM country WHERE continent = 'Europe'`)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	waitFor(t, func() bool { return srv.active.Load() == 4 })
+	if got := srv.waiting.Load(); got != 0 {
+		t.Fatalf("waiting = %d, want 0 — slot-admitted requests must not count as queued", got)
+	}
+	if got := srv.shed.Load(); got != 0 {
+		t.Fatalf("shed = %d, want 0 — burst onto free slots must not be shed", got)
+	}
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d, want 200", i, code)
+		}
+	}
+}

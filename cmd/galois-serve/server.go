@@ -150,29 +150,39 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// immediately — an overloaded server must answer "come back later"
 	// fast, not queue without bound until everything times out.
 	ctx := r.Context()
-	if n := s.waiting.Add(1); n > int64(s.maxQueue) {
-		s.waiting.Add(-1)
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("admission queue saturated (%d executing, %d waiting); retry later", s.maxConcurrent, s.maxQueue))
-		return
-	}
 	select {
 	case s.gate <- struct{}{}:
-		s.waiting.Add(-1)
-		if ctx.Err() != nil {
-			// The client was already gone when the slot freed (with both
-			// select cases ready either may win): hand the slot back and
-			// do not count the request as a served query.
-			<-s.gate
+		// A free execution slot: admitted immediately, never queued. The
+		// fast path must not touch the waiting count — a simultaneous
+		// burst onto an idle server is not queue pressure, and counting
+		// it as such would shed requests while slots sit free.
+	default:
+		// All slots busy: this request actually has to wait, so it is
+		// subject to the queue bound.
+		if n := s.waiting.Add(1); n > int64(s.maxQueue) {
+			s.waiting.Add(-1)
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("admission queue saturated (%d executing, %d waiting); retry later", s.maxConcurrent, s.maxQueue))
+			return
+		}
+		select {
+		case s.gate <- struct{}{}:
+			s.waiting.Add(-1)
+			if ctx.Err() != nil {
+				// The client was already gone when the slot freed (with both
+				// select cases ready either may win): hand the slot back and
+				// do not count the request as a served query.
+				<-s.gate
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
+				return
+			}
+		case <-ctx.Done():
+			s.waiting.Add(-1)
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
 			return
 		}
-	case <-ctx.Done():
-		s.waiting.Add(-1)
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
-		return
 	}
 	defer func() { <-s.gate }()
 	n := s.active.Add(1)

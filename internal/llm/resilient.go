@@ -26,6 +26,11 @@ const (
 	// DefaultRetryBudgetReserve seeds and floors the bucket so cold
 	// starts and small queries can still retry.
 	DefaultRetryBudgetReserve = 10
+	// DefaultRetryBudgetCap ceilings the bucket: a long healthy run can
+	// bank at most this many retry tokens, so the ratio keeps applying
+	// over a bounded recent window (as in Finagle's sliding-window
+	// budget) instead of hours of calm traffic funding one giant storm.
+	DefaultRetryBudgetCap = 100
 )
 
 // ResilientConfig tunes a ResilientClient. The zero value of each knob
@@ -56,9 +61,13 @@ type ResilientConfig struct {
 	// RetryBudgetRatio and RetryBudgetReserve shape the token bucket
 	// that forbids retry storms: every first attempt deposits Ratio
 	// tokens, every retry withdraws one, and the bucket never drains
-	// below zero nor is seeded below Reserve.
+	// below zero nor is seeded below Reserve. RetryBudgetCap bounds how
+	// many tokens healthy traffic can bank (0 selects the default; it is
+	// raised to Reserve when Reserve is larger, so a huge reserve stays
+	// effective).
 	RetryBudgetRatio   float64
 	RetryBudgetReserve float64
+	RetryBudgetCap     float64
 	// Validate, when set, vets every completion before it is returned
 	// (and therefore before any cache can store it). A rejection counts
 	// as a transient fault and is retried — the defense against a
@@ -100,6 +109,12 @@ func (c ResilientConfig) normalized() ResilientConfig {
 	}
 	if c.RetryBudgetReserve <= 0 {
 		c.RetryBudgetReserve = DefaultRetryBudgetReserve
+	}
+	if c.RetryBudgetCap <= 0 {
+		c.RetryBudgetCap = DefaultRetryBudgetCap
+	}
+	if c.RetryBudgetCap < c.RetryBudgetReserve {
+		c.RetryBudgetCap = c.RetryBudgetReserve
 	}
 	if c.Sleep == nil {
 		c.Sleep = sleepCtx
@@ -257,7 +272,9 @@ func (r *ResilientClient) Complete(ctx context.Context, prompt string) (string, 
 		if class == ClassCanceled {
 			// The caller's own context ended: not a backend failure.
 			// The breaker run is left untouched and nothing is counted
-			// as a fault.
+			// as a fault — but a half-open probe slot must be handed
+			// back, or the breaker sheds every future call forever.
+			r.releaseProbe(probe)
 			return "", err
 		}
 		r.faults.Add(1)
@@ -278,7 +295,10 @@ func (r *ResilientClient) Complete(ctx context.Context, prompt string) (string, 
 			break
 		}
 		if serr := r.cfg.Sleep(ctx, r.backoff(prompt, attempt)); serr != nil {
-			// Cancelled mid-backoff: the caller gave up, not the backend.
+			// Cancelled mid-backoff: the caller gave up, not the backend,
+			// so the breaker run is untouched — but as above, a probe
+			// slot must not leak with the abandoned call.
+			r.releaseProbe(probe)
 			return "", serr
 		}
 		r.retries.Add(1)
@@ -420,6 +440,20 @@ func (r *ResilientClient) onFailure(probe bool) {
 	}
 }
 
+// releaseProbe hands back the half-open probe slot when the probe's
+// outcome is inconclusive — the caller cancelled before the backend
+// could answer. The breaker stays half-open and the next admitted call
+// becomes a fresh probe; without this, an abandoned probe would leave
+// r.probing set forever and every later call would shed.
+func (r *ResilientClient) releaseProbe(probe bool) {
+	if !probe || r.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.probing = false
+	r.mu.Unlock()
+}
+
 // openLocked trips the breaker. Callers hold r.mu.
 func (r *ResilientClient) openLocked() {
 	r.state = BreakerOpen
@@ -430,10 +464,14 @@ func (r *ResilientClient) openLocked() {
 
 // ----------------------------------------------------------------- budget
 
-// deposit credits the retry budget for one first-attempt prompt.
+// deposit credits the retry budget for one first-attempt prompt,
+// clamped at the cap so calm traffic cannot bank an unbounded balance.
 func (r *ResilientClient) deposit() {
 	r.mu.Lock()
 	r.budgetTokens += r.cfg.RetryBudgetRatio
+	if r.budgetTokens > r.cfg.RetryBudgetCap {
+		r.budgetTokens = r.cfg.RetryBudgetCap
+	}
 	r.mu.Unlock()
 }
 

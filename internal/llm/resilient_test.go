@@ -277,6 +277,97 @@ func TestResilientBreakerFailedProbeReopens(t *testing.T) {
 	}
 }
 
+// TestResilientBreakerProbeCancelReleasesSlot: a half-open probe whose
+// caller cancels before the backend answers is inconclusive — it must
+// hand the probe slot back so a later call can probe and heal the
+// breaker, not leave r.probing set and shed every future call forever.
+func TestResilientBreakerProbeCancelReleasesSlot(t *testing.T) {
+	now := time.Unix(0, 0)
+	inner := newScripted(1<<30, Transient(errors.New("down")))
+	rc := NewResilient(inner, ResilientConfig{
+		MaxRetries:       -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Sleep:            instantSleep,
+		Now:              func() time.Time { return now },
+	})
+	if _, err := rc.Complete(context.Background(), "p"); err == nil {
+		t.Fatal("want failure")
+	}
+	if rc.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", rc.State())
+	}
+	now = now.Add(2 * time.Minute)
+
+	// The admitted probe is abandoned by its caller mid-flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rc.Complete(ctx, "probe"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rc.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want still half-open after inconclusive probe", rc.State())
+	}
+
+	// A later call must be admitted as a fresh probe — not shed with
+	// ClassBreakerOpen by the leaked probing flag — and close the
+	// breaker once the backend has healed.
+	inner.failures = 0
+	inner.attempts = map[string]int{}
+	out, err := rc.Complete(context.Background(), "probe2")
+	if err != nil || out != "echo: probe2" {
+		t.Fatalf("probe after cancelled probe: out=%q err=%v", out, err)
+	}
+	if rc.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed after successful fresh probe", rc.State())
+	}
+}
+
+// TestResilientBreakerProbeCancelMidBackoff: same leak, other early
+// return — the probe fails transiently, then the caller's context ends
+// while the retry is backing off. The probe slot must still be handed
+// back.
+func TestResilientBreakerProbeCancelMidBackoff(t *testing.T) {
+	now := time.Unix(0, 0)
+	var cancel context.CancelFunc
+	flaky := clientFunc("flaky", func(ctx context.Context, prompt string) (string, error) {
+		if cancel != nil {
+			cancel() // the caller gives up while the retry backs off
+		}
+		return "", Transient(errors.New("blip"))
+	})
+	rc := NewResilient(flaky, ResilientConfig{
+		MaxRetries:         2,
+		BreakerThreshold:   1,
+		BreakerCooldown:    time.Minute,
+		RetryBudgetReserve: 100,
+		Sleep:              instantSleep, // returns ctx.Err(): a cancelled ctx aborts the backoff
+		Now:                func() time.Time { return now },
+	})
+	// Exhaust one prompt to open the breaker, then elapse the cooldown.
+	if _, err := rc.Complete(context.Background(), "p"); err == nil {
+		t.Fatal("want failure")
+	}
+	now = now.Add(2 * time.Minute)
+
+	var ctx context.Context
+	ctx, cancel = context.WithCancel(context.Background())
+	if _, err := rc.Complete(ctx, "probe"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want cancellation surfaced from mid-backoff sleep", err)
+	}
+	if rc.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want still half-open", rc.State())
+	}
+
+	// The next call must reach the backend as a fresh probe; its own
+	// (transient) failure proves admission, and must not classify as
+	// breaker-shed.
+	cancel = nil
+	if _, err := rc.Complete(context.Background(), "probe2"); Classify(err) == ClassBreakerOpen {
+		t.Fatalf("fresh probe shed by leaked probing flag: %v", err)
+	}
+}
+
 func TestResilientRetryBudgetExhaustion(t *testing.T) {
 	inner := newScripted(1<<30, Transient(errors.New("down")))
 	rc := NewResilient(inner, ResilientConfig{
@@ -297,6 +388,37 @@ func TestResilientRetryBudgetExhaustion(t *testing.T) {
 	}
 	if c := rc.Counters(); c.BudgetDenied != 1 {
 		t.Fatalf("counters = %+v, want 1 budget denial", c)
+	}
+}
+
+// TestResilientRetryBudgetCapped: a long healthy run must not bank an
+// unbounded token balance that could later fund a retry storm — the
+// bucket is clamped at the cap.
+func TestResilientRetryBudgetCapped(t *testing.T) {
+	inner := newScripted(0, nil)
+	rc := NewResilient(inner, ResilientConfig{
+		RetryBudgetRatio:   1,
+		RetryBudgetReserve: 2,
+		RetryBudgetCap:     5,
+		Sleep:              instantSleep,
+	})
+	for i := 0; i < 100; i++ {
+		if _, err := rc.Complete(context.Background(), fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	if c := rc.Counters(); c.BudgetTokens != 5 {
+		t.Fatalf("budget tokens = %v, want clamped at cap 5", c.BudgetTokens)
+	}
+	// A reserve above the cap keeps working: the cap is raised to it,
+	// so e.g. the chaos bench's effectively-unlimited reserve survives
+	// normalization.
+	big := NewResilient(inner, ResilientConfig{RetryBudgetReserve: 1e6, Sleep: instantSleep})
+	if got := big.Config().RetryBudgetCap; got != 1e6 {
+		t.Fatalf("cap = %v, want raised to the 1e6 reserve", got)
+	}
+	if c := big.Counters(); c.BudgetTokens != 1e6 {
+		t.Fatalf("seed = %v, want the full reserve", c.BudgetTokens)
 	}
 }
 
