@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos bench-persist serve fuzz cover
 
 check: vet build race
 
@@ -51,6 +51,13 @@ bench-semcache:
 # and the breaker lifecycle under a total outage.
 bench-chaos:
 	$(GO) test -run '^$$' -bench BenchmarkChaosComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_persist.json artifact (deterministic):
+# the durable store across four runtime generations over one data
+# directory — cold fill, zero-prompt warm restart, a rebind probe, and
+# an ANALYZE whose invalidation survives the drain.
+bench-persist:
+	$(GO) test -run '^$$' -bench BenchmarkPersistComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

@@ -12,7 +12,7 @@
 //	galois-bench -figure 3      # the lowered plan for q'
 //	galois-bench -figure 4      # the few-shot prompt
 //	galois-bench -latency
-//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache|chaos
+//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache|chaos|persist
 package main
 
 import (
@@ -41,7 +41,7 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos, persist")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
@@ -104,7 +104,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "persist", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -215,6 +215,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printResultCache(ctx, r, p)
 	case "chaos":
 		return printChaos(ctx, r, p)
+	case "persist":
+		return printPersist(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -328,6 +330,31 @@ func printChaos(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
 		o.FailedDuringOutage, o.FastFailed && o.ShedClassified, o.CacheServedDuringOutage)
 	fmt.Printf("  recovery: half-open probe healed: %v, post-recovery identical (no stale cache entries): %v\n\n",
 		o.ProbeHealed, o.PostRecoveryOK && o.PostRecoveryIdentical)
+	return nil
+}
+
+func printPersist(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	dir, err := os.MkdirTemp("", "galois-persist-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rep, err := r.PersistComparison(ctx, p, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation K: durable store (four runtime generations over one data directory; prompt cache off)")
+	fmt.Printf("  corpus of %d queries (%d storable, %d LIMIT-bearing bypass the store)\n",
+		rep.Queries, rep.CacheableQueries, rep.LimitQueries)
+	fmt.Printf("  cold pass:    %d prompts; drained %d relations and %d statistics tables to disk\n",
+		rep.ColdPrompts, rep.WarmRelations, rep.WarmStatsTables)
+	fmt.Printf("  warm restart: %d prompts, relations bit-identical: %v, statistics restored: %v (all observed: %v)\n",
+		rep.WarmPrompts, rep.WarmIdentical, rep.StatsRestored, rep.AllStatsSeen)
+	fmt.Printf("  rebind probe: re-executed: %v, unrelated retained: %v, identical: %v; next restart warm-loads %d again\n",
+		rep.RebindReexecuted, rep.RebindRetained, rep.RebindIdentical, rep.ReopenWarmRelations)
+	fmt.Printf("  ANALYZE across drain: warm-loaded %d of %d (primed table's %d re-pay), stale served: %d, re-executed: %v, retained: %v, identical: %v\n\n",
+		rep.PostPrimeWarmRelations, rep.CacheableQueries, rep.PrimedCacheable,
+		rep.PostPrimeDroppedStale, rep.PrimedReexecuted, rep.PrimedRetained, rep.PrimedIdentical)
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	galois-serve [-addr :8080] [-model chatgpt] [-seed 1]
 //	             [-max-concurrent 16] [-workers 8] [-cache] [-pipeline]
 //	             [-result-cache] [-result-cache-size 256] [-result-cache-bytes N]
+//	             [-data-dir DIR] [-store-bytes N] [-store-ttl D] [-snapshot-interval 1m]
 //
 // Endpoints:
 //
@@ -77,6 +78,10 @@ func run() error {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff ceiling before the first retry; doubles per attempt with deterministic full jitter (0 = default 100ms)")
 	promptTimeout := flag.Duration("prompt-timeout", 0, "per-attempt deadline on each model call; expiry is retried (0 = no per-attempt deadline)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failed prompts that open an endpoint's circuit breaker (0 = default 5, negative = no breaker)")
+	dataDir := flag.String("data-dir", "", "directory for the durable store: statistics and result-cache relations persist across restarts (empty = in-memory only)")
+	storeBytes := flag.Int("store-bytes", 0, "approximate on-disk byte budget for the durable store (0 = unlimited; oldest relations evicted past it)")
+	storeTTL := flag.Duration("store-ttl", 0, "expire persisted relations this long after they were written (0 = never)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often the background snapshot flushes statistics and epochs to the durable store (0 = only on drain)")
 	flag.Parse()
 
 	profile, ok := simllm.ProfileByName(*model)
@@ -107,6 +112,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *dataDir != "" {
+		if err := rt.OpenStore(core.StoreConfig{
+			Dir:              *dataDir,
+			MaxBytes:         *storeBytes,
+			TTL:              *storeTTL,
+			SnapshotInterval: *snapshotInterval,
+		}); err != nil {
+			return fmt.Errorf("opening durable store: %w", err)
+		}
+		p := rt.Persistence()
+		log.Printf("galois-serve: durable store at %s — warm-loaded %d relations, %d stats tables (dropped %d stale, %d corrupt)",
+			*dataDir, p.WarmRelations, p.WarmStatsTables, p.DroppedStale, p.DroppedCorrupt)
+	}
 
 	handler := newServer(rt, serverConfig{
 		maxConcurrent: *maxConcurrent,
@@ -135,6 +153,13 @@ func run() error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Drain the durable store only after in-flight queries finished, so
+	// the final flush captures everything they learned.
+	if *dataDir != "" {
+		if err := rt.CloseStore(); err != nil {
+			return fmt.Errorf("draining durable store: %w", err)
+		}
 	}
 	log.Printf("galois-serve: bye")
 	return nil

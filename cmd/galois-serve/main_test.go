@@ -679,3 +679,87 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 5s")
 }
+
+// TestServeBodyTooLarge: a request body past the 1 MiB bound answers
+// 413 instead of being silently truncated to a SQL prefix — and a body
+// exactly at the bound still parses and executes.
+func TestServeBodyTooLarge(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	_, rt := testRuntime(t, opts)
+	ts := httptest.NewServer(newServer(rt, serverConfig{maxConcurrent: 4}))
+	defer ts.Close()
+
+	// One byte over: 413, and the error names the limit.
+	sql := "SELECT name FROM country"
+	over := sql + strings.Repeat(" ", maxBodyBytes-len(sql)+1)
+	resp, _ := postQuery(t, ts, over)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+
+	// Exactly at the limit: the (whitespace-padded) statement executes.
+	atLimit := sql + strings.Repeat(" ", maxBodyBytes-len(sql))
+	resp, qr := postQuery(t, ts, atLimit)
+	if resp.StatusCode != http.StatusOK || qr.RowCount == 0 {
+		t.Fatalf("at-limit body: status %d rows %d, want 200 with rows", resp.StatusCode, qr.RowCount)
+	}
+}
+
+// TestServeWarmRestart: two server generations over the same -data-dir.
+// The second serves the first's query from the warm-loaded result cache
+// (zero prompts) and reports the restore on /stats.
+func TestServeWarmRestart(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.CacheEnabled = false
+	opts.ResultCacheEnabled = true
+	dir := t.TempDir()
+	sql := "SELECT name FROM country WHERE continent = 'Europe'"
+
+	_, rt1 := testRuntime(t, opts)
+	if err := rt1.OpenStore(core.StoreConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(newServer(rt1, serverConfig{maxConcurrent: 4}))
+	resp, cold := postQuery(t, ts1, sql)
+	if resp.StatusCode != http.StatusOK || cold.Stats.Prompts == 0 {
+		t.Fatalf("cold query: status %d prompts %d", resp.StatusCode, cold.Stats.Prompts)
+	}
+	ts1.Close()
+	if err := rt1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rt2 := testRuntime(t, opts)
+	if err := rt2.OpenStore(core.StoreConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.CloseStore()
+	ts2 := httptest.NewServer(newServer(rt2, serverConfig{maxConcurrent: 4}))
+	defer ts2.Close()
+
+	resp, warm := postQuery(t, ts2, sql)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: status %d", resp.StatusCode)
+	}
+	if warm.Stats.Prompts != 0 || warm.Cached != "exact" {
+		t.Errorf("warm query not served from the restored cache: prompts=%d cached=%v",
+			warm.Stats.Prompts, warm.Cached)
+	}
+	if len(warm.Rows) != len(cold.Rows) {
+		t.Errorf("warm relation diverged: %d rows, want %d", len(warm.Rows), len(cold.Rows))
+	}
+
+	sresp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st serverStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Persistence.Enabled || st.Persistence.WarmRelations != 1 {
+		t.Errorf("/stats persistence = %+v, want enabled with 1 warm relation", st.Persistence)
+	}
+}

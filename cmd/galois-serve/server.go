@@ -134,7 +134,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	sql, err := querySQL(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// An over-limit body is its own status: truncating it would
+		// execute a prefix of the client's statement (or fail with a
+		// confusing parse error mid-token).
+		status := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
 	// Reject malformed ?plan= up front: silently treating a typo as
@@ -274,6 +281,13 @@ func planParam(r *http.Request) (bool, error) {
 	return v, nil
 }
 
+// maxBodyBytes bounds a /query request body; a body past it answers 413
+// rather than being silently truncated to a SQL prefix.
+const maxBodyBytes = 1 << 20
+
+// errBodyTooLarge marks an over-limit request body for the 413 mapping.
+var errBodyTooLarge = errors.New("request body exceeds 1 MiB; pass the statement via ?q= or shorten it")
+
 // querySQL extracts the SQL statement from a request: the `q` URL query
 // parameter, the `q` field of a form-encoded body, or the raw request
 // body.
@@ -284,9 +298,14 @@ func querySQL(r *http.Request) (string, error) {
 	if r.Body == nil {
 		return "", fmt.Errorf("missing SQL: pass ?q= or a request body")
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Read one byte past the limit: exactly-at-limit bodies pass, anything
+	// longer is detected instead of truncated.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		return "", fmt.Errorf("reading request body: %w", err)
+	}
+	if len(body) > maxBodyBytes {
+		return "", errBodyTooLarge
 	}
 	// Clients POSTing with curl -d send the form content type whether the
 	// body is `q=<urlencoded SQL>` or the bare statement, so accept both:
@@ -401,6 +420,10 @@ type serverStats struct {
 	Shed       int64                 `json:"shed"`
 	Timeouts   int64                 `json:"timeouts"`
 	Resilience []core.EndpointHealth `json:"resilience,omitempty"`
+	// Persistence snapshots the durable tier (zero/disabled without
+	// -data-dir): what warm start restored, what it rejected, and the
+	// segment store's own accounting.
+	Persistence core.PersistCounters `json:"persistence"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -427,6 +450,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:                    s.shed.Load(),
 		Timeouts:                s.timeouts.Load(),
 		Resilience:              s.rt.ResilienceHealth(),
+		Persistence:             s.rt.Persistence(),
 	})
 }
 

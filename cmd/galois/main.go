@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	galois [-model chatgpt] [-seed 1] [-explain] [-stats] [-truth] "SELECT ..."
+//	galois [-model chatgpt] [-seed 1] [-explain] [-stats] [-truth]
+//	       [-data-dir DIR] "SELECT ..."
 //
 // Examples:
 //
@@ -54,6 +55,9 @@ func run() error {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff ceiling before the first retry; doubles per attempt with deterministic full jitter (0 = default 100ms)")
 	promptTimeout := flag.Duration("prompt-timeout", 0, "per-attempt deadline on each model call; expiry is retried (0 = no per-attempt deadline)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failed prompts that open an endpoint's circuit breaker (0 = default 5, negative = no breaker)")
+	dataDir := flag.String("data-dir", "", "directory for the durable store: statistics and result-cache relations persist across invocations (empty = in-memory only)")
+	storeBytes := flag.Int("store-bytes", 0, "approximate on-disk byte budget for the durable store (0 = unlimited)")
+	storeTTL := flag.Duration("store-ttl", 0, "expire persisted relations this long after they were written (0 = never)")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -88,10 +92,20 @@ func run() error {
 	opts.RetryBackoff = *retryBackoff
 	opts.PromptTimeout = *promptTimeout
 	opts.BreakerThreshold = *breakerThreshold
-	engine, err := runner.Engine(runner.Model(profile), opts)
+	rt, err := runner.Runtime(runner.Model(profile), opts)
 	if err != nil {
 		return err
 	}
+	if *dataDir != "" {
+		// A one-shot CLI has no background traffic: warm-load on open,
+		// flush on the way out. Repeated invocations over one -data-dir
+		// behave like one long-lived session.
+		if err := rt.OpenStore(core.StoreConfig{Dir: *dataDir, MaxBytes: *storeBytes, TTL: *storeTTL}); err != nil {
+			return fmt.Errorf("opening durable store: %w", err)
+		}
+		defer rt.CloseStore()
+	}
+	engine := rt.Engine()
 
 	ctx := context.Background()
 	isExplain := strings.HasPrefix(strings.ToUpper(sql), "EXPLAIN")

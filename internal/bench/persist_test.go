@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+func TestPersistComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.PersistComparison(context.Background(), simllm.ChatGPT, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheableQueries == 0 {
+		t.Fatal("no cacheable queries in the corpus")
+	}
+	if rep.CacheableQueries+rep.LimitQueries != rep.Queries {
+		t.Errorf("per-class counts don't add up: %d + %d != %d",
+			rep.CacheableQueries, rep.LimitQueries, rep.Queries)
+	}
+	if rep.PrimedCacheable == 0 {
+		t.Error("ANALYZE probe vacuous: no cacheable query reads the primed table")
+	}
+	t.Logf("corpus of %d (%d cacheable): cold %d prompts, warm %d prompts, %d relations restored",
+		rep.Queries, rep.CacheableQueries, rep.ColdPrompts, rep.WarmPrompts, rep.WarmRelations)
+}
+
+// TestPersistDeterministic pins the artifact's reproducibility: two full
+// four-generation comparisons over distinct data directories must agree
+// byte-for-byte on the JSON CI diffs.
+func TestPersistDeterministic(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := r.PersistComparison(ctx, simllm.ChatGPT, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.PersistComparison(ctx, simllm.ChatGPT, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("comparison not deterministic:\nfirst:  %s\nsecond: %s", aj, bj)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/prompt"
 	"repro/internal/rescache"
 	"repro/internal/schema"
+	"repro/internal/store"
 )
 
 // Runtime is the process-wide, concurrency-safe tier of the engine: the
@@ -96,6 +97,16 @@ type Runtime struct {
 	mu      sync.RWMutex
 	llmDefs map[string]*schema.TableDef
 	db      *memdb.DB
+
+	// persistMu guards the durable tier (nil pstore = persistence off).
+	// It is a leaf below the result-cache mutex and epochMu: sink hooks
+	// and flushes acquire it only with no other runtime lock held, and
+	// nothing under it calls back into the cache or the epoch table.
+	persistMu sync.Mutex
+	pstore    *store.Store
+	pctr      PersistCounters
+	snapStop  chan struct{}
+	snapDone  chan struct{}
 }
 
 // NewRuntime builds the shared runtime tier over the given LLM client.
@@ -162,6 +173,14 @@ func (rt *Runtime) bumpComponent(comp string) {
 	if rt.resultCache != nil {
 		rt.resultCache.InvalidateComponent(comp)
 	}
+	// Make the bump durable last, after the in-memory invalidation has
+	// already tombstoned the stale relations through the sink. Even if
+	// the process dies between the tombstones and this write, reopening
+	// replays the un-bumped epochs against un-dropped entries — merely
+	// the pre-bump state, still self-consistent. The dangerous ordering
+	// would be the reverse: durable entries outliving a durable bump is
+	// exactly what the stamp check on warm load rejects.
+	rt.persistEpochs()
 }
 
 // stampFor serializes the current epochs of exactly the given components

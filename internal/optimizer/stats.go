@@ -36,11 +36,18 @@ func defaultSelectivity(op string) float64 {
 // TableStats describes one base relation as the planner sees it.
 type TableStats struct {
 	// Keys is the estimated number of keys an LLM key scan materializes.
-	Keys float64
+	Keys float64 `json:"keys"`
 	// PageSize is the estimated number of keys per list page; the scan
 	// issues ceil(Keys/PageSize)+1 prompts (the +1 is the terminal
 	// "no more results" page).
-	PageSize float64
+	PageSize float64 `json:"page_size"`
+	// Seen reports whether the table was ever observed (a scan fed back
+	// through ObserveScan) or primed (SetTableKeys). It distinguishes a
+	// known-empty table — Seen with Keys == 0, priced at one terminal
+	// list prompt — from a never-observed one, which falls back to
+	// DefaultTableKeys. Without it an observed Keys == 0 would read as
+	// "unknown" and be re-defaulted to 24 forever.
+	Seen bool `json:"seen,omitempty"`
 }
 
 // ScanPrompts estimates the number of list prompts a key scan over rows
@@ -93,6 +100,7 @@ func (s *Statistics) SetTableKeys(table string, keys int) {
 	defer s.mu.Unlock()
 	t := s.tables[strings.ToLower(table)]
 	t.Keys = float64(keys)
+	t.Seen = true
 	if t.PageSize == 0 {
 		t.PageSize = DefaultPageSize
 	}
@@ -106,8 +114,11 @@ func (s *Statistics) Table(table string) TableStats {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[strings.ToLower(table)]
-	if !ok || t.Keys <= 0 {
+	t := s.tables[strings.ToLower(table)]
+	// Only a genuinely unobserved table gets the default cardinality: an
+	// observed-empty one (Seen, Keys == 0) keeps its zero, so the cost
+	// model prices its scan at the single terminal list prompt.
+	if !t.Seen && t.Keys <= 0 {
 		t.Keys = DefaultTableKeys
 	}
 	if t.PageSize <= 0 {
@@ -162,13 +173,14 @@ func (s *Statistics) ObserveScan(table string, keys, pages int) {
 	defer s.mu.Unlock()
 	name := strings.ToLower(table)
 	t := s.tables[name]
-	if t.Keys <= 0 {
+	if !t.Seen {
 		t.Keys = float64(keys)
 	} else {
 		// Exponential moving average: adapt, but do not thrash on one
 		// filtered scan.
 		t.Keys = 0.5*t.Keys + 0.5*float64(keys)
 	}
+	t.Seen = true
 	if pages > 1 && keys > 0 {
 		obs := float64(keys) / float64(pages-1)
 		if t.PageSize <= 0 {
@@ -178,6 +190,65 @@ func (s *Statistics) ObserveScan(table string, keys, pages int) {
 		}
 	}
 	s.tables[name] = t
+}
+
+// SelectivityObservation is the serialized form of one running
+// selectivity estimate.
+type SelectivityObservation struct {
+	Sum   float64 `json:"sum"`
+	Count float64 `json:"count"`
+}
+
+// StatsSnapshot is a point-in-time, serializable copy of everything the
+// statistics store has learned. It is the unit of persistence for
+// warm-starting the planner across restarts.
+type StatsSnapshot struct {
+	Tables        map[string]TableStats             `json:"tables,omitempty"`
+	Selectivities map[string]SelectivityObservation `json:"selectivities,omitempty"`
+}
+
+// Snapshot copies the current learned state out of the store.
+func (s *Statistics) Snapshot() StatsSnapshot {
+	var snap StatsSnapshot
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tables) > 0 {
+		snap.Tables = make(map[string]TableStats, len(s.tables))
+		for k, v := range s.tables {
+			snap.Tables[k] = v
+		}
+	}
+	if len(s.sels) > 0 {
+		snap.Selectivities = make(map[string]SelectivityObservation, len(s.sels))
+		for k, v := range s.sels {
+			snap.Selectivities[k] = SelectivityObservation{Sum: v.sum, Count: v.count}
+		}
+	}
+	return snap
+}
+
+// Restore merges a snapshot into the store. Entries already learned in
+// this process win — the snapshot only fills gaps — so a restore after
+// live traffic never clobbers fresher observations with stale ones.
+func (s *Statistics) Restore(snap StatsSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range snap.Tables {
+		if _, ok := s.tables[k]; !ok {
+			s.tables[k] = v
+		}
+	}
+	for k, v := range snap.Selectivities {
+		if _, ok := s.sels[k]; !ok && v.Count > 0 {
+			s.sels[k] = selObs{sum: v.Sum, count: v.Count}
+		}
+	}
 }
 
 // ObserveFilter feeds back one executed predicate: in tuples entered, out

@@ -184,6 +184,18 @@ type Config struct {
 	CurrentStamp func(tables []string) string
 }
 
+// Sink observes residency changes, letting an owner mirror the cache to
+// durable storage. Hooks are invoked outside the cache mutex (so a sink
+// may do I/O) but sequentially consistent per key is NOT guaranteed
+// under concurrent churn; a persistent sink must tolerate a DropEntry
+// for a key it never stored and resolve races by its own ordering.
+// Entries passed to StoreEntry are the cache's private immutable copies:
+// read-only, safe to retain.
+type Sink interface {
+	StoreEntry(key Key, e *Entry)
+	DropEntry(key Key)
+}
+
 // Cache is a concurrency-safe LRU of result relations with per-table
 // epoch stamps, a subsumption index by table set, and a singleflight
 // layer. A runtime shares one Cache across all its sessions.
@@ -192,6 +204,7 @@ type Cache struct {
 	capacity int
 	maxBytes int
 	current  func([]string) string
+	sink     Sink
 	entries  map[Key]*list.Element
 	order    *list.List // front = most recently used
 	// sets indexes resident entries by the exact table set they read,
@@ -218,6 +231,15 @@ func New(cfg Config) *Cache {
 		sets:     map[string]map[*list.Element]bool{},
 		flights:  map[Key]*flight{},
 	}
+}
+
+// SetSink installs (or, with nil, removes) the residency observer.
+// Install it after any Load replay so warm-loaded entries are not echoed
+// straight back to the store they came from.
+func (c *Cache) SetSink(s Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
 }
 
 // Len reports the number of resident relations.
@@ -256,7 +278,6 @@ func (c *Cache) removeLocked(el *list.Element) {
 // tables are untouched.
 func (c *Cache) InvalidateComponent(comp string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	var victims []*list.Element
 	for tk, set := range c.sets {
 		if !tablesKeyHas(tk, comp) {
@@ -272,8 +293,17 @@ func (c *Cache) InvalidateComponent(comp string) {
 			victims = append(victims, el)
 		}
 	}
+	dropped := make([]Key, 0, len(victims))
 	for _, el := range victims {
+		dropped = append(dropped, el.Value.(*cacheItem).key)
 		c.removeLocked(el)
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		for _, k := range dropped {
+			sink.DropEntry(k)
+		}
 	}
 }
 
@@ -290,10 +320,13 @@ func tablesKeyHas(tablesKey, comp string) bool {
 
 // insertLocked stores an entry (already cloned by the caller), evicting
 // from the LRU's cold end while over the entry capacity or the byte
-// budget. Inserts whose stamp is no longer current are dropped.
-func (c *Cache) insertLocked(key Key, entry *Entry) {
+// budget. Inserts whose stamp is no longer current are dropped. It
+// reports whether the entry is resident after the insert (eviction may
+// consume it immediately) and the keys evicted to make room, so the
+// caller can fire sink hooks after unlocking.
+func (c *Cache) insertLocked(key Key, entry *Entry) (stored bool, evicted []Key) {
 	if c.current != nil && c.current(entry.Tables) != key.Stamp {
-		return
+		return false, nil
 	}
 	if el, ok := c.entries[key]; ok {
 		item := el.Value.(*cacheItem)
@@ -314,7 +347,32 @@ func (c *Cache) insertLocked(key Key, entry *Entry) {
 	// Byte eviction may consume the whole list: a single relation larger
 	// than the budget is simply not cached.
 	for c.order.Len() > 0 && (c.order.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
-		c.removeLocked(c.order.Back())
+		back := c.order.Back()
+		evicted = append(evicted, back.Value.(*cacheItem).key)
+		c.removeLocked(back)
+	}
+	_, stored = c.entries[key]
+	return stored, evicted
+}
+
+// notifySink fires the post-insert hooks for one settled insert: drops
+// for evicted keys, then the store for the new entry when it stayed
+// resident. Must be called WITHOUT c.mu held.
+func notifySink(sink Sink, key Key, entry *Entry, stored bool, evicted []Key) {
+	if sink == nil {
+		return
+	}
+	for _, k := range evicted {
+		if k != key {
+			sink.DropEntry(k)
+		}
+	}
+	if stored {
+		sink.StoreEntry(key, entry)
+	} else {
+		// Stale-stamp or over-budget: whatever the store holds under this
+		// key is at best stale; make sure it cannot outlive the insert.
+		sink.DropEntry(key)
 	}
 }
 
@@ -336,20 +394,34 @@ type Candidate struct {
 // ties so candidate order — and therefore plan choice on cost ties — is
 // deterministic.
 func (c *Cache) Candidates(tablesKey, stamp string) []Candidate {
+	// Resident entries are immutable — inserts replace the *Entry pointer,
+	// never mutate one in place — so only the pointer snapshot needs the
+	// lock; the per-candidate schema and conjunct clones (the expensive
+	// part, proportional to candidate count × schema width) happen outside
+	// it and no longer serialize concurrent planning passes.
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []Candidate
+	type ref struct {
+		key Key
+		e   *Entry
+	}
+	var refs []ref
 	for el := range c.sets[tablesKey] {
 		item := el.Value.(*cacheItem)
 		if item.key.Stamp != stamp || item.entry.Prod == nil {
 			continue
 		}
-		p := *item.entry.Prod
+		refs = append(refs, ref{key: item.key, e: item.entry})
+	}
+	c.mu.Unlock()
+
+	out := make([]Candidate, 0, len(refs))
+	for _, r := range refs {
+		p := *r.e.Prod
 		p.Conjuncts = append([]string(nil), p.Conjuncts...)
 		out = append(out, Candidate{
-			Key:    item.key,
-			Rows:   item.entry.Rel.Cardinality(),
-			Schema: item.entry.Rel.Schema.Clone(),
+			Key:    r.key,
+			Rows:   r.e.Rel.Cardinality(),
+			Schema: r.e.Rel.Schema.Clone(),
 			Prod:   p,
 		})
 	}
@@ -451,9 +523,59 @@ func (c *Cache) lead(f *flight, key Key, compute func() (*Entry, error)) (entry 
 
 	c.mu.Lock()
 	delete(c.flights, key)
+	var stored bool
+	var evicted []Key
 	if err == nil {
-		c.insertLocked(key, f.entry)
+		stored, evicted = c.insertLocked(key, f.entry)
 	}
+	sink := c.sink
 	c.mu.Unlock()
+	if err == nil {
+		notifySink(sink, key, f.entry, stored, evicted)
+	}
 	return entry, err
+}
+
+// Dumped pairs one resident entry with its key, as returned by Dump.
+type Dumped struct {
+	Key   Key
+	Entry *Entry
+}
+
+// Dump snapshots the resident entries coldest-first, so replaying the
+// dump through Load reconstructs the same LRU order (each Load pushes to
+// the front; the last — hottest — entry ends up most recently used). The
+// returned entries are the cache's own immutable copies: read-only, safe
+// to serialize without further locking.
+func (c *Cache) Dump() []Dumped {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Dumped, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		item := el.Value.(*cacheItem)
+		out = append(out, Dumped{Key: item.key, Entry: item.entry})
+	}
+	return out
+}
+
+// Load replays one persisted entry into the cache, subject to the same
+// stamp validation and budgets as a live insert, and reports whether it
+// was admitted. Loads count as neither hits nor misses and do not fire
+// StoreEntry (warm-loaded state is not echoed back to the store it came
+// from), though entries they evict are dropped through the sink as
+// usual. The entry is deep-copied; the caller keeps ownership of e.
+func (c *Cache) Load(key Key, e *Entry) bool {
+	clone := e.clone()
+	c.mu.Lock()
+	stored, evicted := c.insertLocked(key, clone)
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		for _, k := range evicted {
+			if k != key {
+				sink.DropEntry(k)
+			}
+		}
+	}
+	return stored
 }

@@ -473,3 +473,196 @@ func TestConcurrentInvalidationStorm(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// recordingSink logs sink callbacks under its own lock, and optionally
+// re-enters the cache on StoreEntry to prove hooks fire outside c.mu.
+type recordingSink struct {
+	mu      sync.Mutex
+	stores  []Key
+	drops   []Key
+	reenter *Cache
+}
+
+func (s *recordingSink) StoreEntry(key Key, e *Entry) {
+	if s.reenter != nil {
+		s.reenter.Len() // would deadlock if hooks ran under the cache mutex
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores = append(s.stores, key)
+}
+
+func (s *recordingSink) DropEntry(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drops = append(s.drops, key)
+}
+
+func (s *recordingSink) counts() (stores, drops int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stores), len(s.drops)
+}
+
+// TestSinkNotifications: inserts reach StoreEntry, invalidation and
+// eviction reach DropEntry, and a stale-stamp insert is dropped (the
+// sink must not keep a relation the cache refused).
+func TestSinkNotifications(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 2, CurrentStamp: ep.current})
+	sink := &recordingSink{reenter: c}
+	c.SetSink(sink)
+	city := []string{"llm:city"}
+
+	fetch(t, c, Key{Fingerprint: "a", Stamp: ep.current(city)}, entryT(city, "a"))
+	if stores, _ := sink.counts(); stores != 1 {
+		t.Fatalf("stores after insert = %d, want 1", stores)
+	}
+
+	// Invalidation drops through the sink.
+	ep.bump(c, "llm:city")
+	if _, drops := sink.counts(); drops != 1 {
+		t.Fatalf("drops after invalidate = %d, want 1", drops)
+	}
+
+	// A stale-stamp insert is refused and the sink told to drop it.
+	stale := Key{Fingerprint: "b", Stamp: "llm:city=0;"}
+	fetch(t, c, stale, entryT(city, "b"))
+	sink.mu.Lock()
+	lastDrop := sink.drops[len(sink.drops)-1]
+	sink.mu.Unlock()
+	if lastDrop != stale {
+		t.Fatalf("stale insert not dropped through sink: %+v", lastDrop)
+	}
+
+	// Capacity eviction drops the coldest key through the sink.
+	for _, fp := range []string{"c", "d", "e"} {
+		fetch(t, c, Key{Fingerprint: fp, Stamp: ep.current(city)}, entryT(city, fp))
+	}
+	sink.mu.Lock()
+	lastDrop = sink.drops[len(sink.drops)-1]
+	sink.mu.Unlock()
+	if lastDrop.Fingerprint != "c" {
+		t.Errorf("eviction drop = %q, want coldest key c", lastDrop.Fingerprint)
+	}
+}
+
+// TestDumpLoadRoundTrip: a dump replayed through Load reconstructs the
+// entries and their LRU order, loads are stamp-validated, and Load never
+// echoes StoreEntry back.
+func TestDumpLoadRoundTrip(t *testing.T) {
+	ep := newEpochs()
+	src := New(Config{Capacity: 8, CurrentStamp: ep.current})
+	city := []string{"llm:city"}
+	for _, fp := range []string{"cold", "mid", "hot"} {
+		fetch(t, src, Key{Fingerprint: fp, Stamp: ep.current(city)}, entryT(city, fp))
+	}
+	dump := src.Dump()
+	if len(dump) != 3 || dump[0].Key.Fingerprint != "cold" || dump[2].Key.Fingerprint != "hot" {
+		t.Fatalf("dump order = %+v, want cold..hot", dump)
+	}
+
+	dst := New(Config{Capacity: 2, CurrentStamp: ep.current})
+	sink := &recordingSink{}
+	dst.SetSink(sink)
+	loaded := 0
+	for _, d := range dump {
+		if dst.Load(d.Key, d.Entry) {
+			loaded++
+		}
+	}
+	if loaded != 3 {
+		t.Fatalf("loaded = %d, want 3 (capacity eviction happens after admit)", loaded)
+	}
+	// Capacity 2: "cold" was evicted again when "hot" loaded; LRU order kept.
+	if dst.Len() != 2 {
+		t.Fatalf("dst len = %d, want 2", dst.Len())
+	}
+	if _, ok := dst.Subsumed(Key{Fingerprint: "cold", Stamp: ep.current(city)}); ok {
+		t.Error("coldest dumped entry survived a smaller capacity")
+	}
+	if stores, _ := sink.counts(); stores != 0 {
+		t.Errorf("Load echoed %d StoreEntry calls, want 0", stores)
+	}
+
+	got, _, err := dst.Fetch(context.Background(), Key{Fingerprint: "hot", Stamp: ep.current(city)},
+		func() (*Entry, error) { return nil, errors.New("must not execute") })
+	if err != nil || got.Rel.Rows[0][0].String() != "hot" {
+		t.Fatalf("warm-loaded entry not served: %v %v", got, err)
+	}
+
+	// A load whose stamp is stale is refused.
+	ep.bump(dst, "llm:city")
+	if dst.Load(dump[1].Key, dump[1].Entry) {
+		t.Error("stale-stamp load admitted")
+	}
+}
+
+// TestCandidatesConcurrentWithInserts hammers Candidates against
+// concurrent inserts and invalidation under -race: the clone-outside-
+// lock snapshot must never observe a torn entry.
+func TestCandidatesConcurrentWithInserts(t *testing.T) {
+	ep := newEpochs()
+	c := New(Config{Capacity: 64, CurrentStamp: ep.current})
+	city := []string{"llm:city"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := Key{Fingerprint: fmt.Sprintf("q%d-%d", g, i%9), Stamp: ep.current(city)}
+				e := entryT(city, "v")
+				e.Prod = &Producer{Opts: "o|", FromKey: key.Fingerprint, Conjuncts: []string{"c > 1"}}
+				c.Fetch(context.Background(), key, func() (*Entry, error) { return e, nil })
+				if i%17 == 0 {
+					ep.bump(c, "llm:city")
+				}
+			}
+		}(g)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			for _, cand := range c.Candidates(TablesKey(city), ep.current(city)) {
+				if len(cand.Prod.Conjuncts) != 1 || cand.Schema == nil {
+					t.Errorf("torn candidate: %+v", cand)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkCandidates measures one planning pass's candidate snapshot
+// over a populated table set — the path that used to deep-clone every
+// schema under the global mutex.
+func BenchmarkCandidates(b *testing.B) {
+	c := New(Config{Capacity: 256})
+	city := []string{"llm:city"}
+	for i := 0; i < 64; i++ {
+		e := entryT(city, "a", "b", "c", "d")
+		e.Prod = &Producer{Opts: "o|", FromKey: fmt.Sprintf("f%d", i), Conjuncts: []string{"c.pop > 5", "c.country = 'x'"}}
+		c.Fetch(context.Background(), Key{Fingerprint: fmt.Sprintf("f%d", i), Stamp: "s"},
+			func() (*Entry, error) { return e, nil })
+	}
+	tk := TablesKey(city)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if got := c.Candidates(tk, "s"); len(got) != 64 {
+				b.Fatalf("candidates = %d", len(got))
+			}
+		}
+	})
+}
