@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos bench-persist serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos bench-persist bench-sched serve fuzz cover
 
 check: vet build race
 
@@ -58,6 +58,12 @@ bench-chaos:
 # an ANALYZE whose invalidation survives the drain.
 bench-persist:
 	$(GO) test -run '^$$' -bench BenchmarkPersistComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_sched.json artifact (deterministic):
+# simulated mixed-class contention under round-robin vs deficit-weighted
+# dispatch, plus the live corpus solo vs K-way mixed-class concurrent.
+bench-sched:
+	$(GO) test -run '^$$' -bench BenchmarkSchedComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

@@ -577,3 +577,39 @@ func BenchmarkPersistComparison(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkSchedComparison measures the deficit-weighted fair scheduler
+// — the simulated mixed-class contention A/B (interactive chains over
+// saturating batch tenants, round-robin versus the shipped strict-
+// priority deficit bands, on a virtual clock) and the live corpus solo
+// versus K-way mixed-class concurrent — and writes the machine-readable
+// BENCH_sched.json artifact. Interactive p99 must improve with margin
+// while the worst first-dispatch wait stays inside the one-prompt
+// starvation bound, and classes/weights must be pure scheduling hints:
+// bit-identical relations, identical prompt counts, aggregate makespan
+// no worse than solo (the report is deterministic, so the committed
+// artifact is reproducible):
+//
+//	go test -run '^$' -bench BenchmarkSchedComparison -benchtime=1x .
+func BenchmarkSchedComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.SchedReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.SchedComparison(ctx, simllm.ChatGPT, bench.DefaultConcurrency, bench.DefaultServeWorkers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.P99ImprovementX, "interactive_p99_improvement_x")
+	b.ReportMetric(rep.Deficit.InteractiveP99MS/1000, "deficit_interactive_p99_s")
+	b.ReportMetric(rep.RoundRobin.InteractiveP99MS/1000, "rr_interactive_p99_s")
+	b.ReportMetric(rep.Deficit.MaxFirstWaitMS, "max_first_wait_ms")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteSchedArtifact("BENCH_sched.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}

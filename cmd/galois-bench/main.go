@@ -41,7 +41,7 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos, persist")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos, persist, sched")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
@@ -104,7 +104,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "persist", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "persist", "sched", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -217,6 +217,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printChaos(ctx, r, p)
 	case "persist":
 		return printPersist(ctx, r, p)
+	case "sched":
+		return printSched(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -289,6 +291,31 @@ func printConcurrency(ctx context.Context, r *bench.Runner, p simllm.Profile) er
 		rep.Concurrent.Config, rep.Concurrent.AggregateMakespanMS/1000, rep.Concurrent.TotalPrompts)
 	fmt.Printf("  speedup %.2fx — results identical: %v, per-query prompts identical: %v\n\n",
 		rep.SpeedupX, rep.ResultsIdentical, rep.PromptsIdentical)
+	return nil
+}
+
+func printSched(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.SchedComparison(ctx, p, bench.DefaultConcurrency, bench.DefaultServeWorkers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation K: deficit-weighted fair scheduling (strict-priority classes + token-deficit rotation)")
+	fmt.Printf("  simulated contention: %d interactive chains over %d saturating batch tenants, W=%d\n",
+		rep.SimInteractive, rep.SimBatch, rep.Workers)
+	fmt.Printf("  %-18s interactive p50/p99 %7.1f / %7.1f s   batch p99 %6.1f s   makespan %6.1f s\n",
+		rep.RoundRobin.Policy, rep.RoundRobin.InteractiveP50MS/1000, rep.RoundRobin.InteractiveP99MS/1000,
+		rep.RoundRobin.BatchP99MS/1000, rep.RoundRobin.MakespanMS/1000)
+	fmt.Printf("  %-18s interactive p50/p99 %7.1f / %7.1f s   batch p99 %6.1f s   makespan %6.1f s\n",
+		rep.Deficit.Policy, rep.Deficit.InteractiveP50MS/1000, rep.Deficit.InteractiveP99MS/1000,
+		rep.Deficit.BatchP99MS/1000, rep.Deficit.MakespanMS/1000)
+	fmt.Printf("  interactive p99 improvement %.2fx; worst first-dispatch wait %.0f ms within the %.0f ms one-prompt bound\n",
+		rep.P99ImprovementX, rep.Deficit.MaxFirstWaitMS, rep.StarvationBoundMS)
+	fmt.Printf("  live corpus %-9s aggregate simulated makespan %8.1f s  (%d prompts)\n",
+		rep.Solo.Config, rep.Solo.AggregateMakespanMS/1000, rep.Solo.TotalPrompts)
+	fmt.Printf("  live corpus %-9s aggregate simulated makespan %8.1f s  (%d prompts)\n",
+		rep.Mixed.Config, rep.Mixed.AggregateMakespanMS/1000, rep.Mixed.TotalPrompts)
+	fmt.Printf("  results identical: %v, per-query prompts identical: %v\n\n",
+		rep.ResultsIdentical, rep.PromptsIdentical)
 	return nil
 }
 

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errAdmissionShed marks a request refused at the gate: the controller
+// is already at its floor and the wait queue is at its bound, so the
+// only honest answer is "come back later" — fast.
+var errAdmissionShed = errors.New("admission queue saturated")
+
+// errAdmissionCancelled marks a request whose client disconnected while
+// it waited for an execution slot.
+var errAdmissionCancelled = errors.New("request cancelled while queued for admission")
+
+// admission is the adaptive concurrency gate in front of query
+// execution. It replaces the fixed channel semaphore with an AIMD
+// (additive-increase / multiplicative-decrease) controller: the
+// effective limit starts at the configured ceiling — an idle, healthy
+// server admits exactly like the static gate did — and moves between a
+// floor and that ceiling driven by backpressure signals sampled at each
+// query's completion (scheduler queue depth beyond the worker budget,
+// a non-closed circuit breaker). Healthy completions grow the limit by
+// one; congested completions halve it toward the floor, rate-limited by
+// a cooldown so one backlogged sample doesn't collapse the window.
+//
+// Shedding is a last resort, not the first response to pressure: a
+// request that finds the wait queue full while the limit is still above
+// the floor is admitted into the queue anyway and the limit is cut —
+// the queue transiently overshoots its bound, but the shrinking limit
+// drains it, and only when the controller is already at the floor AND
+// the queue is at its bound does a request get 503 + Retry-After. This
+// keeps the static gate's property that a burst onto an idle server is
+// never shed, while adding the property that a degraded backend sheds
+// early instead of queueing doomed work.
+//
+// Waiters are granted strictly FIFO via per-request channels: a freed
+// slot is handed to the oldest waiter (channel close), so arrival order
+// is service order and no waiter can be starved by fast-path arrivals
+// (the fast path requires an empty queue).
+type admission struct {
+	mu      sync.Mutex
+	limit   int // current effective concurrency bound (floor..ceil)
+	floor   int
+	ceil    int
+	active  int             // slots granted (may transiently exceed limit after a cut)
+	queue   []chan struct{} // FIFO waiters; a close grants the slot
+	lastCut time.Time       // last multiplicative decrease, for the cooldown
+
+	maxQueue int
+	cooldown time.Duration
+	now      func() time.Time
+
+	increases atomic.Int64 // additive limit growths
+	decreases atomic.Int64 // multiplicative limit cuts
+
+	// waiting mirrors the queue length into the server's public gauge
+	// (tests and /stats read the atomic without taking mu).
+	waiting *atomic.Int64
+}
+
+// defaultCutCooldown spaces multiplicative decreases: congestion
+// signals arrive once per completing query, and a single backlog spike
+// observed by a dozen completions should cost one cut, not a collapse
+// to the floor.
+const defaultCutCooldown = 250 * time.Millisecond
+
+// newAdmission builds the controller. floor <= 0 selects ceil/4
+// (minimum 1); cooldown < 0 disables the cut rate limit (tests drive
+// deterministic cut sequences that way).
+func newAdmission(ceil, floor, maxQueue int, cooldown time.Duration, waiting *atomic.Int64) *admission {
+	if ceil < 1 {
+		ceil = 1
+	}
+	if floor <= 0 {
+		floor = ceil / 4
+	}
+	if floor < 1 {
+		floor = 1
+	}
+	if floor > ceil {
+		floor = ceil
+	}
+	if cooldown == 0 {
+		cooldown = defaultCutCooldown
+	}
+	return &admission{
+		limit:    ceil, // start wide open: an idle server behaves like the static gate
+		floor:    floor,
+		ceil:     ceil,
+		maxQueue: maxQueue,
+		cooldown: cooldown,
+		now:      time.Now,
+		waiting:  waiting,
+	}
+}
+
+// acquire blocks until the request holds an execution slot, the context
+// is cancelled (errAdmissionCancelled), or the gate sheds it
+// (errAdmissionShed). ctx is the request's own context; done is its
+// Done channel (split out so tests can drive it directly).
+func (a *admission) acquire(done <-chan struct{}) error {
+	a.mu.Lock()
+	if a.active < a.limit && len(a.queue) == 0 {
+		// A free slot and nobody ahead: admitted immediately, never
+		// queued. This path must not touch the waiting gauge — a burst
+		// onto an idle server is not queue pressure.
+		a.active++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		if a.limit <= a.floor {
+			// Floor AND full queue: genuinely saturated, shed.
+			a.mu.Unlock()
+			return errAdmissionShed
+		}
+		// Full queue above the floor is congestion evidence, not a shed:
+		// cut the limit and queue anyway. The bound is transiently
+		// exceeded; the shrinking limit converges to the floor, where
+		// the bound becomes hard again.
+		a.cutLocked()
+	}
+	ch := make(chan struct{})
+	a.queue = append(a.queue, ch)
+	a.waiting.Add(1)
+	a.mu.Unlock()
+
+	select {
+	case <-ch:
+		a.waiting.Add(-1)
+		select {
+		case <-done:
+			// The client was already gone when the slot was granted (with
+			// both cases ready either may win): hand the slot straight to
+			// the next waiter and do not serve.
+			a.returnSlot()
+			return errAdmissionCancelled
+		default:
+		}
+		return nil
+	case <-done:
+		a.mu.Lock()
+		granted := true
+		for i, w := range a.queue {
+			if w == ch {
+				// Still queued: withdraw. Order of the rest is preserved.
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		if granted {
+			// grantLocked already popped us and transferred a slot; give
+			// it back to the next in line.
+			a.active--
+			a.grantLocked()
+		}
+		a.mu.Unlock()
+		a.waiting.Add(-1)
+		return errAdmissionCancelled
+	}
+}
+
+// release frees the caller's slot and folds one completion's congestion
+// sample into the limit: congested halves toward the floor (cooldown
+// permitting), healthy grows by one toward the ceiling.
+func (a *admission) release(congested bool) {
+	a.mu.Lock()
+	if congested {
+		a.cutLocked()
+	} else if a.limit < a.ceil {
+		a.limit++
+		a.increases.Add(1)
+	}
+	a.active--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// returnSlot gives a slot back without sampling — the holder never
+// executed (cancelled between grant and service).
+func (a *admission) returnSlot() {
+	a.mu.Lock()
+	a.active--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// cutLocked is one multiplicative decrease: halve, floor-clamped,
+// rate-limited. Callers hold mu.
+func (a *admission) cutLocked() {
+	if a.cooldown > 0 {
+		if now := a.now(); now.Sub(a.lastCut) < a.cooldown {
+			return
+		} else {
+			a.lastCut = now
+		}
+	}
+	next := a.limit / 2
+	if next < a.floor {
+		next = a.floor
+	}
+	if next < a.limit {
+		a.limit = next
+		a.decreases.Add(1)
+	}
+}
+
+// grantLocked hands freed capacity to waiters, oldest first, while the
+// limit allows. Callers hold mu.
+func (a *admission) grantLocked() {
+	for a.active < a.limit && len(a.queue) > 0 {
+		ch := a.queue[0]
+		a.queue = a.queue[1:]
+		a.active++
+		close(ch)
+	}
+}
+
+// snapshot reports the controller's observable state for /stats.
+func (a *admission) snapshot() (limit, floor, ceil int, increases, decreases int64) {
+	a.mu.Lock()
+	limit = a.limit
+	a.mu.Unlock()
+	return limit, a.floor, a.ceil, a.increases.Load(), a.decreases.Load()
+}

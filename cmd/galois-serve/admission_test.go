@@ -1,0 +1,173 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Unit tests for the AIMD admission controller, driven synchronously:
+// a negative cooldown disables the cut rate limit so every congestion
+// sample moves the limit deterministically.
+
+// TestAdmissionAIMDLimitMoves: congested completions halve the limit
+// toward the floor, healthy completions grow it by one toward the
+// ceiling, and both legs are counted.
+func TestAdmissionAIMDLimitMoves(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(8, 2, 4, -1, &waiting)
+
+	for i := 0; i < 8; i++ {
+		if err := a.acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if limit, floor, ceil, _, _ := a.snapshot(); limit != 8 || floor != 2 || ceil != 8 {
+		t.Fatalf("fresh controller = limit %d floor %d ceil %d, want 8/2/8", limit, floor, ceil)
+	}
+
+	// Multiplicative decrease: 8 -> 4 -> 2, then clamped at the floor.
+	a.release(true)
+	a.release(true)
+	a.release(true)
+	limit, _, _, inc, dec := a.snapshot()
+	if limit != 2 || dec != 2 {
+		t.Fatalf("after three congested releases: limit %d decreases %d, want 2/2 (floor clamps the third)", limit, dec)
+	}
+
+	// Additive increase: one per healthy completion, capped at the ceiling.
+	for i := 0; i < 10; i++ {
+		a.release(false)
+	}
+	limit, _, _, inc, dec = a.snapshot()
+	if limit != 8 {
+		t.Fatalf("after recovery: limit %d, want ceiling 8", limit)
+	}
+	if inc != 6 {
+		t.Fatalf("increases = %d, want 6 (2 -> 8, capped thereafter)", inc)
+	}
+	if waiting.Load() != 0 {
+		t.Fatalf("waiting gauge = %d, want 0 (nothing ever queued)", waiting.Load())
+	}
+}
+
+// TestAdmissionFullQueueCutsBeforeShedding: a request that finds the
+// wait queue at its bound while the limit is above the floor is NOT
+// shed — it cuts the limit and queues anyway. Only at the floor does
+// the bound become a hard shed.
+func TestAdmissionFullQueueCutsBeforeShedding(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(4, 1, 1, -1, &waiting)
+
+	for i := 0; i < 4; i++ {
+		if err := a.acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Three waiters arrive one at a time. #1 fills the queue; #2 finds
+	// it full above the floor (cut 4 -> 2, queued anyway); #3 the same
+	// (cut 2 -> 1 = floor, queued anyway).
+	acquired := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		want := int64(i + 1)
+		go func() { acquired <- a.acquire(nil) }()
+		waitFor(t, func() bool { return waiting.Load() == want })
+	}
+	limit, _, _, _, dec := a.snapshot()
+	if limit != 1 || dec != 2 {
+		t.Fatalf("after queue-full arrivals: limit %d decreases %d, want 1/2", limit, dec)
+	}
+
+	// Floor AND full queue: the next arrival is shed, synchronously.
+	if err := a.acquire(nil); !errors.Is(err, errAdmissionShed) {
+		t.Fatalf("acquire at floor with full queue = %v, want errAdmissionShed", err)
+	}
+
+	// Drain the four initial holders. Healthy releases grow the limit
+	// (1 -> 2 -> 3 -> 4) and active falls, so freed capacity reaches the
+	// FIFO queue: all three waiters are granted slots.
+	for i := 0; i < 4; i++ {
+		a.release(false)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-acquired; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Release the waiters' slots too, so the gate ends idle.
+	for i := 0; i < 3; i++ {
+		a.release(false)
+	}
+	if waiting.Load() != 0 {
+		t.Fatalf("waiting gauge leaked: %d", waiting.Load())
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a waiter whose request dies while
+// queued withdraws cleanly — the gauge returns to zero, the slot is
+// never consumed, and later arrivals are unaffected.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(1, 1, 4, -1, &waiting)
+	if err := a.acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(done) }()
+	waitFor(t, func() bool { return waiting.Load() == 1 })
+	close(done)
+	if err := <-errc; !errors.Is(err, errAdmissionCancelled) {
+		t.Fatalf("cancelled waiter got %v, want errAdmissionCancelled", err)
+	}
+	if waiting.Load() != 0 {
+		t.Fatalf("waiting gauge leaked after cancel: %d", waiting.Load())
+	}
+
+	a.release(false)
+	if err := a.acquire(nil); err != nil {
+		t.Fatalf("acquire after cancelled waiter = %v, want immediate admit", err)
+	}
+	a.release(false)
+}
+
+// TestAdmissionFIFO: queued waiters are granted strictly in arrival
+// order — a freed slot goes to the oldest waiter, and the fast path
+// cannot jump the queue (it requires the queue to be empty).
+func TestAdmissionFIFO(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(1, 1, 8, -1, &waiting)
+	if err := a.acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 3
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(nil); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			a.release(false)
+		}()
+		// Serialize arrivals so the queue order is the loop order.
+		waitFor(t, func() bool { return waiting.Load() == int64(i+1) })
+	}
+
+	a.release(false) // frees the chain: each waiter's release grants the next
+	wg.Wait()
+	for want := 0; want < waiters; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order position %d went to waiter %d (FIFO violated)", want, got)
+		}
+	}
+}

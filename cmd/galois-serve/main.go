@@ -14,20 +14,28 @@
 // Endpoints:
 //
 //	POST /query            SQL in the request body (or GET /query?q=...);
-//	                       ?plan=1 includes the executed plan. Returns the
-//	                       relation, row count and per-query prompt stats
-//	                       as JSON.
+//	                       ?plan=1 includes the executed plan, ?class=batch
+//	                       runs in the scheduler's batch band, ?weight=N
+//	                       scales the deficit share. Returns the relation,
+//	                       row count and per-query prompt stats as JSON —
+//	                       or as a row stream: Accept: application/x-ndjson
+//	                       delivers NDJSON frames (header, rows, stats
+//	                       trailer) as the executor yields tuples, and
+//	                       ?stream=1 the same frames as SSE events.
 //	GET  /healthz          liveness probe.
-//	GET  /stats            serving counters, admission-gate state and
-//	                       shared prompt-cache statistics.
+//	GET  /stats            serving counters, admission-controller and
+//	                       scheduler state, shared cache statistics.
 //
 // Concurrency model: all queries share one per-endpoint LLM worker
-// budget (-workers), fair-shared round-robin across in-flight queries by
-// the engine-global scheduler, so a heavy query cannot starve light
-// ones. The -max-concurrent admission gate bounds simultaneously
-// executing queries; excess requests queue and abandon the queue when
-// their client disconnects. SIGINT/SIGTERM drain in-flight queries
-// before exit.
+// budget (-workers), divided by the engine-global deficit-weighted
+// scheduler — interactive queries drain with strict priority, batch
+// queries soak up idle slots, and a batch backlog can never delay an
+// interactive prompt by more than the one already on the wire. The
+// admission controller moves its effective concurrency limit between
+// -admission-floor and -max-concurrent by AIMD on backpressure signals;
+// excess requests queue FIFO (abandoning the queue when their client
+// disconnects) and are shed with 503 + Retry-After only at the floor.
+// SIGINT/SIGTERM drain in-flight queries before exit.
 package main
 
 import (
@@ -71,7 +79,8 @@ func run() error {
 	costbased := flag.Bool("costbased", true, "enable cost-based plan selection")
 	pushdown := flag.Bool("pushdown", false, "enable the prompt-pushdown optimization")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "max time to drain in-flight queries on SIGINT/SIGTERM")
-	maxQueue := flag.Int("max-queue", 0, "max requests waiting for an execution slot; past it requests are shed with 503 + Retry-After (0 = 4x max-concurrent)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for an execution slot; past it requests are shed with 503 + Retry-After once the adaptive limit is at its floor (0 = 4x max-concurrent)")
+	admissionFloor := flag.Int("admission-floor", 0, "lower bound of the adaptive concurrency limit; AIMD moves the limit between this and -max-concurrent (0 = max-concurrent/4, minimum 1)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-imposed deadline per query; expiry answers 504 (0 = none)")
 	resilient := flag.Bool("resilient", true, "enable the fault-tolerant LLM transport (deadlines, retries, circuit breaker, retry budget)")
 	retries := flag.Int("retries", 0, "max retries per prompt after a retryable failure (0 = default 3, negative = never retry)")
@@ -127,9 +136,10 @@ func run() error {
 	}
 
 	handler := newServer(rt, serverConfig{
-		maxConcurrent: *maxConcurrent,
-		maxQueue:      *maxQueue,
-		queryTimeout:  *queryTimeout,
+		maxConcurrent:  *maxConcurrent,
+		maxQueue:       *maxQueue,
+		queryTimeout:   *queryTimeout,
+		admissionFloor: *admissionFloor,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

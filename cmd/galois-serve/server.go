@@ -21,13 +21,15 @@ import (
 
 // server is the concurrent SQL front end over one shared core.Runtime:
 // every request opens a cheap session, executes under the runtime's
-// engine-global fair-share scheduler, and renders the relation as JSON.
-// A bounded admission gate caps how many queries execute at once;
-// requests beyond it queue (and leave the queue when their client
-// disconnects).
+// engine-global deficit-weighted scheduler, and renders the relation as
+// JSON — buffered, or streamed row by row (NDJSON / SSE) as the
+// pipelined executor yields tuples. An adaptive AIMD admission
+// controller decides how many queries execute at once; requests beyond
+// it queue (and leave the queue when their client disconnects), and are
+// shed only when the controller has already collapsed to its floor.
 type server struct {
 	rt            *core.Runtime
-	gate          chan struct{}
+	adm           *admission
 	maxConcurrent int
 	maxQueue      int
 	queryTimeout  time.Duration
@@ -42,19 +44,30 @@ type server struct {
 }
 
 // serverConfig tunes the front end's degradation behavior alongside the
-// admission gate.
+// admission controller.
 type serverConfig struct {
-	// maxConcurrent bounds simultaneously executing queries (0 or
-	// negative means 2× the scheduler's per-endpoint worker budget —
-	// enough to keep the pool busy without unbounded overcommit).
+	// maxConcurrent is the admission controller's ceiling on
+	// simultaneously executing queries (0 or negative means 2× the
+	// scheduler's per-endpoint worker budget — enough to keep the pool
+	// busy without unbounded overcommit).
 	maxConcurrent int
-	// maxQueue bounds requests waiting for an execution slot; one past
-	// it is refused immediately with 503 + Retry-After instead of
-	// queueing without bound (0 or negative means 4× maxConcurrent).
+	// maxQueue bounds requests waiting for an execution slot. While the
+	// adaptive limit is above its floor a full queue cuts the limit and
+	// still admits the request into the queue; at the floor the bound is
+	// hard and one past it is refused immediately with 503 + Retry-After
+	// (0 or negative means 4× maxConcurrent).
 	maxQueue int
 	// queryTimeout bounds one query end to end; expiry answers 504
 	// (0 means no server-imposed deadline).
 	queryTimeout time.Duration
+	// admissionFloor is the adaptive limit's lower bound — the
+	// concurrency the server insists on even when every completion
+	// reports congestion (0 means maxConcurrent/4, minimum 1).
+	admissionFloor int
+	// admissionCooldown spaces multiplicative limit cuts (0 means the
+	// 250ms default; negative disables the rate limit — tests drive
+	// deterministic cut sequences that way).
+	admissionCooldown time.Duration
 }
 
 // newServer wires the routes over the runtime.
@@ -67,12 +80,12 @@ func newServer(rt *core.Runtime, cfg serverConfig) *server {
 	}
 	s := &server{
 		rt:            rt,
-		gate:          make(chan struct{}, cfg.maxConcurrent),
 		maxConcurrent: cfg.maxConcurrent,
 		maxQueue:      cfg.maxQueue,
 		queryTimeout:  cfg.queryTimeout,
 		mux:           http.NewServeMux(),
 	}
+	s.adm = newAdmission(cfg.maxConcurrent, cfg.admissionFloor, cfg.maxQueue, cfg.admissionCooldown, &s.waiting)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -123,7 +136,10 @@ type errorResponse struct {
 }
 
 // handleQuery executes one SQL statement: the `q` form/query parameter,
-// or the raw request body. `?plan=1` includes the executed plan.
+// or the raw request body. `?plan=1` includes the executed plan;
+// `?class=batch` runs the query in the scheduler's batch band and
+// `?weight=N` scales its deficit share; `Accept: application/x-ndjson`
+// (or `?stream=1` for SSE) streams rows as the executor yields them.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Only GET and POST carry queries; anything else (PUT, DELETE,
 	// arbitrary verbs) must not execute SQL.
@@ -151,47 +167,43 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-
-	// Admission gate: at most maxConcurrent queries execute at once, at
-	// most maxQueue wait for a slot; anything past both is shed
-	// immediately — an overloaded server must answer "come back later"
-	// fast, not queue without bound until everything times out.
-	ctx := r.Context()
-	select {
-	case s.gate <- struct{}{}:
-		// A free execution slot: admitted immediately, never queued. The
-		// fast path must not touch the waiting count — a simultaneous
-		// burst onto an idle server is not queue pressure, and counting
-		// it as such would shed requests while slots sit free.
-	default:
-		// All slots busy: this request actually has to wait, so it is
-		// subject to the queue bound.
-		if n := s.waiting.Add(1); n > int64(s.maxQueue) {
-			s.waiting.Add(-1)
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable,
-				fmt.Errorf("admission queue saturated (%d executing, %d waiting); retry later", s.maxConcurrent, s.maxQueue))
-			return
-		}
-		select {
-		case s.gate <- struct{}{}:
-			s.waiting.Add(-1)
-			if ctx.Err() != nil {
-				// The client was already gone when the slot freed (with both
-				// select cases ready either may win): hand the slot back and
-				// do not count the request as a served query.
-				<-s.gate
-				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
-				return
-			}
-		case <-ctx.Done():
-			s.waiting.Add(-1)
-			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request cancelled while queued for admission"))
-			return
-		}
+	// Likewise ?class=/?weight= (scheduler band and deficit share) and
+	// ?stream= (delivery encoding): a typo is the client's error, not a
+	// silent fallback to the defaults.
+	class, weight, err := admissionParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	defer func() { <-s.gate }()
+	mode, err := streamMode(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Adaptive admission: at most limit (floor..max-concurrent, moved by
+	// AIMD on completion signals) queries execute at once; excess waits
+	// FIFO, and is shed with 503 only once the controller has already
+	// collapsed to its floor and the queue is at its bound — an
+	// overloaded server must answer "come back later" fast, not queue
+	// doomed work until everything times out.
+	ctx := r.Context()
+	switch err := s.adm.acquire(ctx.Done()); {
+	case errors.Is(err, errAdmissionShed):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("admission saturated (concurrency at floor, %d waiting); retry later", s.maxQueue))
+		return
+	case err != nil:
+		// Cancelled while queued: the client is gone, do not count the
+		// request as a served query.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// Releasing the slot samples this completion's congestion signals
+	// (scheduler backlog, breaker state) into the adaptive limit.
+	defer func() { s.adm.release(s.congested()) }()
 	n := s.active.Add(1)
 	for {
 		high := s.maxActive.Load()
@@ -227,6 +239,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess := s.rt.NewSession()
+	if class != "" || weight > 0 {
+		o := sess.Options()
+		o.AdmissionClass = class
+		o.AdmissionWeight = weight
+		sess.SetOptions(o)
+	}
+
+	if mode != streamNone {
+		if fl, ok := w.(http.Flusher); ok {
+			s.streamQuery(ctx, w, fl, sess, sql, mode, wantPlan)
+			return
+		}
+		// The response writer can't flush (buffering middleware, some
+		// test recorders): degrade to the buffered JSON body below
+		// rather than holding rows hostage in an unflushable pipe.
+	}
+
 	rel, rep, err := sess.Query(ctx, sql)
 	if err != nil {
 		s.writeQueryError(w, err)
@@ -281,6 +310,51 @@ func planParam(r *http.Request) (bool, error) {
 	return v, nil
 }
 
+// admissionParams parses the optional `class` and `weight` query
+// parameters — the scheduler band the query runs in and its deficit
+// share within it. Unknown class spellings and out-of-range weights are
+// the client's error: silently running a "btach" query interactive
+// would defeat the operator's intent.
+func admissionParams(r *http.Request) (class string, weight int, err error) {
+	q := r.URL.Query()
+	class = q.Get("class")
+	if _, err := llm.ParseClass(class); err != nil {
+		return "", 0, err
+	}
+	if raw := q.Get("weight"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > maxAdmissionWeight {
+			return "", 0, fmt.Errorf("invalid weight parameter %q: want an integer in [1,%d]", raw, maxAdmissionWeight)
+		}
+		weight = v
+	}
+	return class, weight, nil
+}
+
+// maxAdmissionWeight caps the per-request deficit weight: a weight is a
+// relative share, and an unbounded one would let a single client vote
+// itself the whole band.
+const maxAdmissionWeight = 64
+
+// congested reports whether this instant looks like backpressure, the
+// signal the admission controller folds in at each query completion:
+// the scheduler holding more queued prompts than its worker budget can
+// start (queries are stacking up behind the model), or any endpoint's
+// circuit breaker away from closed (the backend is failing or still
+// probing its way back).
+func (s *server) congested() bool {
+	g := s.rt.SchedulerGauges()
+	if g.Interactive.Queued+g.Batch.Queued > g.Workers {
+		return true
+	}
+	for _, ep := range s.rt.ResilienceHealth() {
+		if ep.Breaker != llm.BreakerClosed.String() {
+			return true
+		}
+	}
+	return false
+}
+
 // maxBodyBytes bounds a /query request body; a body past it answers 413
 // rather than being silently truncated to a SQL prefix.
 const maxBodyBytes = 1 << 20
@@ -329,18 +403,30 @@ func querySQL(r *http.Request) (string, error) {
 // endpoint's circuit breaker shed the call, 503 when the client
 // disconnected mid-flight, 500 for everything else.
 func (s *server) writeQueryError(w http.ResponseWriter, err error) {
+	s.noteQueryError(err)
 	switch {
 	case llm.Classify(err) == llm.ClassBreakerOpen:
-		s.shed.Add(1)
 		w.Header().Set("Retry-After", s.breakerRetryAfter())
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.timeouts.Add(1)
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// noteQueryError folds one failed query into the degradation counters,
+// independent of how the failure reaches the client — the status line
+// for buffered responses, an in-band error frame for streams already
+// past their headers.
+func (s *server) noteQueryError(err error) {
+	switch {
+	case llm.Classify(err) == llm.ClassBreakerOpen:
+		s.shed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
 	}
 }
 
@@ -420,25 +506,43 @@ type serverStats struct {
 	Shed       int64                 `json:"shed"`
 	Timeouts   int64                 `json:"timeouts"`
 	Resilience []core.EndpointHealth `json:"resilience,omitempty"`
+	// Admission is the AIMD controller's live position: the effective
+	// concurrency limit between its floor and max_concurrent, and how
+	// many additive growths / multiplicative cuts moved it there.
+	Admission admissionStats `json:"admission"`
+	// Sched is the engine-global scheduler's dispatch state: per-class
+	// queued/busy prompt counts and the cumulative drain counters of the
+	// deficit-weighted bands.
+	Sched llm.SchedulerGauges `json:"sched"`
 	// Persistence snapshots the durable tier (zero/disabled without
 	// -data-dir): what warm start restored, what it rejected, and the
 	// segment store's own accounting.
 	Persistence core.PersistCounters `json:"persistence"`
 }
 
+// admissionStats is the /stats rendering of the adaptive gate.
+type admissionStats struct {
+	Limit     int   `json:"limit"`
+	Floor     int   `json:"floor"`
+	Ceil      int   `json:"ceil"`
+	Increases int64 `json:"increases"`
+	Decreases int64 `json:"decreases"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.rt.CacheStats()
 	rcs := s.rt.ResultCacheStats()
+	limit, floor, ceil, inc, dec := s.adm.snapshot()
 	writeJSON(w, http.StatusOK, serverStats{
-		QueriesServed:      s.queries.Load(),
-		Active:             s.active.Load(),
-		MaxActive:          s.maxActive.Load(),
-		Waiting:            s.waiting.Load(),
-		MaxConcurrent:      s.maxConcurrent,
-		Workers:            s.rt.Options().BatchWorkers,
-		CacheHits:          cs.Hits,
-		CacheMisses:        cs.Misses,
-		CacheEntries:       cs.Entries,
+		QueriesServed:           s.queries.Load(),
+		Active:                  s.active.Load(),
+		MaxActive:               s.maxActive.Load(),
+		Waiting:                 s.waiting.Load(),
+		MaxConcurrent:           s.maxConcurrent,
+		Workers:                 s.rt.Options().BatchWorkers,
+		CacheHits:               cs.Hits,
+		CacheMisses:             cs.Misses,
+		CacheEntries:            cs.Entries,
 		ResultCacheHits:         rcs.Hits,
 		ResultCacheSubsumedHits: rcs.SubsumedHits,
 		ResultCacheMisses:       rcs.Misses,
@@ -450,6 +554,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:                    s.shed.Load(),
 		Timeouts:                s.timeouts.Load(),
 		Resilience:              s.rt.ResilienceHealth(),
+		Admission:               admissionStats{Limit: limit, Floor: floor, Ceil: ceil, Increases: inc, Decreases: dec},
+		Sched:                   s.rt.SchedulerGauges(),
 		Persistence:             s.rt.Persistence(),
 	})
 }

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Streaming delivery: instead of materializing the whole relation
+// before the first response byte, the handler walks core.QueryStream
+// and writes each row as the pipelined executor yields it — one
+// self-describing JSON frame per line (NDJSON), or the same frames
+// wrapped in SSE events for EventSource clients. The frame sequence is
+// always header, zero or more rows, then exactly one terminal frame:
+// stats on success, error on a mid-stream failure (the 200 status line
+// is long gone by then, so failures must travel in-band).
+const (
+	streamNone   = ""       // buffered queryResponse JSON
+	streamNDJSON = "ndjson" // application/x-ndjson, one frame per line
+	streamSSE    = "sse"    // text/event-stream, one frame per event
+)
+
+// streamMode picks the delivery encoding for one request. The explicit
+// ?stream= parameter wins; otherwise an Accept header asking for
+// application/x-ndjson selects NDJSON. Plain JSON clients are
+// untouched: absent both signals the buffered response stays the
+// default, so nothing changes for existing callers.
+func streamMode(r *http.Request) (string, error) {
+	if raw := r.URL.Query().Get("stream"); raw != "" {
+		switch raw {
+		case "0", "false":
+			return streamNone, nil
+		case "1", "true", "sse":
+			return streamSSE, nil
+		case "ndjson":
+			return streamNDJSON, nil
+		}
+		return "", fmt.Errorf("invalid stream parameter %q: want 1/0/sse/ndjson", raw)
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		return streamNDJSON, nil
+	}
+	return streamNone, nil
+}
+
+// streamHeader opens every stream: the schema a client needs to
+// interpret the rows, plus how the result cache answered (known at open
+// time, before any row exists).
+type streamHeader struct {
+	Type    string   `json:"type"` // "header"
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Cached  any      `json:"cached"`
+}
+
+// streamRow is one delivered tuple with its virtual availability time —
+// the simulated instant the prompt chain producing it completed — so
+// clients (and the tests) can verify rows left before the relation was
+// done against the deterministic latency model.
+type streamRow struct {
+	Type  string   `json:"type"` // "row"
+	Cells []string `json:"cells"`
+	VTMS  float64  `json:"vt_ms"`
+}
+
+// streamStats closes a successful stream with the same accounting the
+// buffered response carries.
+type streamStats struct {
+	Type     string     `json:"type"` // "stats"
+	RowCount int        `json:"row_count"`
+	Plan     string     `json:"plan,omitempty"`
+	Stats    queryStats `json:"stats"`
+}
+
+// streamFailure closes a failed stream; its presence instead of a stats
+// frame is the client's only failure signal.
+type streamFailure struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+// streamQuery executes sql over sess and writes the result as a frame
+// stream. Errors before the first frame still use the normal status
+// mapping (503/504/...); once the header is out every outcome travels
+// in-band. A client disconnect mid-stream cancels ctx, which fails the
+// executor's queued prompts and releases the scheduler tenant via the
+// deferred Close — the caller's admission slot is released when this
+// returns, exactly like a buffered query.
+func (s *server) streamQuery(ctx context.Context, w http.ResponseWriter, fl http.Flusher, sess *core.Session, sql, mode string, wantPlan bool) {
+	st, err := sess.QueryStream(ctx, sql)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	defer st.Close()
+
+	fw := &frameWriter{w: w, fl: fl, mode: mode}
+	sch := st.Schema()
+	head := streamHeader{
+		Type:    "header",
+		Columns: make([]string, sch.Len()),
+		Types:   make([]string, sch.Len()),
+		Cached:  cachedJSON(st.Cached()),
+	}
+	for i, c := range sch.Columns {
+		head.Columns[i] = c.QualifiedName()
+		head.Types[i] = c.Type.String()
+	}
+	if fw.frame("header", head) != nil {
+		return
+	}
+
+	rows := 0
+	for {
+		row, vt, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			s.noteQueryError(err)
+			fw.frame("error", streamFailure{Type: "error", Error: err.Error()})
+			return
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		rows++
+		if fw.frame("row", streamRow{Type: "row", Cells: cells, VTMS: float64(vt) / float64(time.Millisecond)}) != nil {
+			// The pipe is dead; the deferred Close stops upstream prompt
+			// issue and frees the tenant's slots.
+			return
+		}
+	}
+
+	rep, err := st.Finish()
+	if err != nil {
+		s.noteQueryError(err)
+		fw.frame("error", streamFailure{Type: "error", Error: err.Error()})
+		return
+	}
+	tail := streamStats{
+		Type:     "stats",
+		RowCount: rows,
+		Stats: queryStats{
+			Prompts:            rep.Stats.Prompts,
+			PromptTokens:       rep.Stats.PromptTokens,
+			CompletionTokens:   rep.Stats.CompletionTokens,
+			CacheHits:          rep.Stats.CacheHits,
+			CacheMisses:        rep.Stats.CacheMisses,
+			SimulatedLatencyMS: float64(rep.Stats.SimulatedLatency) / float64(time.Millisecond),
+		},
+	}
+	if wantPlan {
+		tail.Plan = rep.Plan
+	}
+	fw.frame("stats", tail)
+}
+
+// frameWriter writes one JSON frame per call and flushes it
+// immediately — a streamed row must reach the network now, not when
+// some buffer happens to fill. The first frame commits the content type
+// and the 200 status line.
+type frameWriter struct {
+	w       http.ResponseWriter
+	fl      http.Flusher
+	mode    string
+	started bool
+}
+
+func (f *frameWriter) frame(event string, v any) error {
+	if !f.started {
+		f.started = true
+		if f.mode == streamSSE {
+			f.w.Header().Set("Content-Type", "text/event-stream")
+			f.w.Header().Set("Cache-Control", "no-cache")
+		} else {
+			f.w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		// Tell buffering reverse proxies not to defeat the flushes.
+		f.w.Header().Set("X-Accel-Buffering", "no")
+		f.w.WriteHeader(http.StatusOK)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if f.mode == streamSSE {
+		_, err = fmt.Fprintf(f.w, "event: %s\ndata: %s\n\n", event, data)
+	} else {
+		_, err = f.w.Write(append(data, '\n'))
+	}
+	if err != nil {
+		return err
+	}
+	f.fl.Flush()
+	return nil
+}

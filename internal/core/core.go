@@ -129,6 +129,20 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker sheds before probing
 	// (0 means llm.DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// AdmissionClass selects the scheduler dispatch band this session's
+	// queries run in: "interactive" (the default, also for "") or
+	// "batch". Interactive tenants are drained with strict priority —
+	// a saturating batch query can never delay an interactive query's
+	// next prompt by more than the one prompt already on the wire —
+	// while batch tenants consume every slot interactive traffic leaves
+	// idle. Session-tier: galois-serve maps the ?class= request
+	// parameter onto it. Unknown spellings fall back to interactive.
+	AdmissionClass string
+	// AdmissionWeight scales the session's deficit share within its
+	// band: a weight-2 batch tenant drains twice the prompt tokens per
+	// rotation of a weight-1 one. Values below 1 (including the zero
+	// default) mean weight 1.
+	AdmissionWeight int
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string

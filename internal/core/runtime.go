@@ -233,6 +233,14 @@ func (rt *Runtime) scheduler() *llm.Scheduler {
 	return rt.sched
 }
 
+// SchedulerGauges snapshots the shared scheduler's dispatch state:
+// per-class queued/busy counts and cumulative deficit-scheduler drain
+// counters. The observability feed for galois-serve /stats and the
+// queue-depth signal its adaptive admission controller samples.
+func (rt *Runtime) SchedulerGauges() llm.SchedulerGauges {
+	return rt.scheduler().Gauges()
+}
+
 // Statistics exposes the planner's statistics store (never nil).
 func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
 

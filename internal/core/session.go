@@ -600,8 +600,10 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 	if s.opts.Pipelined {
 		// Open this query's tenant on the engine-global scheduler: its
 		// prompts fair-share the per-endpoint worker budget with every
-		// other in-flight query, while accounting stays per query.
-		tenant = s.rt.scheduler().Tenant(ctx, "")
+		// other in-flight query, while accounting stays per query. The
+		// session's admission class and weight decide the dispatch band
+		// and the deficit share within it.
+		tenant = s.openTenant(ctx)
 		defer tenant.Close()
 		pctx.Scheduler = tenant
 	}
@@ -628,6 +630,15 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 		rep.Sched = tenant.Stats()
 	}
 	return rel, rep, nil
+}
+
+// openTenant opens one query's scheduler tenant in the session's
+// admission class and weight. Unknown class spellings fall back to
+// interactive (the serve layer rejects them before they reach here;
+// direct API callers get the safe default).
+func (s *Session) openTenant(ctx context.Context) *llm.Tenant {
+	class, _ := llm.ParseClass(s.opts.AdmissionClass)
+	return s.rt.scheduler().TenantFor(ctx, "", class, s.opts.AdmissionWeight)
 }
 
 // observe feeds the executed plan's per-operator counters back into the

@@ -34,16 +34,90 @@ func (f *Future) Wait() (string, VTime, error) {
 	return f.out, f.vt, f.err
 }
 
+// AdmissionClass partitions tenants into dispatch bands. The bands are
+// drained in strict priority order — every queued interactive prompt is
+// granted a freed slot before any queued batch prompt — which is what
+// turns the non-preemptive one-prompt slots into a hard starvation
+// bound: an interactive arrival on a saturated scheduler waits at most
+// until the first in-flight prompt completes, i.e. one prompt's service
+// time, no matter how deep the batch backlog is. Batch tenants in turn
+// soak up every slot the interactive band leaves idle, so strict
+// priority costs no throughput (the scheduler stays work-conserving).
+type AdmissionClass uint8
+
+const (
+	// ClassInteractive is the latency-sensitive band: human-facing
+	// queries that want their first prompt on a slot as soon as one
+	// frees. The default for every tenant.
+	ClassInteractive AdmissionClass = iota
+	// ClassBatch is the throughput band: analytics-style queries that
+	// may consume all idle capacity but must never delay interactive
+	// traffic by more than the prompt already on the wire.
+	ClassBatch
+)
+
+// nClasses sizes the per-class arrays; bands are indexed by class in
+// priority order (interactive first).
+const nClasses = 2
+
+func (c AdmissionClass) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseClass maps the wire spelling of an admission class ("" defaults
+// to interactive) to its value.
+func ParseClass(s string) (AdmissionClass, error) {
+	switch s {
+	case "", "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	}
+	return ClassInteractive, fmt.Errorf("unknown admission class %q (want interactive or batch)", s)
+}
+
+// DeficitQuantum is the per-rotation deficit refill, in estimated prompt
+// tokens, granted to a weight-1 tenant each time the rotation cursor
+// reaches it. One token per visit is the finest service granularity:
+// tenants interleave in proportion to prompt tokens (equal-cost prompts
+// alternate exactly like per-prompt round-robin), and a weight-w tenant
+// accrues w tokens per rotation. Dispatch stays O(flows) regardless —
+// when a full rotation affords nobody, the rotation is fast-forwarded
+// arithmetically rather than spun.
+const DeficitQuantum = 1
+
+// promptCost is the deficit-counter currency of one prompt: its
+// estimated token count, floored at 1 so zero-token prompts still drain
+// deficit and the refill loop always terminates.
+func promptCost(prompt string) int64 {
+	if n := CountTokens(prompt); n > 1 {
+		return int64(n)
+	}
+	return 1
+}
+
 // Scheduler is the engine-global prompt scheduler of the pipelined
 // streaming executor: one bounded worker pool per model endpoint, shared
 // by every in-flight query of the engine and alive for the engine's
 // lifetime. Queries do not talk to it directly — each query execution
 // opens a Tenant, submits its prompts through that handle, and closes it
-// when done. The pool fair-shares its per-endpoint worker budget across
-// tenants with round-robin queueing: when every slot of an endpoint is
-// busy, pending prompts wait in per-tenant FIFO queues and freed slots
-// are handed to the tenants in rotation, so a query issuing thousands of
-// prompts cannot starve a query issuing ten.
+// when done.
+//
+// When every slot of an endpoint is busy, pending prompts wait in
+// per-tenant FIFO queues organised into two dispatch bands by admission
+// class. Freed slots drain the interactive band before the batch band
+// (strict priority — see AdmissionClass for the starvation bound this
+// pins), and within a band tenants are served by deficit round-robin
+// denominated in estimated prompt tokens: each rotation visit grants a
+// tenant DeficitQuantum × weight tokens of deficit, and a tenant's head
+// prompt is dispatched only when its accumulated deficit covers the
+// prompt's token cost. Token-denominated deficits mean a tenant issuing
+// few huge prompts and a tenant issuing many small ones consume the
+// endpoint in proportion to their weights, not their prompt counts —
+// the fairness gap plain per-prompt round-robin cannot close.
 //
 // The worker budget is per model endpoint: a worker slot stands for one
 // concurrent connection to one API, and different models (the primary
@@ -78,24 +152,198 @@ type Scheduler struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
+	drained   [nClasses]int64 // queued prompts granted a slot, per class
 }
 
 // endpoint is the dispatch state of one model API: how many of its
-// worker slots are running prompts, and the per-tenant queues of prompts
-// waiting for a slot, drained round-robin.
+// worker slots are running prompts (split by admission class for the
+// gauges), and the class bands of prompts waiting for a slot.
 type endpoint struct {
-	busy int
-	rr   []*Tenant          // tenants with queued jobs, in rotation order
-	next int                // rotation cursor into rr
-	q    map[*Tenant][]*job // per-tenant pending jobs (FIFO)
+	busy    int
+	busyCls [nClasses]int
+	bands   [nClasses]band
 }
 
-// job is one queued or running prompt.
+func newEndpoint() *endpoint {
+	ep := &endpoint{}
+	for c := range ep.bands {
+		ep.bands[c] = newBand(DeficitQuantum)
+	}
+	return ep
+}
+
+// dispatchLocked pops the next queued job: the interactive band drains
+// to empty before the batch band is consulted. Callers hold s.mu.
+func (ep *endpoint) dispatchLocked() *job {
+	for c := range ep.bands {
+		if j := ep.bands[c].dispatch(); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// band is one admission class's dispatch state on one endpoint: the
+// deficit round-robin rotation over tenants with queued prompts. The
+// same structure drives both the live scheduler (under Scheduler.mu)
+// and the deterministic policy simulator, so the benchmarked dispatch
+// order is the shipped dispatch order.
+type band struct {
+	quantum int64   // deficit refill per rotation visit, weight 1
+	rr      []*flow // flows with queued jobs, in rotation order
+	next    int     // rotation cursor into rr
+	visited bool    // cursor's flow already got this visit's refill
+	flows   map[*Tenant]*flow
+}
+
+// flow is one tenant's queue within a band, with its deficit state.
+type flow struct {
+	t       *Tenant
+	weight  int64
+	deficit int64
+	q       []*job
+}
+
+func newBand(quantum int64) band {
+	return band{quantum: quantum, flows: map[*Tenant]*flow{}}
+}
+
+// enqueue appends one job to its tenant's flow, entering the tenant
+// into the rotation if it had nothing queued.
+func (b *band) enqueue(j *job) {
+	fl, ok := b.flows[j.t]
+	if !ok {
+		fl = &flow{t: j.t, weight: j.t.weight}
+		b.flows[j.t] = fl
+		b.rr = append(b.rr, fl)
+	}
+	fl.q = append(fl.q, j)
+}
+
+// queued reports the jobs waiting in this band.
+func (b *band) queued() int {
+	var n int
+	for _, fl := range b.flows {
+		n += len(fl.q)
+	}
+	return n
+}
+
+// dispatch pops the next job under deficit round-robin (Shreedhar &
+// Varghese, adapted to one-job-per-freed-slot): the cursor's flow is
+// granted quantum × weight deficit once per rotation visit, serves head
+// jobs while its deficit covers their token cost, and passes the cursor
+// on when it cannot afford its head. A flow whose queue empties leaves
+// the rotation and forfeits its remaining deficit (idle flows must not
+// bank credit). Returns nil when the band is empty.
+func (b *band) dispatch() *job {
+	if len(b.rr) == 0 {
+		return nil
+	}
+	// One pass from the cursor: serve the first flow whose deficit covers
+	// its head, refilling each flow once as the cursor reaches it.
+	for i := 0; i < len(b.rr); i++ {
+		if b.next >= len(b.rr) {
+			b.next = 0
+			b.visited = false
+		}
+		fl := b.rr[b.next]
+		if !b.visited {
+			fl.deficit += b.quantum * fl.weight
+			b.visited = true
+		}
+		if fl.deficit >= fl.q[0].cost {
+			return b.serve()
+		}
+		b.next++
+		b.visited = false
+	}
+	// A full rotation afforded nobody. Fast-forward the k further whole
+	// rotations (each granting every flow quantum × weight) after which
+	// at least one head becomes affordable, then serve the first such
+	// flow in rotation order — arithmetic instead of spinning, keeping
+	// dispatch O(flows) for arbitrarily large prompts. Flows past the
+	// served one bank their k-th refill one visit early; the resulting
+	// deviation from pure DRR is bounded by a single quantum.
+	k := int64(-1)
+	for _, fl := range b.rr {
+		qw := b.quantum * fl.weight
+		need := (fl.q[0].cost - fl.deficit + qw - 1) / qw
+		if k < 0 || need < k {
+			k = need
+		}
+	}
+	for _, fl := range b.rr {
+		fl.deficit += k * b.quantum * fl.weight
+	}
+	for i := 0; i < len(b.rr); i++ {
+		if b.next >= len(b.rr) {
+			b.next = 0
+		}
+		if fl := b.rr[b.next]; fl.deficit >= fl.q[0].cost {
+			b.visited = true
+			return b.serve()
+		}
+		b.next++
+	}
+	return nil // unreachable: k rotations make some head affordable
+}
+
+// serve pops the cursor flow's head job, charging its token cost
+// against the flow's deficit and retiring the flow when its queue
+// empties. Callers ensure the head is affordable.
+func (b *band) serve() *job {
+	fl := b.rr[b.next]
+	j := fl.q[0]
+	fl.deficit -= j.cost
+	fl.q = fl.q[1:]
+	if len(fl.q) == 0 {
+		b.removeAt(b.next)
+	}
+	return j
+}
+
+// removeAt drops the flow at rotation index i, keeping the cursor on
+// the element that now occupies the vacated position (the next flow in
+// rotation order) and ending any in-progress visit.
+func (b *band) removeAt(i int) {
+	fl := b.rr[i]
+	delete(b.flows, fl.t)
+	fl.deficit = 0
+	b.rr = append(b.rr[:i], b.rr[i+1:]...)
+	if b.next > i {
+		b.next--
+	} else if b.next == i {
+		b.visited = false
+	}
+}
+
+// purge drops every queued job of one tenant from the band, returning
+// the swept jobs so the caller can fail their futures outside the lock.
+func (b *band) purge(t *Tenant) []*job {
+	fl, ok := b.flows[t]
+	if !ok {
+		return nil
+	}
+	for i, other := range b.rr {
+		if other == fl {
+			b.removeAt(i)
+			break
+		}
+	}
+	q := fl.q
+	fl.q = nil
+	return q
+}
+
+// job is one queued or running prompt. cost is its deficit-counter
+// price in estimated prompt tokens.
 type job struct {
 	t      *Tenant
 	client Client
 	prompt string
 	ready  VTime
+	cost   int64
 	f      *Future
 }
 
@@ -139,11 +387,50 @@ func (s *Scheduler) Queued() int {
 	defer s.mu.Unlock()
 	var queued int
 	for _, ep := range s.endpoints {
-		for _, q := range ep.q {
-			queued += len(q)
+		for c := range ep.bands {
+			queued += ep.bands[c].queued()
 		}
 	}
 	return queued
+}
+
+// ClassGauges is one admission class's live dispatch state, summed over
+// endpoints.
+type ClassGauges struct {
+	Queued  int   `json:"queued"`  // prompts waiting for a slot
+	Busy    int   `json:"busy"`    // slots running this class's prompts
+	Drained int64 `json:"drained"` // queued prompts granted a slot, cumulative
+}
+
+// SchedulerGauges snapshots the scheduler's dispatch state for
+// observability surfaces (galois-serve /stats) and for admission
+// controllers sampling model-side saturation.
+type SchedulerGauges struct {
+	Workers     int         `json:"workers"`
+	Interactive ClassGauges `json:"interactive"`
+	Batch       ClassGauges `json:"batch"`
+}
+
+// Gauges snapshots per-class queued/busy counts and the cumulative
+// deficit-scheduler drain counters under one lock acquisition.
+func (s *Scheduler) Gauges() SchedulerGauges {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var per [nClasses]ClassGauges
+	for c := range per {
+		per[c].Drained = s.drained[c]
+	}
+	for _, ep := range s.endpoints {
+		for c := range ep.bands {
+			per[c].Queued += ep.bands[c].queued()
+			per[c].Busy += ep.busyCls[c]
+		}
+	}
+	return SchedulerGauges{
+		Workers:     s.workers,
+		Interactive: per[ClassInteractive],
+		Batch:       per[ClassBatch],
+	}
 }
 
 // endpointLocked returns the dispatch state of one model endpoint.
@@ -151,14 +438,16 @@ func (s *Scheduler) Queued() int {
 func (s *Scheduler) endpointLocked(model string) *endpoint {
 	ep, ok := s.endpoints[model]
 	if !ok {
-		ep = &endpoint{q: map[*Tenant][]*job{}}
+		ep = newEndpoint()
 		s.endpoints[model] = ep
 	}
 	return ep
 }
 
-// Tenant opens one query's submission handle. Prompts submitted through
-// it compete for the shared per-endpoint worker budget under round-robin
+// Tenant opens one query's submission handle in the interactive class
+// with the default weight — the compatibility surface; TenantFor selects
+// class and weight. Prompts submitted through it compete for the shared
+// per-endpoint worker budget under class-banded deficit-weighted
 // fair-share; accounting (prompt latency, critical path, makespan) is
 // kept per tenant so per-query attribution stays exact however many
 // queries are in flight. When ctx is cancelled the tenant's queued
@@ -170,13 +459,30 @@ func (s *Scheduler) endpointLocked(model string) *endpoint {
 // Callers must Close the tenant when the query is done (Close is
 // idempotent and also releases the context watcher).
 func (s *Scheduler) Tenant(ctx context.Context, tag string) *Tenant {
+	return s.TenantFor(ctx, tag, ClassInteractive, 1)
+}
+
+// TenantFor opens a tenant in an explicit admission class with a
+// deficit weight (values below 1 are clamped to 1). Weight scales the
+// tenant's share of its band: a weight-2 batch tenant drains twice the
+// prompt tokens per rotation of a weight-1 batch tenant. Class is fixed
+// for the tenant's lifetime.
+func (s *Scheduler) TenantFor(ctx context.Context, tag string, class AdmissionClass, weight int) *Tenant {
 	if tag == "" {
 		tag = fmt.Sprintf("q%d", s.tags.Add(1))
+	}
+	if class >= nClasses {
+		class = ClassInteractive
+	}
+	if weight < 1 {
+		weight = 1
 	}
 	t := &Tenant{
 		s:      s,
 		ctx:    ctx,
 		tag:    tag,
+		class:  class,
+		weight: int64(weight),
 		closed: make(chan struct{}),
 		work:   map[string]time.Duration{},
 	}
@@ -196,9 +502,11 @@ func (s *Scheduler) Tenant(ctx context.Context, tag string) *Tenant {
 // submitted through it, and simulated-latency accounting accrues on it.
 // Safe for concurrent use by the query's operators.
 type Tenant struct {
-	s   *Scheduler
-	ctx context.Context
-	tag string
+	s      *Scheduler
+	ctx    context.Context
+	tag    string
+	class  AdmissionClass
+	weight int64
 
 	inflight sync.WaitGroup // submitted futures not yet resolved
 	once     sync.Once
@@ -211,6 +519,12 @@ type Tenant struct {
 
 // Tag identifies the tenant in diagnostics and stats attribution.
 func (t *Tenant) Tag() string { return t.tag }
+
+// Class reports the tenant's admission class.
+func (t *Tenant) Class() AdmissionClass { return t.class }
+
+// Weight reports the tenant's deficit weight within its band.
+func (t *Tenant) Weight() int { return int(t.weight) }
 
 // Workers reports the scheduler's per-endpoint worker budget.
 func (t *Tenant) Workers() int { return t.s.workers }
@@ -227,7 +541,7 @@ func (t *Tenant) Submit(client Client, prompt string, ready VTime) *Future {
 		close(f.done)
 		return f
 	}
-	j := &job{t: t, client: client, prompt: prompt, ready: ready, f: f}
+	j := &job{t: t, client: client, prompt: prompt, ready: ready, cost: promptCost(prompt), f: f}
 	t.inflight.Add(1)
 	s := t.s
 	s.mu.Lock()
@@ -243,15 +557,16 @@ func (t *Tenant) Submit(client Client, prompt string, ready VTime) *Future {
 	}
 	ep := s.endpointLocked(client.Name())
 	if ep.busy < s.workers {
+		// A free slot means every band is empty (dispatch runs under the
+		// same lock that frees slots), so direct placement cannot overtake
+		// queued work of any class.
 		ep.busy++
+		ep.busyCls[t.class]++
 		s.mu.Unlock()
 		go s.run(ep, j)
 		return f
 	}
-	if _, ok := ep.q[t]; !ok {
-		ep.rr = append(ep.rr, t)
-	}
-	ep.q[t] = append(ep.q[t], j)
+	ep.bands[t.class].enqueue(j)
 	s.mu.Unlock()
 	return f
 }
@@ -264,40 +579,21 @@ func (t *Tenant) Do(client Client, prompt string, ready VTime) (string, VTime, e
 
 // run executes jobs on one granted worker slot: the handed job first,
 // then whatever dispatch hands it next, releasing the slot when the
-// endpoint's queues are empty.
+// endpoint's bands are empty.
 func (s *Scheduler) run(ep *endpoint, j *job) {
 	for j != nil {
 		s.exec(j)
 		s.mu.Lock()
-		j = dispatchLocked(ep)
+		ep.busyCls[j.t.class]--
+		j = ep.dispatchLocked()
 		if j == nil {
 			ep.busy--
+		} else {
+			ep.busyCls[j.t.class]++
+			s.drained[j.t.class]++
 		}
 		s.mu.Unlock()
 	}
-}
-
-// dispatchLocked pops the next queued job in round-robin tenant order.
-// Callers hold s.mu.
-func dispatchLocked(ep *endpoint) *job {
-	if len(ep.rr) == 0 {
-		return nil
-	}
-	if ep.next >= len(ep.rr) {
-		ep.next = 0
-	}
-	t := ep.rr[ep.next]
-	queue := ep.q[t]
-	j := queue[0]
-	if len(queue) == 1 {
-		delete(ep.q, t)
-		ep.rr = append(ep.rr[:ep.next], ep.rr[ep.next+1:]...)
-		// next now points at the following tenant already.
-	} else {
-		ep.q[t] = queue[1:]
-		ep.next++
-	}
-	return j
 }
 
 // exec runs one job to resolution.
@@ -322,21 +618,7 @@ func (t *Tenant) purge(err error) {
 	var purged []*job
 	s.mu.Lock()
 	for _, ep := range s.endpoints {
-		queue, ok := ep.q[t]
-		if !ok {
-			continue
-		}
-		delete(ep.q, t)
-		for i, other := range ep.rr {
-			if other == t {
-				ep.rr = append(ep.rr[:i], ep.rr[i+1:]...)
-				if ep.next > i {
-					ep.next--
-				}
-				break
-			}
-		}
-		purged = append(purged, queue...)
+		purged = append(purged, ep.bands[t.class].purge(t)...)
 	}
 	s.mu.Unlock()
 	for _, j := range purged {
@@ -457,14 +739,25 @@ func (t *Tenant) Stats() *TenantStats {
 	for ep, b := range t.work {
 		work[ep] = b
 	}
-	return &TenantStats{Tag: t.tag, Workers: t.s.workers, CriticalPath: t.span, Work: work}
+	return &TenantStats{
+		Tag:          t.tag,
+		Class:        t.class.String(),
+		Weight:       int(t.weight),
+		Workers:      t.s.workers,
+		CriticalPath: t.span,
+		Work:         work,
+	}
 }
 
 // TenantStats is one query's simulated-latency accounting on the shared
 // scheduler: the longest dependency chain of its prompts and the summed
-// issued-prompt latency per model endpoint.
+// issued-prompt latency per model endpoint. Class and Weight record the
+// dispatch treatment the tenant received; they do not enter the latency
+// model (the makespan bound is schedule-independent by construction).
 type TenantStats struct {
 	Tag          string
+	Class        string
+	Weight       int
 	Workers      int
 	CriticalPath VTime
 	Work         map[string]time.Duration
@@ -490,6 +783,9 @@ func (ts *TenantStats) Makespan() VTime {
 // over all tenants) spread over its connection budget. Like the
 // per-query makespan, it is a pure function of the prompt sets when the
 // cache is off, so concurrency benchmarks built on it are deterministic.
+// It is also dispatch-policy-independent: any work-conserving drain
+// order (round-robin, deficit-weighted, …) meets the same bound, which
+// is why switching policies cannot regress aggregate throughput.
 func AggregateMakespan(workers int, stats []*TenantStats) VTime {
 	if workers < 1 {
 		workers = DefaultBatchWorkers

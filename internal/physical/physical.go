@@ -146,15 +146,60 @@ func drainVT(op Operator) ([]schema.Tuple, llm.VTime, error) {
 	}
 }
 
-// Run drains an operator into a materialized relation.
-func Run(ctx *Context, op Operator) (*schema.Relation, error) {
+// RowStream is one query execution consumed row by row: the iterator
+// surface streaming consumers (galois-serve's NDJSON/SSE delivery) pull
+// from, instead of waiting for Run to materialize the whole relation.
+// Each Next returns the tuple together with its virtual availability
+// time — the simulated instant the prompt chain producing the row
+// completed — so "the first row arrived before the full relation" is a
+// checkable property of the latency model, not a racy wall-clock
+// observation. Close releases the operator tree (for pipelined plans,
+// the close cascade stops upstream prompt issue), and is idempotent;
+// callers must Close even after an error or io.EOF.
+type RowStream struct {
+	op     Operator
+	closed bool
+}
+
+// OpenStream opens the operator tree for incremental consumption. On an
+// Open error the tree is released before returning.
+func OpenStream(ctx *Context, op Operator) (*RowStream, error) {
 	if err := op.Open(ctx); err != nil {
+		op.Close()
 		return nil, err
 	}
-	defer op.Close()
-	out := schema.NewRelation(op.Schema().Clone())
+	return &RowStream{op: op}, nil
+}
+
+// Schema reports the stream's output columns.
+func (s *RowStream) Schema() *schema.Schema { return s.op.Schema() }
+
+// Next pulls one tuple with its virtual availability timestamp; io.EOF
+// ends the stream.
+func (s *RowStream) Next() (schema.Tuple, llm.VTime, error) {
+	return nextVT(s.op)
+}
+
+// Close releases the operator tree. Idempotent.
+func (s *RowStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.op.Close()
+}
+
+// Run drains an operator into a materialized relation — the buffered
+// consumption of the same stream surface.
+func Run(ctx *Context, op Operator) (*schema.Relation, error) {
+	st, err := OpenStream(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	out := schema.NewRelation(st.Schema().Clone())
 	for {
-		t, err := op.Next()
+		t, _, err := st.Next()
 		if err == io.EOF {
 			return out, nil
 		}

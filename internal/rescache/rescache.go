@@ -449,6 +449,25 @@ func (c *Cache) Subsumed(key Key) (*Entry, bool) {
 	return el.Value.(*cacheItem).entry.clone(), true
 }
 
+// Peek returns the resident entry for key without joining or starting a
+// singleflight — the streaming path's hit probe. A hit replays the
+// cached relation incrementally; a miss streams a fresh execution
+// outside the singleflight (rows must leave before the relation
+// completes, so the stream cannot lead a flight) and populates the
+// cache through Fetch with the finished relation. Peek counts a hit but
+// never a miss: the populating Fetch accounts the miss.
+func (c *Cache) Peek(key Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheItem).entry.clone(), true
+}
+
 // Fetch returns the result for key: from the cache when resident, from a
 // concurrent identical in-flight execution when one exists, otherwise by
 // invoking compute and storing its result. The returned bool reports
