@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos bench-persist bench-sched serve fuzz cover
+.PHONY: check vet build test race bench bench-pipeline bench-optimizer bench-concurrency bench-resultcache bench-semcache bench-chaos bench-persist bench-sched bench-routing serve fuzz cover
 
 check: vet build race
 
@@ -64,6 +64,14 @@ bench-persist:
 # dispatch, plus the live corpus solo vs K-way mixed-class concurrent.
 bench-sched:
 	$(GO) test -run '^$$' -bench BenchmarkSchedComparison -benchtime=1x .
+
+# Regenerates the committed BENCH_routing.json artifact (deterministic):
+# the multi-backend routing differential — single backend vs cheap/strong
+# pair with keyscan/filter routed cheap (bit-identical, lower weighted
+# cost) vs the same pair with a mid-corpus outage of the cheap backend
+# (zero failures, every prompt failing over down the declared chain).
+bench-routing:
+	$(GO) test -run '^$$' -bench BenchmarkRoutingComparison -benchtime=1x .
 
 # Run the concurrent SQL server on the simulated world.
 serve:

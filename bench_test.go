@@ -437,6 +437,39 @@ func BenchmarkSemanticCacheComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkRoutingComparison runs the multi-backend routing differential
+// — the corpus on a single strong backend, on a cheap/strong backend pair
+// with key scans and filters routed to the cheap backend (relations and
+// per-query prompt counts bit-identical, total weighted prompt cost
+// strictly lower), and on the same pair with the cheap backend suffering
+// a total outage mid-corpus (every prompt failing over down the declared
+// chain: zero failed queries, breaker open, bit-identical relations) —
+// and writes the machine-readable BENCH_routing.json artifact (the
+// report is deterministic, so the committed artifact is reproducible):
+//
+//	go test -run '^$' -bench BenchmarkRoutingComparison -benchtime=1x .
+func BenchmarkRoutingComparison(b *testing.B) {
+	r := mustRunner(b)
+	ctx := context.Background()
+	var rep *bench.RoutingReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.RoutingComparison(ctx, simllm.ChatGPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Single.WeightedCost, "single_weighted_cost")
+	b.ReportMetric(rep.Routed.WeightedCost, "routed_weighted_cost")
+	b.ReportMetric(float64(rep.Failover.Failovers), "outage_failovers")
+	if err := rep.CheckAcceptance(); err != nil {
+		b.Fatalf("acceptance criteria violated:\n%v", err)
+	}
+	if err := bench.WriteRoutingArtifact("BENCH_routing.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGaloisQuery measures one representative end-to-end query on the
 // simulated ChatGPT (micro-benchmark of the full pipeline).
 func BenchmarkGaloisQuery(b *testing.B) {

@@ -12,7 +12,9 @@
 //	galois-bench -figure 3      # the lowered plan for q'
 //	galois-bench -figure 4      # the few-shot prompt
 //	galois-bench -latency
-//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|resultcache|chaos|persist
+//	galois-bench -ablation pushdown|cleaning|joins|more|cache|pipeline|optimizer|
+//	                       concurrency|resultcache|chaos|persist|sched|routing|
+//	                       verify|portability|schemafree
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/prompt"
@@ -41,8 +44,9 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (3 or 4); 0 = all")
 	latency := flag.Bool("latency", false, "only the latency measurement")
-	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos, persist, sched")
+	ablation := flag.String("ablation", "", "one ablation: pushdown, cleaning, joins, more, cache, pipeline, optimizer, concurrency, resultcache, chaos, persist, sched, routing, verify, portability, schemafree")
 	explain := flag.String("explain", "", "print EXPLAIN ANALYZE for the given SQL under the cost-based engine and exit")
+	configPath := flag.String("config", "", "multi-backend routing declaration (galois.yaml) for -explain: plans are priced and routed across the declared backends")
 	seed := flag.Int64("seed", 1, "noise seed")
 	model := flag.String("model", "chatgpt", "model for Table 2 and ablations")
 	cache := flag.Bool("cache", false, "run the table/latency/extension experiments with the engine prompt cache on (default off = the paper's configuration; ablations define their own configs)")
@@ -75,7 +79,10 @@ func run() error {
 	}
 
 	if *explain != "" {
-		return printExplain(ctx, runner, profile, *explain)
+		return printExplain(ctx, runner, profile, *configPath, *explain)
+	}
+	if *configPath != "" {
+		return fmt.Errorf("-config only applies to -explain (experiments declare their own backend arms)")
 	}
 
 	specific := *table != 0 || *figure != 0 || *latency || *ablation != ""
@@ -104,7 +111,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" || !specific {
-		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "persist", "sched", "verify", "portability", "schemafree"}
+		names := []string{"pushdown", "cleaning", "joins", "more", "cache", "pipeline", "optimizer", "concurrency", "resultcache", "chaos", "persist", "sched", "routing", "verify", "portability", "schemafree"}
 		if *ablation != "" {
 			names = []string{*ablation}
 		}
@@ -219,6 +226,8 @@ func printAblation(ctx context.Context, r *bench.Runner, p simllm.Profile, name 
 		return printPersist(ctx, r, p)
 	case "sched":
 		return printSched(ctx, r, p)
+	case "routing":
+		return printRouting(ctx, r, p)
 	case "verify":
 		title = "Extension: verification by a second model (Section 6, Knowledge of the Unknown)"
 		rows, err = r.AblationVerification(ctx, p, simllm.GPT3)
@@ -319,6 +328,28 @@ func printSched(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
 	return nil
 }
 
+func printRouting(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
+	rep, err := r.RoutingComparison(ctx, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation L: multi-backend routing (cheap backend on keyscan/filter; failover on outage)")
+	fmt.Printf("  corpus of %d queries per arm; cheap backend priced at %.2fx the strong backend\n",
+		rep.Queries, rep.CheapCostWeight)
+	for _, arm := range []bench.RoutingArm{rep.Single, rep.Routed, rep.Failover} {
+		fmt.Printf("  %-28s weighted cost %7.1f (%4d prompts", arm.Config, arm.WeightedCost, arm.Prompts)
+		for _, name := range []string{"cheap", "strong"} {
+			if n, ok := arm.BackendPrompts[name]; ok {
+				fmt.Printf(", %s=%d", name, n)
+			}
+		}
+		fmt.Printf("), identical: %v/%v, failed: %d\n", arm.ResultsIdentical, arm.PromptsIdentical, arm.FailedQueries)
+	}
+	fmt.Printf("  outage at query %d: %d prompts failed over down the declared chain, breaker opened: %v\n\n",
+		rep.Failover.OutageAtQuery, rep.Failover.Failovers, rep.Failover.BreakerOpened)
+	return nil
+}
+
 func printResultCache(ctx context.Context, r *bench.Runner, p simllm.Profile) error {
 	rep, err := r.ResultCacheComparison(ctx, p, bench.DefaultResultCacheRepeats)
 	if err != nil {
@@ -385,11 +416,25 @@ func printPersist(ctx context.Context, r *bench.Runner, p simllm.Profile) error 
 	return nil
 }
 
-func printExplain(ctx context.Context, r *bench.Runner, p simllm.Profile, sql string) error {
+func printExplain(ctx context.Context, r *bench.Runner, p simllm.Profile, configPath, sql string) error {
 	opts := bench.CostBasedOptions()
-	engine, err := r.Engine(r.Model(p), opts)
-	if err != nil {
-		return err
+	var engine *core.Engine
+	if configPath != "" {
+		cfg, err := config.Load(configPath)
+		if err != nil {
+			return err
+		}
+		rt, err := r.RuntimeFromConfig(cfg, opts)
+		if err != nil {
+			return err
+		}
+		engine = rt.Engine()
+	} else {
+		var err error
+		engine, err = r.Engine(r.Model(p), opts)
+		if err != nil {
+			return err
+		}
 	}
 	if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "EXPLAIN") {
 		sql = "EXPLAIN ANALYZE " + sql

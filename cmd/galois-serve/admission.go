@@ -41,14 +41,30 @@ var errAdmissionCancelled = errors.New("request cancelled while queued for admis
 // slot is handed to the oldest waiter (channel close), so arrival order
 // is service order and no waiter can be starved by fast-path arrivals
 // (the fast path requires an empty queue).
+//
+// The controller is class-aware: batch queries run under their own
+// sub-limit (batchLimit, starting wide open at the ceiling) inside the
+// global limit, and congestion observed while batch work is present
+// halves that sub-limit first — batch concurrency is the headroom shed
+// to protect interactive capacity, and only once the batch band is down
+// to one slot do further congested samples cut the global limit. A
+// purely interactive workload never has batch pressure, so its AIMD
+// trajectory is exactly the class-blind controller's. Batch waiters
+// queue separately; an interactive arrival is never stuck behind a
+// batch head blocked on the batch cap.
 type admission struct {
-	mu      sync.Mutex
-	limit   int // current effective concurrency bound (floor..ceil)
-	floor   int
-	ceil    int
-	active  int             // slots granted (may transiently exceed limit after a cut)
-	queue   []chan struct{} // FIFO waiters; a close grants the slot
-	lastCut time.Time       // last multiplicative decrease, for the cooldown
+	mu    sync.Mutex
+	limit int // current effective concurrency bound (floor..ceil)
+	floor int
+	ceil  int
+	// batchLimit caps concurrently executing batch-class queries
+	// (1..ceil); congestion cuts it before the global limit.
+	batchLimit  int
+	active      int             // slots granted (may transiently exceed limit after a cut)
+	batchActive int             // granted slots held by batch-class queries
+	queue       []chan struct{} // FIFO interactive waiters; a close grants the slot
+	batchQueue  []chan struct{} // FIFO batch waiters, granted only under batchLimit
+	lastCut     time.Time       // last multiplicative decrease, for the cooldown
 
 	maxQueue int
 	cooldown time.Duration
@@ -88,31 +104,41 @@ func newAdmission(ceil, floor, maxQueue int, cooldown time.Duration, waiting *at
 		cooldown = defaultCutCooldown
 	}
 	return &admission{
-		limit:    ceil, // start wide open: an idle server behaves like the static gate
-		floor:    floor,
-		ceil:     ceil,
-		maxQueue: maxQueue,
-		cooldown: cooldown,
-		now:      time.Now,
-		waiting:  waiting,
+		limit:      ceil, // start wide open: an idle server behaves like the static gate
+		floor:      floor,
+		ceil:       ceil,
+		batchLimit: ceil, // batch headroom also starts wide open
+		maxQueue:   maxQueue,
+		cooldown:   cooldown,
+		now:        time.Now,
+		waiting:    waiting,
 	}
 }
 
-// acquire blocks until the request holds an execution slot, the context
-// is cancelled (errAdmissionCancelled), or the gate sheds it
-// (errAdmissionShed). ctx is the request's own context; done is its
-// Done channel (split out so tests can drive it directly).
+// acquire admits an interactive-class request (see acquireClass).
 func (a *admission) acquire(done <-chan struct{}) error {
+	return a.acquireClass(done, false)
+}
+
+// acquireClass blocks until the request holds an execution slot, the
+// context is cancelled (errAdmissionCancelled), or the gate sheds it
+// (errAdmissionShed). done is the request context's Done channel (split
+// out so tests can drive it directly); batch routes the request through
+// the batch band's sub-limit.
+func (a *admission) acquireClass(done <-chan struct{}, batch bool) error {
 	a.mu.Lock()
-	if a.active < a.limit && len(a.queue) == 0 {
+	if a.fastPathLocked(batch) {
 		// A free slot and nobody ahead: admitted immediately, never
 		// queued. This path must not touch the waiting gauge — a burst
 		// onto an idle server is not queue pressure.
 		a.active++
+		if batch {
+			a.batchActive++
+		}
 		a.mu.Unlock()
 		return nil
 	}
-	if len(a.queue) >= a.maxQueue {
+	if len(a.queue)+len(a.batchQueue) >= a.maxQueue {
 		if a.limit <= a.floor {
 			// Floor AND full queue: genuinely saturated, shed.
 			a.mu.Unlock()
@@ -125,7 +151,11 @@ func (a *admission) acquire(done <-chan struct{}) error {
 		a.cutLocked()
 	}
 	ch := make(chan struct{})
-	a.queue = append(a.queue, ch)
+	if batch {
+		a.batchQueue = append(a.batchQueue, ch)
+	} else {
+		a.queue = append(a.queue, ch)
+	}
 	a.waiting.Add(1)
 	a.mu.Unlock()
 
@@ -137,7 +167,7 @@ func (a *admission) acquire(done <-chan struct{}) error {
 			// The client was already gone when the slot was granted (with
 			// both cases ready either may win): hand the slot straight to
 			// the next waiter and do not serve.
-			a.returnSlot()
+			a.returnSlot(batch)
 			return errAdmissionCancelled
 		default:
 		}
@@ -145,10 +175,14 @@ func (a *admission) acquire(done <-chan struct{}) error {
 	case <-done:
 		a.mu.Lock()
 		granted := true
-		for i, w := range a.queue {
+		q := &a.queue
+		if batch {
+			q = &a.batchQueue
+		}
+		for i, w := range *q {
 			if w == ch {
 				// Still queued: withdraw. Order of the rest is preserved.
-				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				*q = append((*q)[:i], (*q)[i+1:]...)
 				granted = false
 				break
 			}
@@ -157,6 +191,9 @@ func (a *admission) acquire(done <-chan struct{}) error {
 			// grantLocked already popped us and transferred a slot; give
 			// it back to the next in line.
 			a.active--
+			if batch {
+				a.batchActive--
+			}
 			a.grantLocked()
 		}
 		a.mu.Unlock()
@@ -165,33 +202,68 @@ func (a *admission) acquire(done <-chan struct{}) error {
 	}
 }
 
-// release frees the caller's slot and folds one completion's congestion
-// sample into the limit: congested halves toward the floor (cooldown
-// permitting), healthy grows by one toward the ceiling.
+// fastPathLocked reports whether a fresh arrival may take a slot without
+// queueing. Interactive requires a free global slot and no interactive
+// waiter ahead — batch waiters blocked on their cap never delay it.
+// Batch additionally requires batch headroom and an empty batch queue.
+func (a *admission) fastPathLocked(batch bool) bool {
+	if a.active >= a.limit || len(a.queue) > 0 {
+		return false
+	}
+	if batch {
+		return a.batchActive < a.batchLimit && len(a.batchQueue) == 0
+	}
+	return true
+}
+
+// release frees an interactive-class slot (see releaseClass).
 func (a *admission) release(congested bool) {
+	a.releaseClass(congested, false)
+}
+
+// releaseClass frees the caller's slot and folds one completion's
+// congestion sample into the limits: congested cuts (batch headroom
+// first — see cutLocked), healthy grows the global limit by one toward
+// the ceiling, then restores batch headroom.
+func (a *admission) releaseClass(congested, batch bool) {
 	a.mu.Lock()
 	if congested {
 		a.cutLocked()
 	} else if a.limit < a.ceil {
 		a.limit++
 		a.increases.Add(1)
+	} else if a.batchLimit < a.ceil {
+		// Global capacity restored: heal the batch band last, one slot
+		// per healthy completion — the inverse of the cut order.
+		a.batchLimit++
+		a.increases.Add(1)
 	}
 	a.active--
+	if batch {
+		a.batchActive--
+	}
 	a.grantLocked()
 	a.mu.Unlock()
 }
 
 // returnSlot gives a slot back without sampling — the holder never
 // executed (cancelled between grant and service).
-func (a *admission) returnSlot() {
+func (a *admission) returnSlot(batch bool) {
 	a.mu.Lock()
 	a.active--
+	if batch {
+		a.batchActive--
+	}
 	a.grantLocked()
 	a.mu.Unlock()
 }
 
-// cutLocked is one multiplicative decrease: halve, floor-clamped,
-// rate-limited. Callers hold mu.
+// cutLocked is one multiplicative decrease, rate-limited by the
+// cooldown. While batch work is present (executing or queued) and its
+// band is above one slot, the cut halves the batch sub-limit and leaves
+// interactive capacity untouched; otherwise it halves the global limit
+// toward the floor — so a purely interactive workload sees exactly the
+// class-blind AIMD trajectory. Callers hold mu.
 func (a *admission) cutLocked() {
 	if a.cooldown > 0 {
 		if now := a.now(); now.Sub(a.lastCut) < a.cooldown {
@@ -199,6 +271,15 @@ func (a *admission) cutLocked() {
 		} else {
 			a.lastCut = now
 		}
+	}
+	if (a.batchActive > 0 || len(a.batchQueue) > 0) && a.batchLimit > 1 {
+		next := a.batchLimit / 2
+		if next < 1 {
+			next = 1
+		}
+		a.batchLimit = next
+		a.decreases.Add(1)
+		return
 	}
 	next := a.limit / 2
 	if next < a.floor {
@@ -210,14 +291,27 @@ func (a *admission) cutLocked() {
 	}
 }
 
-// grantLocked hands freed capacity to waiters, oldest first, while the
-// limit allows. Callers hold mu.
+// grantLocked hands freed capacity to waiters while the limit allows:
+// interactive first (oldest first), then batch heads under the batch
+// cap. Callers hold mu.
 func (a *admission) grantLocked() {
-	for a.active < a.limit && len(a.queue) > 0 {
-		ch := a.queue[0]
-		a.queue = a.queue[1:]
-		a.active++
-		close(ch)
+	for a.active < a.limit {
+		if len(a.queue) > 0 {
+			ch := a.queue[0]
+			a.queue = a.queue[1:]
+			a.active++
+			close(ch)
+			continue
+		}
+		if len(a.batchQueue) > 0 && a.batchActive < a.batchLimit {
+			ch := a.batchQueue[0]
+			a.batchQueue = a.batchQueue[1:]
+			a.active++
+			a.batchActive++
+			close(ch)
+			continue
+		}
+		return
 	}
 }
 
@@ -227,4 +321,12 @@ func (a *admission) snapshot() (limit, floor, ceil int, increases, decreases int
 	limit = a.limit
 	a.mu.Unlock()
 	return limit, a.floor, a.ceil, a.increases.Load(), a.decreases.Load()
+}
+
+// batchSnapshot reports the batch band's position: its sub-limit and how
+// many batch-class queries currently hold slots.
+func (a *admission) batchSnapshot() (batchLimit, batchActive int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.batchLimit, a.batchActive
 }

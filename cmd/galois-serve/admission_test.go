@@ -171,3 +171,132 @@ func TestAdmissionFIFO(t *testing.T) {
 		}
 	}
 }
+
+// TestAdmissionBatchCutFirst: congestion observed while batch-class
+// queries hold slots halves the batch band's sub-limit — repeatedly,
+// down to one slot — before the global interactive limit is touched;
+// only once the batch band is minimal do further congested samples cut
+// the global limit. Healthy completions restore the global limit first,
+// then the batch band, the inverse of the cut order.
+func TestAdmissionBatchCutFirst(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(8, 2, 4, -1, &waiting)
+
+	// Four batch queries and four interactive queries in flight.
+	for i := 0; i < 4; i++ {
+		if err := a.acquireClass(nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.acquireClass(nil, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bl, ba := a.batchSnapshot(); bl != 8 || ba != 4 {
+		t.Fatalf("batch band = limit %d active %d, want 8/4", bl, ba)
+	}
+
+	// Congested batch completions: the batch sub-limit halves 8 -> 4 ->
+	// 2 -> 1 while the global limit stays at the ceiling.
+	a.releaseClass(true, true)
+	a.releaseClass(true, true)
+	a.releaseClass(true, true)
+	limit, _, _, _, dec := a.snapshot()
+	bl, ba := a.batchSnapshot()
+	if limit != 8 {
+		t.Fatalf("global limit = %d, want 8 (batch headroom absorbs the cuts)", limit)
+	}
+	if bl != 1 || dec != 3 {
+		t.Fatalf("batch limit = %d decreases = %d, want 1/3 (8 -> 4 -> 2 -> 1)", bl, dec)
+	}
+	if ba != 1 {
+		t.Fatalf("batch active = %d, want 1", ba)
+	}
+
+	// Batch band already minimal: the next congested sample (batch work
+	// still present) cuts the global limit.
+	a.releaseClass(true, true)
+	limit, _, _, _, dec = a.snapshot()
+	if limit != 4 || dec != 4 {
+		t.Fatalf("after cut at minimal batch band: limit %d decreases %d, want 4/4", limit, dec)
+	}
+	if _, ba := a.batchSnapshot(); ba != 0 {
+		t.Fatalf("batch active = %d, want 0", ba)
+	}
+
+	// Recovery: healthy completions grow the global limit back to the
+	// ceiling first (4 -> 8), then refill the batch band (1 -> 8). The
+	// four interactive queries still hold slots; their releases are the
+	// first healthy samples.
+	for i := 0; i < 4; i++ {
+		a.releaseClass(false, false)
+	}
+	limit, _, _, _, _ = a.snapshot()
+	bl, _ = a.batchSnapshot()
+	if limit != 8 || bl != 1 {
+		t.Fatalf("global-first recovery: limit %d batch %d, want 8/1", limit, bl)
+	}
+	for i := 0; i < 7; i++ {
+		if err := a.acquireClass(nil, false); err != nil {
+			t.Fatal(err)
+		}
+		a.releaseClass(false, false)
+	}
+	if bl, _ := a.batchSnapshot(); bl != 8 {
+		t.Fatalf("batch band after recovery = %d, want 8", bl)
+	}
+}
+
+// TestAdmissionInteractivePassesBlockedBatch: batch waiters blocked on
+// the batch cap never delay an interactive arrival — it takes a free
+// global slot directly — and a freed batch slot goes to the oldest
+// batch waiter.
+func TestAdmissionInteractivePassesBlockedBatch(t *testing.T) {
+	var waiting atomic.Int64
+	a := newAdmission(4, 1, 8, -1, &waiting)
+
+	// Shrink the batch band to one slot: batch congestion with batch
+	// work present.
+	if err := a.acquireClass(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	a.releaseClass(true, true) // 4 -> 2
+	if err := a.acquireClass(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	a.releaseClass(true, true) // 2 -> 1
+	if bl, _ := a.batchSnapshot(); bl != 1 {
+		t.Fatalf("batch limit = %d, want 1", bl)
+	}
+
+	// One batch query holds the band; a second batch request must queue.
+	if err := a.acquireClass(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- a.acquireClass(nil, true) }()
+	waitFor(t, func() bool { return waiting.Load() == 1 })
+
+	// Interactive arrivals pass the blocked batch head: three global
+	// slots remain and all are granted immediately.
+	for i := 0; i < 3; i++ {
+		if err := a.acquireClass(nil, false); err != nil {
+			t.Fatalf("interactive acquire %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-blocked:
+		t.Fatalf("batch waiter granted early: %v", err)
+	default:
+	}
+
+	// Freeing the batch slot hands it to the queued batch waiter.
+	a.releaseClass(false, true)
+	if err := <-blocked; err != nil {
+		t.Fatalf("batch waiter: %v", err)
+	}
+	if waiting.Load() != 0 {
+		t.Fatalf("waiting gauge = %d, want 0", waiting.Load())
+	}
+}

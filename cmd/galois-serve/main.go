@@ -47,10 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/rescache"
@@ -67,6 +69,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	model := flag.String("model", "chatgpt", "simulated model: flan, tk, gpt3, chatgpt")
+	configPath := flag.String("config", "", "multi-backend routing declaration (galois.yaml): named backends with per-role routes, optimizer pricing and failover chains; overrides -model")
 	seed := flag.Int64("seed", 1, "noise seed for the simulated model")
 	maxConcurrent := flag.Int("max-concurrent", 16, "admission gate: max concurrently executing queries (0 = 2x workers)")
 	workers := flag.Int("workers", llm.DefaultBatchWorkers, "shared per-endpoint LLM worker budget, fair-shared across all in-flight queries")
@@ -93,11 +96,6 @@ func run() error {
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often the background snapshot flushes statistics and epochs to the durable store (0 = only on drain)")
 	flag.Parse()
 
-	profile, ok := simllm.ProfileByName(*model)
-	if !ok {
-		return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
-	}
-
 	runner, err := bench.NewRunner(*seed)
 	if err != nil {
 		return err
@@ -117,9 +115,31 @@ func run() error {
 	opts.RetryBackoff = *retryBackoff
 	opts.PromptTimeout = *promptTimeout
 	opts.BreakerThreshold = *breakerThreshold
-	rt, err := runner.Runtime(runner.Model(profile), opts)
-	if err != nil {
-		return err
+
+	var rt *core.Runtime
+	var modelDesc string
+	if *configPath != "" {
+		cfg, err := config.Load(*configPath)
+		if err != nil {
+			return err
+		}
+		if rt, err = runner.RuntimeFromConfig(cfg, opts); err != nil {
+			return err
+		}
+		names := make([]string, len(cfg.Backends))
+		for i, b := range cfg.Backends {
+			names[i] = fmt.Sprintf("%s=%s", b.Name, b.Model)
+		}
+		modelDesc = "routed: " + strings.Join(names, ", ")
+	} else {
+		profile, ok := simllm.ProfileByName(*model)
+		if !ok {
+			return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
+		}
+		modelDesc = fmt.Sprintf("%s (%s)", profile.DisplayName, profile.Params)
+		if rt, err = runner.Runtime(runner.Model(profile), opts); err != nil {
+			return err
+		}
 	}
 	if *dataDir != "" {
 		if err := rt.OpenStore(core.StoreConfig{
@@ -147,8 +167,8 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("galois-serve: %s (%s) listening on %s — workers=%d max-concurrent=%d pipeline=%v cache=%v result-cache=%v",
-		profile.DisplayName, profile.Params, *addr, *workers, *maxConcurrent, *pipeline, *cache, *resultCache)
+	log.Printf("galois-serve: %s listening on %s — workers=%d max-concurrent=%d pipeline=%v cache=%v result-cache=%v",
+		modelDesc, *addr, *workers, *maxConcurrent, *pipeline, *cache, *resultCache)
 
 	select {
 	case err := <-errCh:

@@ -180,6 +180,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?route=role=backend[,role=backend...] pins this query's prompt
+	// roles to named backends; roles and backend names are validated up
+	// front so a typo answers 400 instead of executing unrouted.
+	routes, err := s.routeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	// Adaptive admission: at most limit (floor..max-concurrent, moved by
 	// AIMD on completion signals) queries execute at once; excess waits
@@ -188,7 +196,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// overloaded server must answer "come back later" fast, not queue
 	// doomed work until everything times out.
 	ctx := r.Context()
-	switch err := s.adm.acquire(ctx.Done()); {
+	isBatch := class == llm.ClassBatch.String()
+	switch err := s.adm.acquireClass(ctx.Done(), isBatch); {
 	case errors.Is(err, errAdmissionShed):
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -203,7 +212,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Releasing the slot samples this completion's congestion signals
 	// (scheduler backlog, breaker state) into the adaptive limit.
-	defer func() { s.adm.release(s.congested()) }()
+	defer func() { s.adm.releaseClass(s.congested(), isBatch) }()
 	n := s.active.Add(1)
 	for {
 		high := s.maxActive.Load()
@@ -239,10 +248,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sess := s.rt.NewSession()
-	if class != "" || weight > 0 {
+	if class != "" || weight > 0 || len(routes) > 0 {
 		o := sess.Options()
 		o.AdmissionClass = class
 		o.AdmissionWeight = weight
+		o.Routes = routes
 		sess.SetOptions(o)
 	}
 
@@ -335,6 +345,40 @@ func admissionParams(r *http.Request) (class string, weight int, err error) {
 // relative share, and an unbounded one would let a single client vote
 // itself the whole band.
 const maxAdmissionWeight = 64
+
+// routeParam parses the optional `route` query parameter —
+// role=backend pairs separated by commas — into the session's route
+// overrides, validating each role spelling and backend name against the
+// runtime's registry.
+func (s *server) routeParam(r *http.Request) (map[string]string, error) {
+	raw := r.URL.Query().Get("route")
+	if raw == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		role, backend, ok := strings.Cut(part, "=")
+		role, backend = strings.TrimSpace(role), strings.TrimSpace(backend)
+		if !ok || role == "" || backend == "" {
+			return nil, fmt.Errorf("invalid route entry %q: want role=backend", part)
+		}
+		if _, err := llm.ParseRole(role); err != nil {
+			return nil, fmt.Errorf("invalid route parameter: %w", err)
+		}
+		if _, ok := s.rt.Registry().Get(backend); !ok {
+			return nil, fmt.Errorf("invalid route parameter: backend %q not declared", backend)
+		}
+		out[role] = backend
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("invalid route parameter %q: no role=backend pairs", raw)
+	}
+	return out, nil
+}
 
 // congested reports whether this instant looks like backpressure, the
 // signal the admission controller folds in at each query completion:
@@ -506,6 +550,12 @@ type serverStats struct {
 	Shed       int64                 `json:"shed"`
 	Timeouts   int64                 `json:"timeouts"`
 	Resilience []core.EndpointHealth `json:"resilience,omitempty"`
+	// Backends lists every model backend the runtime routes over — name,
+	// underlying model, pricing coefficients, fallback chain, lifetime
+	// prompt count and breaker state — and Failovers counts the prompts
+	// that failed over to a fallback backend, runtime-lifetime.
+	Backends  []core.BackendStatus `json:"backends,omitempty"`
+	Failovers int64                `json:"failovers"`
 	// Admission is the AIMD controller's live position: the effective
 	// concurrency limit between its floor and max_concurrent, and how
 	// many additive growths / multiplicative cuts moved it there.
@@ -527,12 +577,18 @@ type admissionStats struct {
 	Ceil      int   `json:"ceil"`
 	Increases int64 `json:"increases"`
 	Decreases int64 `json:"decreases"`
+	// BatchLimit/BatchActive are the batch band's sub-limit inside the
+	// global limit and its current occupancy — the headroom congestion
+	// sheds before cutting interactive capacity.
+	BatchLimit  int `json:"batch_limit"`
+	BatchActive int `json:"batch_active"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.rt.CacheStats()
 	rcs := s.rt.ResultCacheStats()
 	limit, floor, ceil, inc, dec := s.adm.snapshot()
+	batchLimit, batchActive := s.adm.batchSnapshot()
 	writeJSON(w, http.StatusOK, serverStats{
 		QueriesServed:           s.queries.Load(),
 		Active:                  s.active.Load(),
@@ -554,7 +610,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:                    s.shed.Load(),
 		Timeouts:                s.timeouts.Load(),
 		Resilience:              s.rt.ResilienceHealth(),
-		Admission:               admissionStats{Limit: limit, Floor: floor, Ceil: ceil, Increases: inc, Decreases: dec},
+		Backends:                s.rt.BackendStatuses(),
+		Failovers:               s.rt.Failovers(),
+		Admission:               admissionStats{Limit: limit, Floor: floor, Ceil: ceil, Increases: inc, Decreases: dec, BatchLimit: batchLimit, BatchActive: batchActive},
 		Sched:                   s.rt.SchedulerGauges(),
 		Persistence:             s.rt.Persistence(),
 	})

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	galois [-model chatgpt] [-seed 1] [-explain] [-stats] [-truth]
+//	       [-config galois.yaml] [-route role=backend,...]
 //	       [-data-dir DIR] "SELECT ..."
 //
 // Examples:
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/rescache"
@@ -37,6 +39,8 @@ func main() {
 
 func run() error {
 	model := flag.String("model", "chatgpt", "simulated model: flan, tk, gpt3, chatgpt")
+	configPath := flag.String("config", "", "multi-backend routing declaration (galois.yaml): named backends with per-role routes, optimizer pricing and failover chains; overrides -model")
+	routeFlag := flag.String("route", "", "per-session role routes as role=backend[,role=backend...] (requires -config)")
 	seed := flag.Int64("seed", 1, "noise seed for the simulated model")
 	explain := flag.Bool("explain", false, "print the optimized plan instead of executing")
 	stats := flag.Bool("stats", false, "print prompt statistics after the result")
@@ -66,11 +70,6 @@ func run() error {
 		return fmt.Errorf("missing SQL query argument")
 	}
 
-	profile, ok := simllm.ProfileByName(*model)
-	if !ok {
-		return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
-	}
-
 	runner, err := bench.NewRunner(*seed)
 	if err != nil {
 		return err
@@ -92,9 +91,41 @@ func run() error {
 	opts.RetryBackoff = *retryBackoff
 	opts.PromptTimeout = *promptTimeout
 	opts.BreakerThreshold = *breakerThreshold
-	rt, err := runner.Runtime(runner.Model(profile), opts)
-	if err != nil {
-		return err
+
+	var rt *core.Runtime
+	var header string
+	if *configPath != "" {
+		cfg, err := config.Load(*configPath)
+		if err != nil {
+			return err
+		}
+		if *routeFlag != "" {
+			routes, err := parseRoutes(*routeFlag)
+			if err != nil {
+				return err
+			}
+			opts.Routes = routes
+		}
+		if rt, err = runner.RuntimeFromConfig(cfg, opts); err != nil {
+			return err
+		}
+		names := make([]string, len(cfg.Backends))
+		for i, b := range cfg.Backends {
+			names[i] = fmt.Sprintf("%s=%s", b.Name, b.Model)
+		}
+		header = "routed: " + strings.Join(names, ", ")
+	} else {
+		if *routeFlag != "" {
+			return fmt.Errorf("-route requires -config (no named backends without a routing declaration)")
+		}
+		profile, ok := simllm.ProfileByName(*model)
+		if !ok {
+			return fmt.Errorf("unknown model %q (want flan, tk, gpt3 or chatgpt)", *model)
+		}
+		header = fmt.Sprintf("%s (%s)", profile.DisplayName, profile.Params)
+		if rt, err = runner.Runtime(runner.Model(profile), opts); err != nil {
+			return err
+		}
 	}
 	if *dataDir != "" {
 		// A one-shot CLI has no background traffic: warm-load on open,
@@ -120,7 +151,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("-- %s (%s, %s) --\n", profile.DisplayName, profile.Params, sql)
+	fmt.Printf("-- %s (%s) --\n", header, sql)
 	fmt.Print(rel.String())
 	fmt.Printf("(%d rows)\n", rel.Cardinality())
 	if *stats {
@@ -139,4 +170,25 @@ func run() error {
 		fmt.Printf("\n-- ground truth (DBMS) --\n%s(%d rows)\n", td.String(), td.Cardinality())
 	}
 	return nil
+}
+
+// parseRoutes parses "role=backend[,role=backend...]" into the
+// per-session route map -route accepts.
+func parseRoutes(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		role, backend, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(role) == "" || strings.TrimSpace(backend) == "" {
+			return nil, fmt.Errorf("bad -route entry %q (want role=backend)", part)
+		}
+		out[strings.TrimSpace(role)] = strings.TrimSpace(backend)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-route: no routes given")
+	}
+	return out, nil
 }

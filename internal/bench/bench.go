@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/clean"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/llm"
@@ -71,6 +72,46 @@ func (r *Runner) Engine(client llm.Client, opts core.Options) (*core.Engine, err
 // benchmark) where callers open their own sessions.
 func (r *Runner) Runtime(client llm.Client, opts core.Options) (*core.Runtime, error) {
 	rt := core.NewRuntime(client, opts)
+	rt.AttachDB(r.DB)
+	for _, name := range LLMTables {
+		if err := rt.BindLLMTable(r.World.Table(name).Def); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// RuntimeFromConfig builds the multi-backend engine tier a -config file
+// declares: one simulated model per backend (each with its own noise
+// seed when the file sets one, the runner's seed otherwise), the
+// default, the role routes and the failover chains, with the LLM-side
+// schema bound and the ground-truth DB attached.
+func (r *Runner) RuntimeFromConfig(cfg *config.Config, opts core.Options) (*core.Runtime, error) {
+	defs := make([]core.BackendDef, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		profile, ok := simllm.ProfileByName(b.Model)
+		if !ok {
+			return nil, fmt.Errorf("bench: backend %q: unknown model %q", b.Name, b.Model)
+		}
+		seed := r.Seed
+		if b.Seed != 0 {
+			seed = b.Seed
+		}
+		m := simllm.New(profile, r.World, seed)
+		m.RegisterQuestions(spider.QuestionBank())
+		defs = append(defs, core.BackendDef{
+			Name:        b.Name,
+			Client:      m,
+			Workers:     b.Workers,
+			CostWeight:  b.Cost,
+			SpeedFactor: b.Speed,
+			Fallback:    b.Fallback,
+		})
+	}
+	rt, err := core.NewRuntimeWithBackends(defs, cfg.Default, cfg.Routes, opts)
+	if err != nil {
+		return nil, err
+	}
 	rt.AttachDB(r.DB)
 	for _, name := range LLMTables {
 		if err := rt.BindLLMTable(r.World.Table(name).Def); err != nil {

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -83,6 +84,97 @@ func TestGoldenPlans(t *testing.T) {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
 				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// goldenRoutedCases snapshot EXPLAIN output under the multi-backend
+// registry: each LLM operator's plan node carries the backend its
+// prompts resolve to (route=...), and the plan summary prices prompts
+// through the per-backend cost weights. The override case re-routes a
+// role at session scope, on top of the same runtime.
+var goldenRoutedCases = []struct {
+	name string
+	sql  string
+	// overrides are session-level role->backend route overrides.
+	overrides map[string]string
+}{
+	{name: "routed-selection", sql: `SELECT name FROM city WHERE population > 5000000`},
+	{name: "routed-projection", sql: `SELECT name, capital FROM country`},
+	{name: "routed-join", sql: `SELECT c.name, p.name FROM city c, mayor p WHERE c.mayor = p.name AND c.population > 1000000 AND p.age < 40`},
+	{name: "routed-session-override", sql: `SELECT name FROM city WHERE population > 5000000`,
+		overrides: map[string]string{"fetch": "cheap", "filter": "strong"}},
+}
+
+// TestGoldenRoutedPlans snapshots cost-based EXPLAIN output for routed
+// queries on a cheap/strong registry (keyscan and filter routed to the
+// cheap backend, strong the default): route annotations and weighted
+// cost estimates are a pure function of the registry declaration, the
+// routes and the statistics. Refresh with:
+//
+//	go test ./internal/bench -run TestGoldenRoutedPlans -update
+func TestGoldenRoutedPlans(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	opts := PaperOptions()
+	opts.Optimizer.CostBased = true
+	rt, err := core.NewRuntimeWithBackends(r.routedDefs(simllm.ChatGPT, nil), "strong", routingRoutes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.attach(rt)
+
+	for _, tc := range goldenRoutedCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess := rt.NewSession()
+			if len(tc.overrides) > 0 {
+				o := sess.Options()
+				o.Routes = tc.overrides
+				sess.SetOptions(o)
+			}
+			rel, _, err := sess.Query(ctx, "EXPLAIN "+tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			b.WriteString("-- " + tc.sql + "\n")
+			if len(tc.overrides) > 0 {
+				keys := make([]string, 0, len(tc.overrides))
+				for k := range tc.overrides {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					b.WriteString("-- override: " + k + "=" + tc.overrides[k] + "\n")
+				}
+			}
+			for _, row := range rel.Rows {
+				b.WriteString(row[0].String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			if !strings.Contains(got, "route=") {
+				t.Fatalf("EXPLAIN carries no route annotations:\n%s", got)
+			}
+
+			path := filepath.Join("testdata", "plans", tc.name+".golden")
+			if *update {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 					t.Fatal(err)
 				}

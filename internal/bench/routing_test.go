@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/simllm"
+)
+
+// TestRoutingComparison is the acceptance gate of multi-backend routing:
+// the routed corpus (cheap backend on keyscan/filter) must be
+// bit-identical to the single-backend corpus — relations and per-query
+// prompt counts — at a strictly lower total weighted prompt cost, and a
+// total outage of the routed-to backend from mid-corpus onward must fail
+// every prompt over to the strong backend with zero query failures and
+// no result divergence. Runs under -race in CI.
+func TestRoutingComparison(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.RoutingComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckAcceptance(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("routing: weighted cost %.1f -> %.1f over %d queries; outage at query %d failed over %d prompts with %d failures",
+		rep.Single.WeightedCost, rep.Routed.WeightedCost, rep.Queries,
+		rep.Failover.OutageAtQuery, rep.Failover.Failovers, rep.Failover.FailedQueries)
+}
+
+// TestRoutingDeterministic pins the artifact's reproducibility: two
+// fresh comparisons must agree on every number CI diffs.
+func TestRoutingDeterministic(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.RoutingComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RoutingComparison(context.Background(), simllm.ChatGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("routing comparison not deterministic:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# galois.yaml — two backends, cheap roles routed to the small model
+default: strong
+backends:
+  - name: cheap
+    model: gpt3
+    seed: 7
+    workers: 2
+    cost: 0.25
+    speed: 0.5
+    fallback: [strong]
+  - name: strong
+    model: chatgpt   # trailing comment
+routes:
+  keyscan: cheap
+  filter: cheap
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Default != "strong" {
+		t.Fatalf("Default = %q", cfg.Default)
+	}
+	want := []Backend{
+		{Name: "cheap", Model: "gpt3", Seed: 7, Workers: 2, Cost: 0.25, Speed: 0.5, Fallback: []string{"strong"}},
+		{Name: "strong", Model: "chatgpt"},
+	}
+	if !reflect.DeepEqual(cfg.Backends, want) {
+		t.Fatalf("Backends = %+v, want %+v", cfg.Backends, want)
+	}
+	if !reflect.DeepEqual(cfg.Routes, map[string]string{"keyscan": "cheap", "filter": "cheap"}) {
+		t.Fatalf("Routes = %v", cfg.Routes)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "galois.yaml")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(cfg.Backends) != 2 {
+		t.Fatalf("backends = %d, want 2", len(cfg.Backends))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Fatalf("Load missing file: want error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"empty", "", "no backends"},
+		{"no model", "backends:\n  - name: a\n", "no model"},
+		{"no name", "backends:\n  - model: chatgpt\n", "no name"},
+		{"dup name", "backends:\n  - name: a\n    model: m\n  - name: a\n    model: m\n", "twice"},
+		{"bad default", "default: ghost\nbackends:\n  - name: a\n    model: m\n", "ghost"},
+		{"self fallback", "backends:\n  - name: a\n    model: m\n    fallback: [a]\n", "itself"},
+		{"unknown fallback", "backends:\n  - name: a\n    model: m\n    fallback: [b]\n", "not declared"},
+		{"bad role", "backends:\n  - name: a\n    model: m\nroutes:\n  scan: a\n", "unknown prompt role"},
+		{"route target", "backends:\n  - name: a\n    model: m\nroutes:\n  keyscan: b\n", "not declared"},
+		{"dup route", "backends:\n  - name: a\n    model: m\nroutes:\n  keyscan: a\n  keyscan: a\n", "twice"},
+		{"unknown top key", "verifier: x\n", "unknown top-level key"},
+		{"unknown field", "backends:\n  - name: a\n    temperature: 1\n", "unknown backend field"},
+		{"bad seed", "backends:\n  - name: a\n    model: m\n    seed: abc\n", "not an integer"},
+		{"bad workers", "backends:\n  - name: a\n    model: m\n    workers: -1\n", "non-negative"},
+		{"bad cost", "backends:\n  - name: a\n    model: m\n    cost: cheap\n", "non-negative"},
+		{"tab indent", "backends:\n\t- name: a\n", "tab"},
+		{"orphan field", "backends:\n  name: a\n", "list item"},
+		{"orphan indent", "  stray: 1\n", "outside a block"},
+		{"unterminated list", "backends:\n  - name: a\n    model: m\n    fallback: [b\n", "unterminated"},
+		{"missing colon", "backends:\n  - name a\n", "key: value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse: want error containing %q", tc.frag)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error = %v, want fragment %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseQuotedAndBareList(t *testing.T) {
+	cfg, err := Parse("backends:\n  - name: \"a\"\n    model: 'chatgpt'\n    fallback: b\n  - name: b\n    model: m\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Backends[0].Name != "a" || cfg.Backends[0].Model != "chatgpt" {
+		t.Fatalf("quotes not stripped: %+v", cfg.Backends[0])
+	}
+	if !reflect.DeepEqual(cfg.Backends[0].Fallback, []string{"b"}) {
+		t.Fatalf("bare fallback = %v, want [b]", cfg.Backends[0].Fallback)
+	}
+	if cfg.Default != "" {
+		t.Fatalf("Default = %q, want first-declared semantics (empty)", cfg.Default)
+	}
+}

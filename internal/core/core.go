@@ -146,6 +146,13 @@ type Options struct {
 	// DefaultSource decides where unqualified tables live when both an
 	// LLM binding and a DB table exist: "LLM" (default) or "DB".
 	DefaultSource string
+	// Routes overrides, per session, which named backend each prompt
+	// role ("keyscan", "fetch", "filter", "verify") resolves to on a
+	// multi-backend runtime. Overrides win over table pins and the
+	// runtime's role routes; names must be declared backends. Routing
+	// selects the model answering, so Routes participates in the result
+	// cache's options fingerprint.
+	Routes map[string]string
 	// Verifier, when non-nil, double-checks every fetched attribute value
 	// with a second model and NULLs out disagreements (Section 6,
 	// "Knowledge of the Unknown").

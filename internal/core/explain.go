@@ -21,6 +21,11 @@ func ExplainText(plan logical.Node, cost *optimizer.PlanCost, m *physical.Metric
 	explainNode(&b, plan, 0, cost, m, analyzed)
 	if cost != nil {
 		fmt.Fprintf(&b, "estimated: prompts=%.1f latency=%s", cost.Prompts, cost.Latency.Round(time.Millisecond))
+		if cost.Priced {
+			// The backend-weighted prompt cost appears only on routed
+			// runtimes, keeping single-backend EXPLAIN output unchanged.
+			fmt.Fprintf(&b, " cost=%.1f", cost.Cost)
+		}
 		if cost.Candidates > 1 {
 			fmt.Fprintf(&b, " (cost-based, %d candidates, choice: %s)", cost.Candidates, cost.Choice)
 		}
@@ -45,7 +50,13 @@ func explainNode(b *strings.Builder, n logical.Node, depth int, cost *optimizer.
 	if cost != nil {
 		if est, ok := cost.Nodes[n]; ok {
 			if est.Prompts > 0 {
-				fmt.Fprintf(b, "  (est rows=%.1f prompts=%.1f)", est.Rows, est.Prompts)
+				fmt.Fprintf(b, "  (est rows=%.1f prompts=%.1f", est.Rows, est.Prompts)
+				if est.Backend != "" {
+					// Routed runtimes annotate which backend the
+					// operator's prompts go to.
+					fmt.Fprintf(b, " route=%s", est.Backend)
+				}
+				b.WriteString(")")
 			} else {
 				fmt.Fprintf(b, "  (est rows=%.1f)", est.Rows)
 			}

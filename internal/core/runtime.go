@@ -37,7 +37,17 @@ import (
 // per-query/per-connection Session on top. A Runtime is safe for any
 // number of concurrent sessions.
 type Runtime struct {
-	client  llm.Client
+	// registry is the named-backend set this runtime routes prompts
+	// over. A single-client runtime (NewRuntime) holds an implicit
+	// one-backend registry named after the client; a multi-backend
+	// runtime (NewRuntimeWithBackends) declares backends, routes and
+	// failover chains explicitly.
+	registry *llm.Registry
+	// routed reports whether backends were declared explicitly — only
+	// then does the optimizer price plans per backend and EXPLAIN
+	// annotate routes; an implicit registry reproduces single-client
+	// behavior bit for bit.
+	routed  bool
 	opts    Options
 	builder *prompt.Builder
 	// cache is the runtime-level prompt cache (nil when disabled): the
@@ -84,13 +94,6 @@ type Runtime struct {
 	schedOnce sync.Once
 	sched     *llm.Scheduler
 
-	// resMu guards resVerifiers: the runtime-memoized resilient wrappers
-	// around session verifier clients, one per distinct verifier, so
-	// breaker state and resilience counters persist across the sessions
-	// and queries that share a verifier endpoint.
-	resMu        sync.Mutex
-	resVerifiers map[llm.Client]*llm.ResilientClient
-
 	// mu guards the table bindings and the attached store: BindLLMTable /
 	// AttachDB write, concurrent session planners read through
 	// ResolveTable.
@@ -112,20 +115,119 @@ type Runtime struct {
 // NewRuntime builds the shared runtime tier over the given LLM client.
 // opts become the default options of every session opened on it;
 // runtime-tier settings (CacheEnabled/CacheSize, BatchWorkers as the
-// shared scheduler's per-endpoint budget) are fixed here.
+// shared scheduler's per-endpoint budget) are fixed here. The client
+// becomes the sole backend of an implicit registry under its own name;
+// runtimes routing across several models use NewRuntimeWithBackends.
+// A nil client yields an empty registry: DB-only plans run, LLM-bound
+// operators fail at Open exactly as before.
 func NewRuntime(client llm.Client, opts Options) *Runtime {
+	var defs []BackendDef
+	if client != nil {
+		defs = []BackendDef{{Name: client.Name(), Client: client}}
+	}
+	rt, err := newRuntimeBackends(defs, "", nil, opts)
+	if err != nil {
+		// Unreachable: at most one backend, no routes, no fallbacks.
+		panic(fmt.Sprintf("core: implicit registry: %v", err))
+	}
+	rt.routed = false
+	return rt
+}
+
+// BackendDef declares one named model backend for a multi-backend
+// runtime: the transport, the scheduler worker budget, the optimizer's
+// pricing coefficients and the failover chain.
+type BackendDef struct {
+	// Name is the backend's identity: routes, table pins, fallback
+	// chains, scheduler pools and error attribution all use it.
+	Name string
+	// Client is the raw transport. The runtime wraps it in its own
+	// ResilientClient (independent breaker, retry budget) unless
+	// resilience is off or the caller pre-wrapped it.
+	Client llm.Client
+	// Workers overrides the shared scheduler's per-endpoint worker
+	// budget for this backend (0 = the runtime default).
+	Workers int
+	// CostWeight is the relative price per prompt the optimizer charges
+	// plans routing to this backend (0 = 1.0).
+	CostWeight float64
+	// SpeedFactor scales the backend's estimated per-prompt latency in
+	// plan pricing (0 = 1.0; below 1 is faster).
+	SpeedFactor float64
+	// Fallback names the backends calls fail over to, in order, when
+	// this backend sheds or exhausts a call.
+	Fallback []string
+}
+
+// NewRuntimeWithBackends builds a runtime routing prompts across named
+// backends. defaultName selects the backend unrouted roles use (""
+// means the first declared); routes binds prompt roles ("keyscan",
+// "fetch", "filter", "verify") to backends runtime-wide, with
+// per-table pins (schema.TableDef.Backend) and per-session overrides
+// (Options.Routes) layering on top.
+func NewRuntimeWithBackends(defs []BackendDef, defaultName string, routes map[string]string, opts Options) (*Runtime, error) {
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("core: no backends declared")
+	}
+	return newRuntimeBackends(defs, defaultName, routes, opts)
+}
+
+// newRuntimeBackends is the shared runtime constructor. An empty defs
+// slice (the implicit nil-client path) builds an empty registry and
+// skips validation; explicit construction requires at least one
+// backend.
+func newRuntimeBackends(defs []BackendDef, defaultName string, routes map[string]string, opts Options) (*Runtime, error) {
 	opts.normalize()
-	if opts.Resilient {
-		// Wrap the transport unless the caller already did: the chaos
-		// bench hands in a pre-built ResilientClient to control its test
-		// seams (fake clock, instant sleep), and double-wrapping would
-		// hide its breaker from the health surfaces.
-		if _, ok := client.(*llm.ResilientClient); !ok {
-			client = llm.NewResilient(client, opts.resilientConfig())
+	wrap := func(inner llm.Client, endpoint string) llm.Client {
+		if !opts.Resilient {
+			return inner
+		}
+		// Never re-wrap: the chaos bench hands in a pre-built
+		// ResilientClient to control its test seams (fake clock, instant
+		// sleep), and double-wrapping would hide its breaker from the
+		// health surfaces.
+		if _, ok := inner.(*llm.ResilientClient); ok {
+			return inner
+		}
+		cfg := opts.resilientConfig()
+		cfg.Endpoint = endpoint
+		return llm.NewResilient(inner, cfg)
+	}
+	registry := llm.NewRegistry(wrap)
+	for _, def := range defs {
+		if _, err := registry.Add(llm.BackendSpec{
+			Name:        def.Name,
+			Client:      def.Client,
+			Workers:     def.Workers,
+			CostWeight:  def.CostWeight,
+			SpeedFactor: def.SpeedFactor,
+			Fallback:    def.Fallback,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if defaultName != "" {
+		if err := registry.SetDefault(defaultName); err != nil {
+			return nil, err
+		}
+	}
+	for roleName, backend := range routes {
+		role, err := llm.ParseRole(roleName)
+		if err != nil {
+			return nil, err
+		}
+		if err := registry.SetRoute(role, backend); err != nil {
+			return nil, err
+		}
+	}
+	if len(defs) > 0 {
+		if err := registry.Validate(); err != nil {
+			return nil, err
 		}
 	}
 	rt := &Runtime{
-		client:     client,
+		registry:   registry,
+		routed:     true,
 		llmDefs:    map[string]*schema.TableDef{},
 		compEpochs: map[string]uint64{},
 		opts:       opts,
@@ -142,7 +244,7 @@ func NewRuntime(client llm.Client, opts Options) *Runtime {
 			CurrentStamp: rt.stampFor,
 		})
 	}
-	return rt
+	return rt, nil
 }
 
 // Epoch returns the total number of binding-epoch bumps across all
@@ -229,6 +331,13 @@ func (rt *Runtime) Options() Options { return rt.opts }
 func (rt *Runtime) scheduler() *llm.Scheduler {
 	rt.schedOnce.Do(func() {
 		rt.sched = llm.NewScheduler(rt.cache, rt.opts.BatchWorkers)
+		// Declared per-backend worker budgets override the shared
+		// default for their endpoint's pool.
+		for _, b := range rt.registry.Backends() {
+			if b.Workers() > 0 {
+				rt.sched.SetEndpointWorkers(b.Name(), b.Workers())
+			}
+		}
 	})
 	return rt.sched
 }
@@ -244,31 +353,37 @@ func (rt *Runtime) SchedulerGauges() llm.SchedulerGauges {
 // Statistics exposes the planner's statistics store (never nil).
 func (rt *Runtime) Statistics() *optimizer.Statistics { return rt.stats }
 
-// Client exposes the runtime's (possibly resilience-wrapped) transport.
-func (rt *Runtime) Client() llm.Client { return rt.client }
+// Client exposes the runtime's default backend (its calls traverse that
+// backend's resilient transport when resilience is on). Nil when the
+// runtime was built without a client.
+func (rt *Runtime) Client() llm.Client {
+	if b := rt.registry.Default(); b != nil {
+		return b
+	}
+	return nil
+}
 
-// resilientVerifier returns the runtime's resilient wrapper for a
-// session's verifier endpoint, memoized per distinct client so breaker
-// state and counters survive across queries and sessions. Pass-through
-// when resilience is off or the caller pre-wrapped the client.
-func (rt *Runtime) resilientVerifier(v llm.Client) llm.Client {
-	if v == nil || !rt.opts.Resilient {
-		return v
+// Registry exposes the runtime's named-backend set.
+func (rt *Runtime) Registry() *llm.Registry { return rt.registry }
+
+// Routed reports whether backends were declared explicitly — the
+// configuration under which the optimizer prices plans per backend and
+// EXPLAIN annotates routes.
+func (rt *Runtime) Routed() bool { return rt.routed }
+
+// Failovers reports how many prompts failed over to a fallback backend,
+// runtime-lifetime.
+func (rt *Runtime) Failovers() int64 { return rt.registry.Failovers() }
+
+// tableBackend resolves a table name to its pinned backend ("" when the
+// table is unbound or unpinned).
+func (rt *Runtime) tableBackend(name string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if def := rt.llmDefs[strings.ToLower(name)]; def != nil {
+		return def.Backend
 	}
-	if _, ok := v.(*llm.ResilientClient); ok {
-		return v
-	}
-	rt.resMu.Lock()
-	defer rt.resMu.Unlock()
-	if rt.resVerifiers == nil {
-		rt.resVerifiers = map[llm.Client]*llm.ResilientClient{}
-	}
-	rc, ok := rt.resVerifiers[v]
-	if !ok {
-		rc = llm.NewResilient(v, rt.opts.resilientConfig())
-		rt.resVerifiers[v] = rc
-	}
-	return rc
+	return ""
 }
 
 // EndpointHealth is one model endpoint's resilience snapshot: breaker
@@ -281,23 +396,58 @@ type EndpointHealth struct {
 }
 
 // ResilienceHealth snapshots every resilient endpoint the runtime
-// manages — the primary transport plus any memoized verifier wrappers —
-// sorted by endpoint name. Empty when resilience is off.
+// manages — declared backends plus adopted session verifiers — sorted
+// by endpoint name. Empty when resilience is off.
 func (rt *Runtime) ResilienceHealth() []EndpointHealth {
-	var clients []*llm.ResilientClient
-	if rc, ok := rt.client.(*llm.ResilientClient); ok {
-		clients = append(clients, rc)
-	}
-	rt.resMu.Lock()
-	for _, rc := range rt.resVerifiers {
-		clients = append(clients, rc)
-	}
-	rt.resMu.Unlock()
-	out := make([]EndpointHealth, 0, len(clients))
-	for _, rc := range clients {
-		out = append(out, EndpointHealth{Endpoint: rc.Name(), Breaker: rc.State().String(), Counters: rc.Counters()})
+	var out []EndpointHealth
+	for _, b := range rt.registry.All() {
+		rc, ok := b.Resilience()
+		if !ok {
+			continue
+		}
+		out = append(out, EndpointHealth{Endpoint: b.Name(), Breaker: rc.State().String(), Counters: rc.Counters()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// BackendStatus is one backend's /stats row: routing metadata plus
+// lifetime traffic and resilience state.
+type BackendStatus struct {
+	Name        string                 `json:"name"`
+	Model       string                 `json:"model"`
+	Default     bool                   `json:"default,omitempty"`
+	Workers     int                    `json:"workers,omitempty"`
+	CostWeight  float64                `json:"cost_weight"`
+	SpeedFactor float64                `json:"speed_factor"`
+	Fallback    []string               `json:"fallback,omitempty"`
+	Prompts     int64                  `json:"prompts"`
+	Breaker     string                 `json:"breaker,omitempty"`
+	Counters    llm.ResilienceCounters `json:"counters"`
+}
+
+// BackendStatuses snapshots every backend the runtime routes over, in
+// declaration order (adopted verifier backends follow, sorted by name).
+func (rt *Runtime) BackendStatuses() []BackendStatus {
+	def := rt.registry.Default()
+	var out []BackendStatus
+	for _, b := range rt.registry.All() {
+		st := BackendStatus{
+			Name:        b.Name(),
+			Model:       b.Raw().Name(),
+			Default:     b == def,
+			Workers:     b.Workers(),
+			CostWeight:  b.CostWeight(),
+			SpeedFactor: b.SpeedFactor(),
+			Fallback:    b.Fallback(),
+			Prompts:     b.Prompts(),
+		}
+		if rc, ok := b.Resilience(); ok {
+			st.Breaker = rc.State().String()
+			st.Counters = rc.Counters()
+		}
+		out = append(out, st)
+	}
 	return out
 }
 
@@ -339,6 +489,11 @@ func (rt *Runtime) AttachDB(db *memdb.DB) {
 func (rt *Runtime) BindLLMTable(def *schema.TableDef) error {
 	if def.KeyIndex() < 0 {
 		return fmt.Errorf("core: table %s: key column %q not in schema", def.Name, def.KeyColumn)
+	}
+	if def.Backend != "" {
+		if _, ok := rt.registry.Get(def.Backend); !ok {
+			return fmt.Errorf("core: table %s: pinned backend %q not declared", def.Name, def.Backend)
+		}
 	}
 	rt.mu.Lock()
 	rt.llmDefs[strings.ToLower(def.Name)] = def

@@ -124,7 +124,19 @@ func (s *Session) planSelectExtras(sel *ast.Select, built logical.Node, extras [
 	if s.opts.Pipelined {
 		workers = s.rt.opts.BatchWorkers
 	}
-	params := optimizer.CostParams{Workers: workers, Verifier: s.opts.Verifier != nil}
+	// On a multi-backend runtime, plans are priced against the backend
+	// each operator role routes to (session overrides included); the
+	// single-backend estimate stays unpriced and byte-identical.
+	overrides, err := s.routeOverrides()
+	if err != nil {
+		return nil, nil, err
+	}
+	router := s.rt.registry.Router(overrides)
+	params := optimizer.CostParams{
+		Workers:  workers,
+		Verifier: s.verifyEnabled(overrides),
+		Price:    s.priceFor(router),
+	}
 	if s.opts.Optimizer.CostBased {
 		plan, cost, _, err := optimizer.ChooseBestExtra(factory, s.opts.Optimizer, s.rt.stats, params, extras)
 		return plan, cost, err
@@ -450,6 +462,7 @@ func (s *Session) optionsFingerprint() string {
 	if o.Verifier != nil {
 		fmt.Fprintf(&b, "verify=%s,%g|", o.Verifier.Name(), o.VerifyTolerance)
 	}
+	fingerprintRoutes(&b, o.Routes)
 	return b.String()
 }
 
@@ -572,21 +585,23 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 		return nil, nil, err
 	}
 
-	recorder := llm.NewRecorder(s.rt.client)
-	// The resilience layer sits below the recorder (retries happen inside
-	// one recorded call), so it attributes per-query faults and retries
-	// through the context rather than the call chain.
-	ctx = llm.WithRecorder(ctx, recorder)
-	var verifyRecorder *llm.Recorder
+	penv, err := s.promptEnv()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The resilience layer sits below the recorders (retries happen
+	// inside one recorded call), so it attributes per-query faults and
+	// retries through the context rather than the call chain.
+	ctx = llm.WithRecorder(ctx, penv.primary)
 	var verifier llm.Client
-	if s.opts.Verifier != nil {
-		verifyRecorder = llm.NewRecorder(s.rt.resilientVerifier(s.opts.Verifier))
-		verifier = verifyRecorder
+	if penv.verifier != nil {
+		verifier = penv.verifier
 	}
 	metrics := physical.NewMetrics()
 	pctx := &physical.Context{
 		Ctx:               ctx,
-		Client:            recorder,
+		Client:            penv.primaryClient(),
+		Route:             penv.clientForRole,
 		Cache:             s.rt.cache,
 		Prompts:           s.rt.builder,
 		Cleaner:           clean.New(s.opts.Clean),
@@ -617,10 +632,7 @@ func (s *Session) execute(ctx context.Context, plan logical.Node) (*schema.Relat
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := &Report{Stats: recorder.Stats(), Plan: logical.Explain(plan), Metrics: metrics}
-	if verifyRecorder != nil {
-		rep.Stats.Add(verifyRecorder.Stats())
-	}
+	rep := &Report{Stats: penv.stats(), Plan: logical.Explain(plan), Metrics: metrics}
 	if tenant != nil {
 		// Pipelined prompts carry no per-call latency on the recorders;
 		// the query's simulated wall-clock is its makespan as if it ran

@@ -53,13 +53,12 @@ type Stream struct {
 	cached CacheOutcome
 
 	// Live execution state (nil when replaying a materialized result).
-	st             *physical.RowStream
-	tenant         *llm.Tenant
-	recorder       *llm.Recorder
-	verifyRecorder *llm.Recorder
-	plan           logical.Node
-	cost           *optimizer.PlanCost
-	metrics        *physical.Metrics
+	st      *physical.RowStream
+	tenant  *llm.Tenant
+	penv    *promptEnv
+	plan    logical.Node
+	cost    *optimizer.PlanCost
+	metrics *physical.Metrics
 
 	// Replay state: cache-exact hits and EXPLAIN fall back to a
 	// materialized relation with a pre-settled report.
@@ -211,18 +210,20 @@ func (s *Session) openLiveStream(ctx context.Context, plan logical.Node, cost *o
 	if err != nil {
 		return nil, err
 	}
-	recorder := llm.NewRecorder(s.rt.client)
-	ctx = llm.WithRecorder(ctx, recorder)
-	var verifyRecorder *llm.Recorder
+	penv, err := s.promptEnv()
+	if err != nil {
+		return nil, err
+	}
+	ctx = llm.WithRecorder(ctx, penv.primary)
 	var verifier llm.Client
-	if s.opts.Verifier != nil {
-		verifyRecorder = llm.NewRecorder(s.rt.resilientVerifier(s.opts.Verifier))
-		verifier = verifyRecorder
+	if penv.verifier != nil {
+		verifier = penv.verifier
 	}
 	metrics := physical.NewMetrics()
 	pctx := &physical.Context{
 		Ctx:               ctx,
-		Client:            recorder,
+		Client:            penv.primaryClient(),
+		Route:             penv.clientForRole,
 		Cache:             s.rt.cache,
 		Prompts:           s.rt.builder,
 		Cleaner:           clean.New(s.opts.Clean),
@@ -245,17 +246,16 @@ func (s *Session) openLiveStream(ctx context.Context, plan logical.Node, cost *o
 		return nil, err
 	}
 	return &Stream{
-		s:              s,
-		schema:         st.Schema(),
-		st:             st,
-		tenant:         tenant,
-		recorder:       recorder,
-		verifyRecorder: verifyRecorder,
-		plan:           plan,
-		cost:           cost,
-		metrics:        metrics,
-		acc:            schema.NewRelation(st.Schema().Clone()),
-		populate:       populate,
+		s:        s,
+		schema:   st.Schema(),
+		st:       st,
+		tenant:   tenant,
+		penv:     penv,
+		plan:     plan,
+		cost:     cost,
+		metrics:  metrics,
+		acc:      schema.NewRelation(st.Schema().Clone()),
+		populate: populate,
 	}, nil
 }
 
@@ -313,11 +313,8 @@ func (st *Stream) Finish() (*Report, error) {
 		st.tenant.Quiesce()
 	}
 	rep := &Report{Plan: logical.Explain(st.plan), Estimate: st.cost, Metrics: st.metrics, Cached: st.cached}
-	if st.recorder != nil {
-		rep.Stats = st.recorder.Stats()
-		if st.verifyRecorder != nil {
-			rep.Stats.Add(st.verifyRecorder.Stats())
-		}
+	if st.penv != nil {
+		rep.Stats = st.penv.stats()
 	}
 	if st.tenant != nil {
 		rep.Stats.SimulatedLatency += st.tenant.Makespan()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrorClass partitions model-call failures into the categories the
@@ -65,15 +66,33 @@ func (c ErrorClass) String() string {
 type Error struct {
 	Class    ErrorClass
 	Endpoint string // model endpoint name, when known
-	Err      error  // underlying cause, never nil
+	// Chain lists the endpoints attempted before Endpoint, in order, when
+	// the failure traversed a failover route or a layered transport.
+	// Endpoint is always the last backend actually attempted; Chain is
+	// empty for single-backend failures.
+	Chain []string
+	Err   error // underlying cause, never nil
 }
 
 // Error implements error.
 func (e *Error) Error() string {
 	if e.Endpoint != "" {
+		if len(e.Chain) > 0 {
+			return fmt.Sprintf("llm %s (after %s) [%s]: %v", e.Endpoint, strings.Join(e.Chain, ", "), e.Class, e.Err)
+		}
 		return fmt.Sprintf("llm %s [%s]: %v", e.Endpoint, e.Class, e.Err)
 	}
 	return fmt.Sprintf("llm [%s]: %v", e.Class, e.Err)
+}
+
+// Attempted lists every endpoint the failure touched, in attempt order
+// (the chain, then the final endpoint).
+func (e *Error) Attempted() []string {
+	out := append([]string(nil), e.Chain...)
+	if e.Endpoint != "" {
+		out = append(out, e.Endpoint)
+	}
+	return out
 }
 
 // Unwrap exposes the cause to errors.Is/As chains.

@@ -1,0 +1,489 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Role classifies a prompt by the operator that issues it — the unit the
+// routing policy works in. Key scans and boolean filters are cheap,
+// high-volume prompts a small model answers adequately; attribute
+// fetches and verification carry the result's actual content and want
+// the strong model. A router maps each role (plus table binding and
+// session override) to a named backend.
+type Role string
+
+const (
+	// RoleKeyscan is the table scan's list prompts, including the
+	// more-results continuation loop.
+	RoleKeyscan Role = "keyscan"
+	// RoleFetch is the per-row attribute fetch prompts.
+	RoleFetch Role = "fetch"
+	// RoleFilter is the per-row boolean judgment prompts of LLM filters.
+	RoleFilter Role = "filter"
+	// RoleVerify is the second-model double-check of fetched values.
+	RoleVerify Role = "verify"
+)
+
+// Roles lists every prompt role, in a fixed order.
+var Roles = []Role{RoleKeyscan, RoleFetch, RoleFilter, RoleVerify}
+
+// ParseRole maps the wire spelling of a prompt role to its value.
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleKeyscan, RoleFetch, RoleFilter, RoleVerify:
+		return Role(s), nil
+	}
+	return "", fmt.Errorf("unknown prompt role %q (want keyscan, fetch, filter or verify)", s)
+}
+
+// BackendSpec declares one named backend for a Registry.
+type BackendSpec struct {
+	// Name is the backend's registry identity — the endpoint name the
+	// scheduler budgets under, errors are attributed to, and routes and
+	// fallback chains refer to. Distinct backends may share one
+	// underlying model under different names.
+	Name string
+	// Client is the raw transport (a simllm model, an injector-wrapped
+	// model, a real API client). The registry wraps it via its wrap hook
+	// (normally in a ResilientClient with an independent breaker and
+	// retry budget).
+	Client Client
+	// Workers overrides the scheduler's per-endpoint worker budget for
+	// this backend (0 means the scheduler default).
+	Workers int
+	// CostWeight is the backend's relative price per prompt (1.0 when
+	// zero). The optimizer prices plans in prompt-count × weight, so a
+	// plan that keeps its volume on a cheap backend wins.
+	CostWeight float64
+	// SpeedFactor scales the backend's estimated per-prompt latency in
+	// plan pricing (1.0 when zero; below 1 is faster).
+	SpeedFactor float64
+	// Fallback names the backends to fail over to, in order, when a call
+	// on this backend is shed or exhausted.
+	Fallback []string
+}
+
+// Backend is one named model endpoint in a Registry: the (normally
+// resilient) transport plus the routing metadata and lifetime prompt
+// accounting. It implements Client under its registry name, so the
+// scheduler's per-endpoint pools, the prompt cache's keying and error
+// attribution all follow the backend identity.
+type Backend struct {
+	name     string
+	client   Client // the wrapped transport calls traverse
+	raw      Client // the declared client, before wrapping
+	workers  int
+	cost     float64
+	speed    float64
+	fallback []string
+	prompts  atomic.Int64
+}
+
+// Name implements Client: the backend's registry identity.
+func (b *Backend) Name() string { return b.name }
+
+// Complete implements Client, counting completed calls for the
+// per-backend stats surface.
+func (b *Backend) Complete(ctx context.Context, prompt string) (string, error) {
+	out, err := b.client.Complete(ctx, prompt)
+	if err != nil {
+		return "", err
+	}
+	b.prompts.Add(1)
+	return out, nil
+}
+
+// Transport returns the wrapped client calls traverse (normally a
+// *ResilientClient).
+func (b *Backend) Transport() Client { return b.client }
+
+// Raw returns the declared client, before resilience wrapping.
+func (b *Backend) Raw() Client { return b.raw }
+
+// Resilience returns the backend's resilient transport, when it has one.
+func (b *Backend) Resilience() (*ResilientClient, bool) {
+	rc, ok := b.client.(*ResilientClient)
+	return rc, ok
+}
+
+// Workers reports the backend's per-endpoint worker override (0 = the
+// scheduler default).
+func (b *Backend) Workers() int { return b.workers }
+
+// CostWeight reports the backend's relative price per prompt.
+func (b *Backend) CostWeight() float64 { return b.cost }
+
+// SpeedFactor reports the backend's latency multiplier in plan pricing.
+func (b *Backend) SpeedFactor() float64 { return b.speed }
+
+// Fallback reports the backend's failover chain, in order.
+func (b *Backend) Fallback() []string { return append([]string(nil), b.fallback...) }
+
+// Prompts reports the lifetime count of completed calls.
+func (b *Backend) Prompts() int64 { return b.prompts.Load() }
+
+// Registry is the named-backend set one runtime owns: declared backends
+// in declaration order, a default, per-role routes, and the memoized
+// adoption of ad-hoc clients (session verifiers) into backends with
+// their own independent resilience — the registry subsumes the old
+// per-runtime verifier-wrapper cache.
+type Registry struct {
+	// wrap turns a declared raw client into the transport calls traverse
+	// (normally a ResilientClient named after the backend). Nil means no
+	// wrapping.
+	wrap func(inner Client, endpoint string) Client
+
+	mu          sync.Mutex
+	order       []*Backend
+	byName      map[string]*Backend
+	defaultName string
+	routes      map[Role]string
+	adopted     map[Client]*Backend
+	failovers   atomic.Int64
+}
+
+// NewRegistry builds an empty registry. wrap, when non-nil, wraps every
+// declared or adopted client (the runtime passes its resilient-transport
+// constructor); the endpoint argument is the backend name the wrapper
+// should report.
+func NewRegistry(wrap func(inner Client, endpoint string) Client) *Registry {
+	return &Registry{
+		wrap:    wrap,
+		byName:  map[string]*Backend{},
+		routes:  map[Role]string{},
+		adopted: map[Client]*Backend{},
+	}
+}
+
+// Add declares one backend. The first backend added becomes the default
+// until SetDefault overrides it. Names must be unique.
+func (g *Registry) Add(spec BackendSpec) (*Backend, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("llm registry: backend with empty name")
+	}
+	if spec.Client == nil {
+		return nil, fmt.Errorf("llm registry: backend %q has no client", spec.Name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byName[spec.Name]; ok {
+		return nil, fmt.Errorf("llm registry: duplicate backend %q", spec.Name)
+	}
+	b := g.newBackend(spec)
+	g.byName[spec.Name] = b
+	g.order = append(g.order, b)
+	if g.defaultName == "" {
+		g.defaultName = spec.Name
+	}
+	return b, nil
+}
+
+// newBackend wraps and normalizes one spec. Callers hold g.mu (or are
+// constructing the registry).
+func (g *Registry) newBackend(spec BackendSpec) *Backend {
+	client := spec.Client
+	if g.wrap != nil {
+		client = g.wrap(spec.Client, spec.Name)
+	}
+	if spec.CostWeight <= 0 {
+		spec.CostWeight = 1
+	}
+	if spec.SpeedFactor <= 0 {
+		spec.SpeedFactor = 1
+	}
+	return &Backend{
+		name:     spec.Name,
+		client:   client,
+		raw:      spec.Client,
+		workers:  spec.Workers,
+		cost:     spec.CostWeight,
+		speed:    spec.SpeedFactor,
+		fallback: append([]string(nil), spec.Fallback...),
+	}
+}
+
+// SetDefault names the backend unrouted roles resolve to.
+func (g *Registry) SetDefault(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byName[name]; !ok {
+		return fmt.Errorf("llm registry: default backend %q not declared", name)
+	}
+	g.defaultName = name
+	return nil
+}
+
+// SetRoute binds one prompt role to a backend.
+func (g *Registry) SetRoute(role Role, backend string) error {
+	if _, err := ParseRole(string(role)); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byName[backend]; !ok {
+		return fmt.Errorf("llm registry: route %s -> %q: backend not declared", role, backend)
+	}
+	g.routes[role] = backend
+	return nil
+}
+
+// Get returns a declared backend by name.
+func (g *Registry) Get(name string) (*Backend, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.byName[name]
+	return b, ok
+}
+
+// Default returns the default backend (nil on an empty registry).
+func (g *Registry) Default() *Backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.byName[g.defaultName]
+}
+
+// Backends returns the declared backends in declaration order.
+func (g *Registry) Backends() []*Backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Backend(nil), g.order...)
+}
+
+// Routes snapshots the role → backend bindings.
+func (g *Registry) Routes() map[Role]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[Role]string, len(g.routes))
+	for r, b := range g.routes {
+		out[r] = b
+	}
+	return out
+}
+
+// Failovers reports how many times a routed call failed over to a
+// fallback backend, lifetime.
+func (g *Registry) Failovers() int64 { return g.failovers.Load() }
+
+// Adopt turns an ad-hoc client (a per-session verifier, say) into a
+// backend with its own independent resilience, memoized per client so
+// repeated sessions share one wrapper — breaker state and retry budget
+// included. A client that is already one of this registry's backends is
+// returned as-is; adopted backends take the client's own name and are
+// not routable by name.
+func (g *Registry) Adopt(c Client) *Backend {
+	if c == nil {
+		return nil
+	}
+	if b, ok := c.(*Backend); ok {
+		return b
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, b := range g.order {
+		if b.raw == c || b.client == c {
+			return b
+		}
+	}
+	if b, ok := g.adopted[c]; ok {
+		return b
+	}
+	b := g.newBackend(BackendSpec{Name: c.Name(), Client: c})
+	g.adopted[c] = b
+	return b
+}
+
+// All returns every backend the registry knows — declared ones in
+// declaration order, then adopted ones sorted by name.
+func (g *Registry) All() []*Backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := append([]*Backend(nil), g.order...)
+	extra := make([]*Backend, 0, len(g.adopted))
+	for _, b := range g.adopted {
+		extra = append(extra, b)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].name < extra[j].name })
+	return append(out, extra...)
+}
+
+// Validate checks that every fallback name and route target resolves to
+// a declared backend and that no fallback chain names its own backend.
+func (g *Registry) Validate() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.order) == 0 {
+		return fmt.Errorf("llm registry: no backends declared")
+	}
+	for _, b := range g.order {
+		for _, fb := range b.fallback {
+			if fb == b.name {
+				return fmt.Errorf("llm registry: backend %q lists itself as fallback", b.name)
+			}
+			if _, ok := g.byName[fb]; !ok {
+				return fmt.Errorf("llm registry: backend %q fallback %q not declared", b.name, fb)
+			}
+		}
+	}
+	return nil
+}
+
+// Router builds a routing view over the registry with per-session role
+// overrides (nil or empty for none). Overrides must name declared
+// backends; unknown names surface when the role is resolved.
+func (g *Registry) Router(overrides map[Role]string) *Router {
+	return &Router{reg: g, overrides: overrides}
+}
+
+// Router resolves prompt roles to backend chains. Resolution order per
+// role: the session override, the table binding's backend, the
+// registry's role route, the registry default. The chain is the chosen
+// backend followed by its declared fallbacks.
+type Router struct {
+	reg       *Registry
+	overrides map[Role]string
+}
+
+// Chain resolves one role (with an optional table-bound backend name)
+// to its failover chain.
+func (r *Router) Chain(role Role, tableBackend string) ([]*Backend, error) {
+	g := r.reg
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	name := g.defaultName
+	if routed, ok := g.routes[role]; ok {
+		name = routed
+	}
+	if tableBackend != "" {
+		name = tableBackend
+	}
+	if over, ok := r.overrides[role]; ok && over != "" {
+		name = over
+	}
+	primary, ok := g.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("llm registry: role %s resolves to unknown backend %q", role, name)
+	}
+	chain := []*Backend{primary}
+	seen := map[string]bool{primary.name: true}
+	for _, fb := range primary.fallback {
+		if seen[fb] {
+			continue
+		}
+		if b, ok := g.byName[fb]; ok {
+			chain = append(chain, b)
+			seen[fb] = true
+		}
+	}
+	return chain, nil
+}
+
+// Backend resolves the primary backend one role's prompts route to —
+// the pricing the optimizer charges plans with.
+func (r *Router) Backend(role Role, tableBackend string) (*Backend, error) {
+	chain, err := r.Chain(role, tableBackend)
+	if err != nil {
+		return nil, err
+	}
+	return chain[0], nil
+}
+
+// Client resolves one role to a routed client: calls go to the primary
+// backend and fail over down the chain on breaker sheds, saturation and
+// transient exhaustion, with the attempted-endpoint chain preserved in
+// the surfaced error.
+func (r *Router) Client(role Role, tableBackend string) (Client, error) {
+	chain, err := r.Chain(role, tableBackend)
+	if err != nil {
+		return nil, err
+	}
+	if len(chain) == 1 {
+		return chain[0], nil
+	}
+	return &Routed{reg: r.reg, role: role, chain: chain}, nil
+}
+
+// Routed is a failover client over a backend chain. It reports the
+// primary backend's name, so scheduler pools, prompt-cache keys and
+// per-endpoint accounting follow the route's primary; fallback traffic
+// executes inside the primary's dispatch slot (the work still has to be
+// done — it is the endpoint answering that changes).
+type Routed struct {
+	reg   *Registry
+	role  Role
+	chain []*Backend
+}
+
+// Name implements Client with the primary backend's name.
+func (c *Routed) Name() string { return c.chain[0].Name() }
+
+// Role reports the prompt role this client routes.
+func (c *Routed) Role() Role { return c.role }
+
+// Chain reports the backend names in failover order.
+func (c *Routed) Chain() []string {
+	out := make([]string, len(c.chain))
+	for i, b := range c.chain {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// Complete implements Client: try each backend in chain order, moving on
+// only while the failure is one another backend could do better on (see
+// FailoverEligible). The returned error names the last backend actually
+// attempted, with every earlier endpoint in the chain.
+func (c *Routed) Complete(ctx context.Context, prompt string) (string, error) {
+	var last error
+	for i, b := range c.chain {
+		out, err := b.Complete(ctx, prompt)
+		if err == nil {
+			return out, nil
+		}
+		err = stitchChain(last, err)
+		if !FailoverEligible(err) || ctx.Err() != nil {
+			return "", err
+		}
+		last = err
+		if i+1 < len(c.chain) {
+			c.reg.failovers.Add(1)
+		}
+	}
+	return "", last
+}
+
+// FailoverEligible reports whether a failure on one backend warrants
+// trying the next backend in the chain: the breaker shed the call, the
+// retry budget was exhausted, or retries on this backend were exhausted
+// by transient/deadline faults. Permanent failures (the prompt itself is
+// bad — it would fail anywhere) and the caller's own cancellation never
+// fail over.
+func FailoverEligible(err error) bool {
+	switch Classify(err) {
+	case ClassBreakerOpen, ClassBudget, ClassTransient, ClassDeadline:
+		return true
+	}
+	return false
+}
+
+// stitchChain folds the endpoints of an earlier failover attempt into
+// the next backend's error, so the surfaced error carries the full
+// attempt history in order.
+func stitchChain(prev, next error) error {
+	if prev == nil {
+		return next
+	}
+	pe, ok := prev.(*Error)
+	if !ok {
+		return next
+	}
+	ne, ok := next.(*Error)
+	if !ok {
+		ne = &Error{Class: Classify(next), Err: next}
+	}
+	ne.Chain = append(pe.Attempted(), ne.Chain...)
+	return ne
+}

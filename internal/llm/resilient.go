@@ -38,6 +38,11 @@ const (
 // that is meaningful (MaxRetries < 0 means never retry,
 // BreakerThreshold < 0 means no breaker).
 type ResilientConfig struct {
+	// Endpoint overrides the name this client reports (and stamps onto
+	// errors and breaker sheds). Empty means the inner client's own name.
+	// Backend registries set it so a named backend ("cheap") keeps its
+	// identity even when several backends share one underlying model.
+	Endpoint string
 	// MaxRetries bounds resubmissions per prompt (not counting the first
 	// attempt). 0 selects DefaultMaxRetries; negative disables retries.
 	MaxRetries int
@@ -209,8 +214,14 @@ func NewResilient(inner Client, cfg ResilientConfig) *ResilientClient {
 	return &ResilientClient{inner: inner, cfg: cfg, budgetTokens: cfg.RetryBudgetReserve}
 }
 
-// Name implements Client.
-func (r *ResilientClient) Name() string { return r.inner.Name() }
+// Name implements Client: the configured endpoint name when one was
+// declared, the inner client's otherwise.
+func (r *ResilientClient) Name() string {
+	if r.cfg.Endpoint != "" {
+		return r.cfg.Endpoint
+	}
+	return r.inner.Name()
+}
 
 // Inner returns the wrapped transport (the chaos bench reaches through
 // to the injector).
@@ -340,17 +351,23 @@ func (r *ResilientClient) attempt(ctx context.Context, prompt string, attempt in
 	return out, nil
 }
 
-// withEndpoint stamps the endpoint name onto a classified error (or
+// withEndpoint stamps this endpoint's name onto a classified error (or
 // wraps an unclassified one as permanent) so upstream surfaces can name
-// the failing backend.
+// the failing backend. The name of the endpoint that actually ran the
+// attempt always wins: an error that arrives already attributed to a
+// different endpoint (a previous backend in a failover chain, a nested
+// transport) keeps that history in Chain instead of masking this
+// attempt's attribution.
 func (r *ResilientClient) withEndpoint(err error) error {
+	name := r.Name()
 	if ce, ok := err.(*Error); ok {
-		if ce.Endpoint == "" {
-			ce.Endpoint = r.Name()
+		if ce.Endpoint != "" && ce.Endpoint != name {
+			ce.Chain = append(ce.Chain, ce.Endpoint)
 		}
+		ce.Endpoint = name
 		return ce
 	}
-	return &Error{Class: Classify(err), Endpoint: r.Name(), Err: err}
+	return &Error{Class: Classify(err), Endpoint: name, Err: err}
 }
 
 // backoff returns the deterministic full-jitter backoff before retrying
@@ -385,7 +402,7 @@ func (r *ResilientClient) admit() (probe bool, err error) {
 		return false, nil
 	case BreakerOpen:
 		if r.cfg.Now().Before(r.reopenAt) {
-			return false, &Error{Class: ClassBreakerOpen, Endpoint: r.inner.Name(), Err: ErrBreakerOpen}
+			return false, &Error{Class: ClassBreakerOpen, Endpoint: r.Name(), Err: ErrBreakerOpen}
 		}
 		// Cooldown elapsed: this call becomes the half-open probe.
 		r.state = BreakerHalfOpen
@@ -394,7 +411,7 @@ func (r *ResilientClient) admit() (probe bool, err error) {
 	case BreakerHalfOpen:
 		if r.probing {
 			// One probe at a time; everyone else keeps shedding.
-			return false, &Error{Class: ClassBreakerOpen, Endpoint: r.inner.Name(), Err: ErrBreakerOpen}
+			return false, &Error{Class: ClassBreakerOpen, Endpoint: r.Name(), Err: ErrBreakerOpen}
 		}
 		r.probing = true
 		return true, nil

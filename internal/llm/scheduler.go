@@ -152,6 +152,7 @@ type Scheduler struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
+	epWorkers map[string]int  // per-endpoint worker overrides (else workers)
 	drained   [nClasses]int64 // queued prompts granted a slot, per class
 }
 
@@ -363,8 +364,42 @@ func NewScheduler(cache *Cache, workers int) *Scheduler {
 	}
 }
 
-// Workers reports the per-endpoint worker budget.
+// Workers reports the default per-endpoint worker budget.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// SetEndpointWorkers overrides one endpoint's worker budget — both the
+// live slot count and the connection budget of its latency model.
+// Backend registries apply each backend's declared worker count here;
+// n <= 0 restores the scheduler default. Set before traffic flows: a
+// lowered budget does not preempt slots already granted.
+func (s *Scheduler) SetEndpointWorkers(name string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		delete(s.epWorkers, name)
+		return
+	}
+	if s.epWorkers == nil {
+		s.epWorkers = map[string]int{}
+	}
+	s.epWorkers[name] = n
+}
+
+// EndpointWorkers reports the worker budget in effect for one endpoint.
+func (s *Scheduler) EndpointWorkers(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workersForLocked(name)
+}
+
+// workersForLocked resolves one endpoint's worker budget. Callers hold
+// s.mu.
+func (s *Scheduler) workersForLocked(name string) int {
+	if n, ok := s.epWorkers[name]; ok {
+		return n
+	}
+	return s.workers
+}
 
 // Busy reports the worker slots currently running prompts, summed over
 // all endpoints. Zero when the scheduler is idle — the invariant the
@@ -556,7 +591,7 @@ func (t *Tenant) Submit(client Client, prompt string, ready VTime) *Future {
 		return f
 	}
 	ep := s.endpointLocked(client.Name())
-	if ep.busy < s.workers {
+	if ep.busy < s.workersForLocked(client.Name()) {
 		// A free slot means every band is empty (dispatch runs under the
 		// same lock that frees slots), so direct placement cannot overtake
 		// queued work of any class.
@@ -722,8 +757,8 @@ func (t *Tenant) Makespan() VTime {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := t.span
-	for _, b := range t.work {
-		if area := b / time.Duration(t.s.workers); area > out {
+	for ep, b := range t.work {
+		if area := b / time.Duration(t.s.EndpointWorkers(ep)); area > out {
 			out = area
 		}
 	}

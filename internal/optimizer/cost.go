@@ -20,6 +20,16 @@ const (
 	filterPromptTokens, filterAnswerTokens = 30, 1
 )
 
+// BackendPrice carries the planner-visible coefficients of the backend
+// one operator role routes to: CostWeight scales the money axis (cheap
+// models price their prompts below 1), SpeedFactor scales the per-prompt
+// unit latency (slower models stretch the makespan).
+type BackendPrice struct {
+	Backend     string
+	CostWeight  float64
+	SpeedFactor float64
+}
+
 // CostParams fix the execution environment the estimate assumes.
 type CostParams struct {
 	// Workers is the per-endpoint prompt concurrency budget.
@@ -27,6 +37,11 @@ type CostParams struct {
 	// Verifier doubles every attribute fetch with a second-model prompt
 	// (on its own endpoint, so it adds work but overlaps in time).
 	Verifier bool
+	// Price resolves the backend an operator role's prompts route to for
+	// a given base table ("" when the role has no table binding) together
+	// with its pricing coefficients. Nil means a single unpriced backend:
+	// Cost degenerates to Prompts and estimates carry no routes.
+	Price func(role llm.Role, table string) BackendPrice
 }
 
 // NodeEstimate is the planner's prediction for one operator.
@@ -43,12 +58,23 @@ type NodeEstimate struct {
 	// Done is when the last output row becomes available (the
 	// critical-path component of the makespan).
 	Done time.Duration
+	// Backend names the model backend this operator's prompts route to;
+	// empty when the estimate ran unpriced (single-backend runtime).
+	Backend string
 }
 
 // PlanCost is the full cost prediction for one candidate plan.
 type PlanCost struct {
 	// Prompts is the estimated total number of prompts the plan issues.
 	Prompts float64
+	// Cost is the backend-weighted prompt total: each operator's prompts
+	// times the cost weight of the backend they route to. Equal to
+	// Prompts when the estimate ran unpriced, so the planner's order is
+	// unchanged for single-backend runtimes.
+	Cost float64
+	// Priced reports whether per-backend coefficients entered the
+	// estimate (a routing-configured runtime supplied CostParams.Price).
+	Priced bool
 	// Latency is the estimated makespan: the larger of the critical
 	// dependency path and the busiest endpoint's work spread over its
 	// worker budget.
@@ -69,9 +95,17 @@ type estimator struct {
 	p        CostParams
 	bindings map[string]scanInfo // lower(binding) → table info
 	out      *PlanCost
-	work     time.Duration // primary-endpoint prompt work
-	verWork  time.Duration // verifier-endpoint prompt work
+	// workBy accumulates prompt work per endpoint: each backend runs its
+	// own worker pool, so areas bound the makespan independently. The
+	// unpriced estimate uses the "" key for the primary endpoint and a
+	// reserved key for the verifier (its prompts overlap on a second
+	// endpoint), reproducing the single-backend model exactly.
+	workBy map[string]time.Duration
 }
+
+// verifierEndpoint keys the unpriced verifier's work area; the NUL byte
+// keeps it from colliding with any declarable backend name.
+const verifierEndpoint = "\x00verifier"
 
 // Estimate predicts the prompt count and makespan of a lowered plan
 // using the given statistics. It never fails: unresolvable expressions
@@ -84,7 +118,8 @@ func Estimate(n logical.Node, st *Statistics, p CostParams) *PlanCost {
 		st:       st,
 		p:        p,
 		bindings: map[string]scanInfo{},
-		out:      &PlanCost{Candidates: 1, Choice: "estimate", Nodes: map[logical.Node]NodeEstimate{}},
+		out:      &PlanCost{Candidates: 1, Choice: "estimate", Priced: p.Price != nil, Nodes: map[logical.Node]NodeEstimate{}},
+		workBy:   map[string]time.Duration{},
 	}
 	var collect func(logical.Node)
 	collect = func(n logical.Node) {
@@ -99,13 +134,37 @@ func Estimate(n logical.Node, st *Statistics, p CostParams) *PlanCost {
 
 	root := e.node(n)
 	e.out.Latency = root.Done
-	if area := e.work / time.Duration(p.Workers); area > e.out.Latency {
-		e.out.Latency = area
-	}
-	if area := e.verWork / time.Duration(p.Workers); area > e.out.Latency {
-		e.out.Latency = area
+	for _, work := range e.workBy {
+		if area := work / time.Duration(p.Workers); area > e.out.Latency {
+			e.out.Latency = area
+		}
 	}
 	return e.out
+}
+
+// price resolves the backend and coefficients for one operator role. The
+// unpriced estimate (no Price hook) yields neutral coefficients and no
+// backend attribution.
+func (e *estimator) price(role llm.Role, table string) BackendPrice {
+	if e.p.Price == nil {
+		return BackendPrice{CostWeight: 1, SpeedFactor: 1}
+	}
+	bp := e.p.Price(role, table)
+	if bp.CostWeight <= 0 {
+		bp.CostWeight = 1
+	}
+	if bp.SpeedFactor <= 0 {
+		bp.SpeedFactor = 1
+	}
+	return bp
+}
+
+// unit stretches a prompt's base latency by the backend's speed factor.
+func (bp BackendPrice) unit(base time.Duration) time.Duration {
+	if bp.SpeedFactor == 1 {
+		return base
+	}
+	return time.Duration(float64(base) * bp.SpeedFactor)
 }
 
 // waves is the batched-latency estimate of issuing n prompts of the given
@@ -207,9 +266,12 @@ func (e *estimator) node(n logical.Node) NodeEstimate {
 		// The page chain is sequential: each "more results" prompt
 		// excludes everything already seen. The first page's keys stream
 		// downstream while later pages are still being fetched.
-		done := time.Duration(pages) * listLat
-		e.work += done
-		return e.record(n, NodeEstimate{Rows: rows, Prompts: pages, Start: listLat, Done: done})
+		bp := e.price(llm.RoleKeyscan, node.Table.Name)
+		unit := bp.unit(listLat)
+		done := time.Duration(pages) * unit
+		e.workBy[bp.Backend] += done
+		e.out.Cost += pages * bp.CostWeight
+		return e.record(n, NodeEstimate{Rows: rows, Prompts: pages, Start: unit, Done: done, Backend: bp.Backend})
 
 	case *logical.CachedScan:
 		// A residual plan's leaf: the relation is already resident in
@@ -219,20 +281,32 @@ func (e *estimator) node(n logical.Node) NodeEstimate {
 	case *logical.FetchAttr:
 		in := e.node(node.Input)
 		prompts := in.Rows
-		start, done := promptStage(in, attrLat, e.waves(in.Rows, attrLat))
-		e.work += time.Duration(in.Rows * float64(attrLat))
+		bp := e.price(llm.RoleFetch, node.Table.Name)
+		unit := bp.unit(attrLat)
+		start, done := promptStage(in, unit, e.waves(in.Rows, unit))
+		e.workBy[bp.Backend] += time.Duration(in.Rows * float64(unit))
+		e.out.Cost += in.Rows * bp.CostWeight
 		if e.p.Verifier {
 			prompts *= 2
-			e.verWork += time.Duration(in.Rows * float64(attrLat))
+			vbp := e.price(llm.RoleVerify, node.Table.Name)
+			vkey := verifierEndpoint
+			if e.p.Price != nil {
+				vkey = vbp.Backend
+			}
+			e.workBy[vkey] += time.Duration(in.Rows * float64(vbp.unit(attrLat)))
+			e.out.Cost += in.Rows * vbp.CostWeight
 		}
-		return e.record(n, NodeEstimate{Rows: in.Rows, Prompts: prompts, Start: start, Done: done})
+		return e.record(n, NodeEstimate{Rows: in.Rows, Prompts: prompts, Start: start, Done: done, Backend: bp.Backend})
 
 	case *logical.LLMFilter:
 		in := e.node(node.Input)
 		sel := e.conjunctSelectivity(node.Cond)
-		start, done := promptStage(in, filterLat, e.waves(in.Rows, filterLat))
-		e.work += time.Duration(in.Rows * float64(filterLat))
-		return e.record(n, NodeEstimate{Rows: in.Rows * sel, Prompts: in.Rows, Start: start, Done: done})
+		bp := e.price(llm.RoleFilter, node.Table.Name)
+		unit := bp.unit(filterLat)
+		start, done := promptStage(in, unit, e.waves(in.Rows, unit))
+		e.workBy[bp.Backend] += time.Duration(in.Rows * float64(unit))
+		e.out.Cost += in.Rows * bp.CostWeight
+		return e.record(n, NodeEstimate{Rows: in.Rows * sel, Prompts: in.Rows, Start: start, Done: done, Backend: bp.Backend})
 
 	case *logical.Filter:
 		in := e.node(node.Input)
@@ -314,8 +388,13 @@ func (e *estimator) node(n logical.Node) NodeEstimate {
 	}
 }
 
-// String renders the headline numbers.
+// String renders the headline numbers. The weighted cost appears only
+// when backend pricing entered the estimate.
 func (c *PlanCost) String() string {
+	if c.Priced {
+		return fmt.Sprintf("prompts=%.1f cost=%.1f latency=%s candidates=%d",
+			c.Prompts, c.Cost, c.Latency.Round(time.Millisecond), c.Candidates)
+	}
 	return fmt.Sprintf("prompts=%.1f latency=%s candidates=%d",
 		c.Prompts, c.Latency.Round(time.Millisecond), c.Candidates)
 }

@@ -207,15 +207,17 @@ func ChooseBestExtra(factory func() (logical.Node, error), base Options, st *Sta
 // fixed-heuristic plan; strictness means fresh execution wins full ties.
 func Cheaper(a, b *PlanCost) bool { return less(a, b) }
 
-// less orders candidate costs: prompts dominate (they are the money and
-// the wall-clock), the estimated makespan breaks ties. Strict comparison
-// keeps the first (paper-shaped) candidate on full ties.
+// less orders candidate costs: the backend-weighted prompt cost
+// dominates (it is the money), the estimated makespan breaks ties. On an
+// unpriced estimate Cost equals Prompts, so single-backend planning is
+// ordered exactly as before routing existed. Strict comparison keeps the
+// first (paper-shaped) candidate on full ties.
 func less(a, b *PlanCost) bool {
 	const eps = 1e-9
-	if a.Prompts < b.Prompts-eps {
+	if a.Cost < b.Cost-eps {
 		return true
 	}
-	if a.Prompts > b.Prompts+eps {
+	if a.Cost > b.Cost+eps {
 		return false
 	}
 	return a.Latency < b.Latency

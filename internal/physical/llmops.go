@@ -55,12 +55,13 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 		return nil
 	}
 
+	client := c.ClientFor(llm.RoleKeyscan, s.scan.Table.Backend)
 	var keys []string
 	seen := map[string]bool{}
 	for iter := 0; iter < maxIter; iter++ {
 		p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
 		c.Metrics.Add(s.scan, 1, 0, 0)
-		resp, err := c.Complete(p)
+		resp, err := c.CompleteOn(client, p)
 		if err != nil {
 			return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
 		}
@@ -85,6 +86,7 @@ func (s *llmKeyScanOp) Open(c *Context) error {
 // chain on the query scheduler and emits each page's new keys downstream
 // stamped with the page's virtual completion time.
 func (s *llmKeyScanOp) openPipelined(c *Context, conds []prompt.Condition, keyKind value.Kind, maxIter int) {
+	client := c.ClientFor(llm.RoleKeyscan, s.scan.Table.Backend)
 	s.pipe = newPipe(c.pipeBuffer())
 	s.pipe.run(func() error {
 		var keys []string
@@ -96,7 +98,7 @@ func (s *llmKeyScanOp) openPipelined(c *Context, conds []prompt.Condition, keyKi
 			}
 			p := c.Prompts.KeyList(s.scan.Table.Name, s.scan.Table.KeyColumn, conds, keys)
 			c.Metrics.Add(s.scan, 1, 0, 0)
-			resp, pageVT, err := c.Scheduler.Do(c.Client, p, vt)
+			resp, pageVT, err := c.Scheduler.Do(client, p, vt)
 			if err != nil {
 				return fmt.Errorf("physical: key scan of %s: %w", s.scan.Table.Name, err)
 			}
@@ -261,7 +263,7 @@ func (f *llmFetchAttrOp) Open(c *Context) error {
 		fetchPrompts *= 2
 	}
 	c.Metrics.Add(f.node, fetchPrompts, len(rows), len(rows))
-	answers, err := c.CompleteBatch(c.Client, prompts)
+	answers, err := c.CompleteBatch(c.ClientFor(llm.RoleFetch, f.node.Table.Backend), prompts)
 	if err != nil {
 		return fmt.Errorf("physical: fetching %s.%s: %w", f.node.Table.Name, f.node.Attr, err)
 	}
@@ -306,6 +308,7 @@ func (f *llmFetchAttrOp) openPipelined(c *Context) {
 	f.pc = c
 	f.pipe = newPipe(c.pipeBuffer())
 	input := f.input
+	client := c.ClientFor(llm.RoleFetch, f.node.Table.Backend)
 	f.pipe.run(func() error {
 		defer input.Close()
 		for {
@@ -319,7 +322,7 @@ func (f *llmFetchAttrOp) openPipelined(c *Context) {
 			key := row[f.node.KeyCol].String()
 			p := c.Prompts.Attr(f.node.Table.Name, key, f.node.Attr)
 			prompts := 1
-			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, p, vt)}
+			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(client, p, vt)}
 			if c.Verifier != nil {
 				prompts = 2
 				r.verify = c.Scheduler.Submit(c.Verifier, p, vt)
@@ -463,7 +466,7 @@ func (f *llmFilterOp) Open(c *Context) error {
 	for i, row := range rows {
 		prompts[i] = filterPrompt(row)
 	}
-	answers, err := c.CompleteBatch(c.Client, prompts)
+	answers, err := c.CompleteBatch(c.ClientFor(llm.RoleFilter, f.node.Table.Backend), prompts)
 	if err != nil {
 		return fmt.Errorf("physical: LLM filter %s: %w", f.node.Cond.String(), err)
 	}
@@ -486,6 +489,7 @@ func (f *llmFilterOp) openPipelined(c *Context, filterPrompt func(schema.Tuple) 
 	f.pc = c
 	f.pipe = newPipe(c.pipeBuffer())
 	input := f.input
+	client := c.ClientFor(llm.RoleFilter, f.node.Table.Backend)
 	f.pipe.run(func() error {
 		defer input.Close()
 		for {
@@ -497,7 +501,7 @@ func (f *llmFilterOp) openPipelined(c *Context, filterPrompt func(schema.Tuple) 
 				return err
 			}
 			c.Metrics.Add(f.node, 1, 1, 0)
-			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(c.Client, filterPrompt(row), vt)}
+			r := pipeRow{row: row, vt: vt, main: c.Scheduler.Submit(client, filterPrompt(row), vt)}
 			if !f.pipe.send(r) {
 				return nil
 			}

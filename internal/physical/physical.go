@@ -21,8 +21,14 @@ import (
 // Context carries the runtime environment shared by all operators of one
 // query execution.
 type Context struct {
-	Ctx     context.Context
-	Client  llm.Client      // nil for DB-only plans
+	Ctx    context.Context
+	Client llm.Client // nil for DB-only plans
+	// Route, when non-nil, resolves the client one prompt role's calls
+	// go out on, given the role and the issuing table's pinned backend
+	// ("" when unpinned). The session installs it over the runtime's
+	// backend registry; operators resolve through ClientFor. Nil routes
+	// every role to Client.
+	Route   func(role llm.Role, tableBackend string) llm.Client
 	Prompts *prompt.Builder // prompt construction
 	Cleaner *clean.Cleaner  // answer normalization
 	// Cache, when non-nil, is the engine's prompt cache: completions are
@@ -70,6 +76,24 @@ type Context struct {
 // prompt cache when one is configured.
 func (c *Context) Complete(prompt string) (string, error) {
 	return llm.CompleteCached(c.Ctx, c.Client, c.Cache, prompt)
+}
+
+// CompleteOn is Complete through an explicitly resolved client (a routed
+// role's backend chain).
+func (c *Context) CompleteOn(client llm.Client, prompt string) (string, error) {
+	return llm.CompleteCached(c.Ctx, client, c.Cache, prompt)
+}
+
+// ClientFor resolves the transport one prompt role's calls go out on for
+// a table binding, falling back to the query's primary client when no
+// router is installed.
+func (c *Context) ClientFor(role llm.Role, tableBackend string) llm.Client {
+	if c.Route != nil {
+		if cl := c.Route(role, tableBackend); cl != nil {
+			return cl
+		}
+	}
+	return c.Client
 }
 
 // CompleteBatch issues prompts through the given client (the query's main

@@ -263,6 +263,10 @@ type TableDef struct {
 	Name      string
 	Schema    *Schema
 	KeyColumn string // name of the key attribute, e.g. "name"
+	// Backend optionally pins this table's prompts to a named model
+	// backend in the runtime's registry (empty = the routing policy
+	// decides per prompt role).
+	Backend string
 }
 
 // KeyIndex returns the position of the key column in the schema, or -1.
